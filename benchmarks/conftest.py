@@ -1,0 +1,41 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's quantitative claims (see
+DESIGN.md section 5 and EXPERIMENTS.md) and prints an ``ExperimentReport``
+table with the paper-predicted value next to the measured one.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.serializability import TransactionPayload
+
+
+def single_shard_payloads(cluster, count: int, prefix: str = "k") -> List[TransactionPayload]:
+    """Independent single-shard read/write payloads."""
+    return [
+        TransactionPayload.make(
+            reads=[(f"{prefix}{i}", (0, ""))],
+            writes=[(f"{prefix}{i}", i)],
+            tiebreak=f"{prefix}{i}",
+        )
+        for i in range(count)
+    ]
+
+
+def key_on_shard(cluster, shard: str, hint: str = "key") -> str:
+    for i in range(10_000):
+        candidate = f"{hint}-{i}"
+        if cluster.scheme.sharding.shard_of(candidate) == shard:
+            return candidate
+    raise RuntimeError(f"no key found for shard {shard}")
+
+
+def multi_shard_payload(cluster, shards, tiebreak: str = "m") -> TransactionPayload:
+    keys = [key_on_shard(cluster, shard, hint=f"{tiebreak}-{shard}") for shard in shards]
+    return TransactionPayload.make(
+        reads=[(key, (0, "")) for key in keys],
+        writes=[(key, 1) for key in keys],
+        tiebreak=tiebreak,
+    )

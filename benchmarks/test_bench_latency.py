@@ -1,0 +1,69 @@
+"""E1 — Decision latency in message delays (Section 3).
+
+Paper claim: the reconfigurable protocol lets a client learn the decision in
+5 message delays (4 if the client is co-located with the coordinator),
+versus 7 for the vanilla approach that uses Paxos as a black box.
+"""
+
+import pytest
+
+from repro.analysis.metrics import ExperimentReport, summarize
+from repro.baselines.cluster import BaselineCluster
+from repro.cluster import Cluster
+
+from conftest import multi_shard_payload, single_shard_payloads
+
+
+TXNS = 12
+
+
+def _run_reconfigurable(protocol: str):
+    cluster = Cluster(num_shards=3, replicas_per_shard=2, protocol=protocol, seed=1)
+    payloads = single_shard_payloads(cluster, TXNS)
+    payloads.append(multi_shard_payload(cluster, ["shard-0", "shard-1"]))
+    cluster.certify_many(payloads)
+    cluster.run()
+    return cluster
+
+
+def _run_baseline():
+    cluster = BaselineCluster(num_shards=3, failures_tolerated=1, seed=1)
+    payloads = single_shard_payloads(cluster, TXNS)
+    payloads.append(multi_shard_payload(cluster, ["shard-0", "shard-1"]))
+    cluster.certify_many(payloads)
+    cluster.run()
+    return cluster
+
+
+@pytest.mark.parametrize("protocol", ["message-passing", "rdma"])
+def test_e1_latency_reconfigurable(benchmark, protocol):
+    cluster = benchmark.pedantic(lambda: _run_reconfigurable(protocol), rounds=3, iterations=1)
+    to_client = summarize(cluster.protocol_latencies())
+    colocated = summarize(cluster.colocated_latencies())
+    report = ExperimentReport(
+        experiment=f"E1 — decision latency ({protocol})",
+        claim="5 message delays to the client, 4 co-located (paper Section 3)",
+        headers=["metric", "paper", "measured mean", "measured p99"],
+    )
+    report.add_row("client learns decision", 5, to_client.mean, to_client.p99)
+    report.add_row("co-located client", 4, colocated.mean, colocated.p99)
+    report.print()
+    assert to_client.mean == pytest.approx(5.0)
+    assert colocated.mean == pytest.approx(4.0)
+
+
+def test_e1_latency_baseline(benchmark):
+    cluster = benchmark.pedantic(_run_baseline, rounds=3, iterations=1)
+    durable = summarize(cluster.durable_decision_latencies())
+    votes = summarize(cluster.vote_latencies())
+    report = ExperimentReport(
+        experiment="E1 — decision latency (2PC over Paxos baseline)",
+        claim="vanilla Paxos-as-black-box needs 7 delays to learn a decision",
+        headers=["metric", "paper", "measured mean", "measured p99"],
+    )
+    report.add_row("votes known at coordinator", "-", votes.mean, votes.p99)
+    report.add_row("decision durable everywhere", 7, durable.mean, durable.p99)
+    report.print()
+    # 7 delays for the decision to be durable on every shard, plus one more
+    # for the last shard's acknowledgement to reach the coordinator.
+    assert durable.mean >= 7.0

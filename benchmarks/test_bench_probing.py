@@ -1,0 +1,100 @@
+"""E7 — Reconfiguration liveness: probing through failed configurations.
+
+Paper claims (Theorems 4.2-4.3 and Section 6): a reconfiguration succeeds as
+long as one member of each configuration survives its lifetime, and —
+unlike FaRM, which only consults the previous configuration — the probing
+phase traverses *down* the sequence of epochs, so it recovers even when the
+last k reconfiguration attempts never became operational.
+"""
+
+import pytest
+
+from repro.analysis.metrics import ExperimentReport
+from repro.cluster import Cluster
+from repro.core.serializability import TransactionPayload
+
+
+def _run_with_failed_attempts(failed_attempts: int) -> dict:
+    """Create `failed_attempts` introduced-but-never-activated epochs, then
+    measure the reconfiguration that recovers past all of them.
+
+    Every failed attempt consumes one of the shard's initialized replicas
+    (its designated new leader dies before transferring state), so the shard
+    starts with ``failed_attempts + 2`` replicas and the last one is the
+    survivor the final reconfiguration must rediscover by traversing epochs.
+    """
+    cluster = Cluster(
+        num_shards=1,
+        replicas_per_shard=failed_attempts + 2,
+        spares_per_shard=4 + 2 * failed_attempts,
+        seed=7 + failed_attempts,
+    )
+    shard = "shard-0"
+    survivor = cluster.members_of(shard)[-1]
+    payload = TransactionPayload.make(
+        reads=[("base", (0, ""))], writes=[("base", 1)], tiebreak="base"
+    )
+    assert cluster.certify(payload).value == "commit"
+
+    # Each failed attempt: the new configuration pairs one initialized leader
+    # with fresh spares only, and that leader dies before activating it.
+    for attempt in range(failed_attempts):
+        current = cluster.current_configuration(shard)
+        cluster.reconfigure(
+            shard, initiator=survivor, suspects=list(current.members), run=False
+        )
+        target_epoch = current.epoch + 1
+
+        def introduced() -> bool:
+            latest = cluster.config_service.last_configuration(shard)
+            if latest is not None and latest.epoch == target_epoch:
+                cluster.crash(latest.leader)
+                return True
+            return False
+
+        cluster.scheduler.run_until(introduced, max_events=200_000)
+        cluster.run()
+        # A fresh reconfiguration attempt needs the initiator's probing flag
+        # cleared; the previous attempt ended when its CAS succeeded.
+        cluster.replica(survivor).suspected.clear()
+
+    # Now the survivor reconfigures; probing must walk down past every dead epoch.
+    start = cluster.scheduler.now
+    assert cluster.reconfigure(shard, initiator=survivor)
+    recovery_time = cluster.scheduler.now - start
+    config = cluster.current_configuration(shard)
+    probe_rounds = failed_attempts + 1
+
+    # The shard remembers its history: re-writing "base" at the stale version aborts.
+    stale = TransactionPayload.make(
+        reads=[("base", (0, ""))], writes=[("base", 2)], tiebreak="stale"
+    )
+    assert cluster.certify(stale).value == "abort"
+    result, violations = cluster.check()
+    assert result.ok and violations == []
+    return {
+        "final_epoch": config.epoch,
+        "probe_rounds": probe_rounds,
+        "recovery_time": recovery_time,
+    }
+
+
+@pytest.mark.parametrize("failed_attempts", [0, 1, 2])
+def test_e7_probing_through_failed_reconfigurations(benchmark, failed_attempts):
+    outcome = benchmark.pedantic(
+        lambda: _run_with_failed_attempts(failed_attempts), rounds=1, iterations=1
+    )
+    report = ExperimentReport(
+        experiment=f"E7 — probing with {failed_attempts} failed reconfiguration attempt(s)",
+        claim="probing traverses down the epoch sequence and recovers the data "
+        "(FaRM-style single-epoch lookback would get stuck for k >= 1)",
+        headers=["failed attempts", "probe rounds", "recovery time (delays)", "final epoch"],
+    )
+    report.add_row(
+        failed_attempts,
+        outcome["probe_rounds"],
+        outcome["recovery_time"],
+        outcome["final_epoch"],
+    )
+    report.print()
+    assert outcome["final_epoch"] == failed_attempts + 2

@@ -1,0 +1,97 @@
+"""E5 — Availability under failures: per-shard versus global reconfiguration.
+
+Paper claims: with ``f + 1`` replicas a single failure forces the system to
+stop processing (affected) transactions while it reconfigures (Section 6);
+the message-passing protocol reconfigures only the affected shard, whereas
+the RDMA protocol must reconfigure the whole system (Section 5) — its price
+for one-sided writes.
+"""
+
+import pytest
+
+from repro.analysis.metrics import ExperimentReport
+from repro.cluster import Cluster
+from repro.core.serializability import TransactionPayload
+
+from conftest import key_on_shard
+
+
+def _unavailability_window(protocol: str, crash_leader: bool) -> dict:
+    """Crash a replica of shard-0, reconfigure, and measure the virtual time
+    until each shard can commit a transaction again."""
+    cluster = Cluster(num_shards=2, replicas_per_shard=2, protocol=protocol, seed=5)
+    warmup = TransactionPayload.make(
+        reads=[("warm", (0, ""))], writes=[("warm", 1)], tiebreak="warm"
+    )
+    cluster.certify(warmup)
+
+    crashed = cluster.crash_leader("shard-0") if crash_leader else cluster.crash_follower("shard-0")
+    crash_time = cluster.scheduler.now
+    if protocol == "rdma":
+        cluster.reconfigure(initiator=cluster.leader_of("shard-1"), suspects=[crashed])
+    else:
+        cluster.reconfigure("shard-0", suspects=[crashed])
+
+    windows = {}
+    for shard in cluster.shards:
+        key = key_on_shard(cluster, shard, hint=f"probe-{shard}")
+        payload = TransactionPayload.make(
+            reads=[(key, (0, ""))], writes=[(key, 1)], tiebreak=f"probe-{shard}"
+        )
+        cluster.certify(payload)
+        windows[shard] = cluster.scheduler.now - crash_time
+    result, violations = cluster.check()
+    assert result.ok and violations == []
+    return windows
+
+
+@pytest.mark.parametrize("crash_leader", [False, True], ids=["follower-crash", "leader-crash"])
+def test_e5_unavailability_window(benchmark, crash_leader):
+    windows = benchmark.pedantic(
+        lambda: {p: _unavailability_window(p, crash_leader) for p in ["message-passing", "rdma"]},
+        rounds=1,
+        iterations=1,
+    )
+    report = ExperimentReport(
+        experiment=f"E5 — recovery time after a {'leader' if crash_leader else 'follower'} crash",
+        claim="a single failure stalls the affected shard until reconfiguration completes; "
+        "RDMA reconfigures the whole system",
+        headers=["protocol", "shard-0 recovery (delays)", "shard-1 recovery (delays)"],
+    )
+    for protocol, per_shard in windows.items():
+        report.add_row(protocol, per_shard["shard-0"], per_shard["shard-1"])
+    report.print()
+    for per_shard in windows.values():
+        assert per_shard["shard-0"] > 0
+
+
+def test_e5_blast_radius(benchmark):
+    """How many shards observe an epoch change when one shard's replica fails."""
+
+    def run():
+        changed = {}
+        for protocol in ["message-passing", "rdma"]:
+            cluster = Cluster(num_shards=3, replicas_per_shard=2, protocol=protocol, seed=6)
+            crashed = cluster.crash_follower("shard-0")
+            if protocol == "rdma":
+                cluster.reconfigure(initiator=cluster.leader_of("shard-1"), suspects=[crashed])
+            else:
+                cluster.reconfigure("shard-0", suspects=[crashed])
+            changed[protocol] = sum(
+                1
+                for shard in cluster.shards
+                if cluster.current_configuration(shard).epoch > 1
+            )
+        return changed
+
+    changed = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = ExperimentReport(
+        experiment="E5 — reconfiguration blast radius",
+        claim="message passing reconfigures one shard; RDMA reconfigures all (the price of RDMA)",
+        headers=["protocol", "shards whose epoch changed", "total shards"],
+    )
+    for protocol, count in changed.items():
+        report.add_row(protocol, count, 3)
+    report.print()
+    assert changed["message-passing"] == 1
+    assert changed["rdma"] == 3

@@ -1,0 +1,59 @@
+"""E3 — Replication cost: f+1 versus 2f+1 replicas per shard.
+
+Paper claim (Sections 1 and 6): the reconfigurable protocols store
+transaction data on only ``f + 1`` replicas per shard, using ``2f + 1``
+processes only for the small configuration service, whereas the standard
+approach needs ``2f + 1`` data replicas.  We sweep ``f`` and report the data
+replica count and the total data messages per committed transaction.
+"""
+
+import pytest
+
+from repro.analysis.metrics import ExperimentReport, messages_per_transaction
+from repro.baselines.cluster import BaselineCluster
+from repro.cluster import Cluster
+
+from conftest import single_shard_payloads
+
+
+TXNS = 12
+
+
+def _run_ours(f: int):
+    cluster = Cluster(num_shards=2, replicas_per_shard=f + 1, seed=3)
+    cluster.certify_many(single_shard_payloads(cluster, TXNS))
+    cluster.run()
+    return cluster
+
+
+def _run_baseline(f: int):
+    cluster = BaselineCluster(num_shards=2, failures_tolerated=f, seed=3)
+    cluster.certify_many(single_shard_payloads(cluster, TXNS))
+    cluster.run()
+    return cluster
+
+
+@pytest.mark.parametrize("f", [1, 2, 3])
+def test_e3_replication_cost(benchmark, f):
+    ours, baseline = benchmark.pedantic(
+        lambda: (_run_ours(f), _run_baseline(f)), rounds=1, iterations=1
+    )
+    report = ExperimentReport(
+        experiment=f"E3 — replication cost (f = {f})",
+        claim="f+1 data replicas per shard instead of 2f+1",
+        headers=["system", "data replicas/shard", "messages per txn"],
+    )
+    report.add_row(
+        "reconfigurable TCS",
+        ours.replicas_per_shard,
+        messages_per_transaction(ours.message_stats, TXNS),
+    )
+    report.add_row(
+        "2PC over Paxos",
+        baseline.replicas_per_shard,
+        messages_per_transaction(baseline.message_stats, TXNS),
+    )
+    report.print()
+    assert ours.replicas_per_shard == f + 1
+    assert baseline.replicas_per_shard == 2 * f + 1
+    assert ours.replicas_per_shard < baseline.replicas_per_shard

@@ -1,0 +1,101 @@
+"""E8 — Throughput scaling with shards and multi-shard transaction fraction.
+
+Paper motivation (Section 1): sharding is what provides scalability, and the
+TCS must coordinate across shards only for the transactions that span them.
+We measure committed transactions per 1000 virtual time units as the number
+of shards grows, and how throughput degrades as the fraction of multi-shard
+transactions rises.
+"""
+
+import pytest
+
+from repro.analysis.metrics import ExperimentReport
+from repro.cluster import Cluster
+from repro.core.serializability import TransactionPayload
+
+from conftest import key_on_shard
+
+
+TXNS_PER_ROUND = 24
+
+
+def _payloads(cluster, multi_shard_fraction: float):
+    payloads = []
+    shards = cluster.shards
+    multi_every = int(1 / multi_shard_fraction) if multi_shard_fraction > 0 else 0
+    for i in range(TXNS_PER_ROUND):
+        if multi_every and i % multi_every == 0 and len(shards) > 1:
+            first, second = shards[i % len(shards)], shards[(i + 1) % len(shards)]
+            keys = [
+                key_on_shard(cluster, first, hint=f"m{i}a"),
+                key_on_shard(cluster, second, hint=f"m{i}b"),
+            ]
+        else:
+            keys = [key_on_shard(cluster, shards[i % len(shards)], hint=f"s{i}")]
+        payloads.append(
+            TransactionPayload.make(
+                reads=[(key, (0, "")) for key in keys],
+                writes=[(key, i) for key in keys],
+                tiebreak=f"t{i}",
+            )
+        )
+    return payloads
+
+
+def _throughput(num_shards: int, multi_shard_fraction: float) -> float:
+    cluster = Cluster(num_shards=num_shards, replicas_per_shard=2, seed=8)
+    payloads = _payloads(cluster, multi_shard_fraction)
+    start = cluster.scheduler.now
+    decisions = cluster.certify_many(payloads)
+    elapsed = max(cluster.scheduler.now - start, 1e-9)
+    committed = sum(1 for d in decisions.values() if d.value == "commit")
+    result, violations = cluster.check()
+    assert result.ok and violations == []
+    return committed / elapsed * 1000.0
+
+
+@pytest.mark.parametrize("num_shards", [1, 2, 4, 8])
+def test_e8_throughput_vs_shards(benchmark, num_shards):
+    throughput = benchmark.pedantic(lambda: _throughput(num_shards, 0.0), rounds=1, iterations=1)
+    report = ExperimentReport(
+        experiment=f"E8 — throughput with {num_shards} shard(s)",
+        claim="independent shards process disjoint transactions in parallel",
+        headers=["shards", "committed txns / 1000 delays"],
+    )
+    report.add_row(num_shards, throughput)
+    report.print()
+    assert throughput > 0
+
+
+def test_e8_throughput_vs_multi_shard_fraction(benchmark):
+    fractions = [0.0, 0.25, 0.5, 1.0]
+    results = benchmark.pedantic(
+        lambda: {fraction: _throughput(4, fraction) for fraction in fractions},
+        rounds=1,
+        iterations=1,
+    )
+    report = ExperimentReport(
+        experiment="E8 — throughput vs multi-shard transaction fraction (4 shards)",
+        claim="cross-shard transactions add coordination and reduce throughput",
+        headers=["multi-shard fraction", "committed txns / 1000 delays"],
+    )
+    for fraction, throughput in results.items():
+        report.add_row(fraction, throughput)
+    report.print()
+    assert results[0.0] >= results[1.0] * 0.8  # same or better without cross-shard txns
+
+
+def test_e8_scalability_shape(benchmark):
+    def sweep():
+        return {n: _throughput(n, 0.0) for n in (1, 4)}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report = ExperimentReport(
+        experiment="E8 — scalability shape",
+        claim="more shards -> more parallel certification",
+        headers=["shards", "committed txns / 1000 delays"],
+    )
+    for shards, throughput in results.items():
+        report.add_row(shards, throughput)
+    report.print()
+    assert results[4] >= results[1]

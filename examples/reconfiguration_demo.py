@@ -1,0 +1,82 @@
+"""Reconfiguration walk-through: failures, probing and state transfer.
+
+Shows the vertical-Paxos-style reconfiguration of Section 3 in action:
+
+1. a follower crash is repaired by drafting in a spare replica;
+2. a leader crash is repaired by promoting an initialized survivor;
+3. a failed reconfiguration attempt (its new leader dies before activating
+   the configuration) is traversed past by the next reconfiguration, which
+   finds the data in an older epoch — the scenario where FaRM-style
+   single-epoch lookback would get stuck.
+
+Run with:  python examples/reconfiguration_demo.py
+"""
+
+from repro import Cluster, TransactionPayload
+from repro.core.types import Decision
+
+
+def show(cluster, shard: str, note: str) -> None:
+    config = cluster.current_configuration(shard)
+    print(f"  [{note}] {shard}: epoch {config.epoch}, leader {config.leader}, "
+          f"members {config.members}")
+
+
+def payload_for(key: str, version=(0, ""), value=1, tiebreak="t") -> TransactionPayload:
+    return TransactionPayload.make(reads=[(key, version)], writes=[(key, value)], tiebreak=tiebreak)
+
+
+def main() -> None:
+    cluster = Cluster(num_shards=2, replicas_per_shard=3, spares_per_shard=6, seed=5)
+    shard = "shard-0"
+
+    print("== initial configuration ==")
+    show(cluster, shard, "bootstrap")
+    first = payload_for("ledger", tiebreak="first")
+    print(f"  certify(first write): {cluster.certify(first).value}")
+
+    print("\n== 1. follower crash -> replace with a spare ==")
+    crashed = cluster.crash_follower(shard)
+    cluster.reconfigure(shard, suspects=[crashed])
+    show(cluster, shard, f"after replacing {crashed}")
+    print(f"  certification still live: {cluster.certify(payload_for('a', tiebreak='a')).value}")
+
+    print("\n== 2. leader crash -> promote an initialized survivor ==")
+    old_leader = cluster.crash_leader(shard)
+    cluster.reconfigure(shard, suspects=[old_leader])
+    show(cluster, shard, f"after losing leader {old_leader}")
+    stale = payload_for("ledger", tiebreak="stale")  # conflicts with `first`
+    print(f"  stale re-write of 'ledger' correctly aborts: {cluster.certify(stale).value}")
+
+    print("\n== 3. probing traverses a never-activated epoch ==")
+    config = cluster.current_configuration(shard)
+    survivor = config.followers[0]
+    # Start a reconfiguration that excludes every other member, then crash the
+    # designated new leader before it can transfer state.
+    others = [m for m in config.members if m != config.leader]
+    cluster.reconfigure(shard, initiator=config.leader, suspects=others, run=False)
+
+    def kill_new_leader() -> bool:
+        latest = cluster.config_service.last_configuration(shard)
+        if latest is not None and latest.epoch == config.epoch + 1:
+            cluster.crash(latest.leader)
+            return True
+        return False
+
+    cluster.scheduler.run_until(kill_new_leader, max_events=100_000)
+    cluster.run()
+    dead_epoch = cluster.config_service.last_configuration(shard)
+    print(f"  epoch {dead_epoch.epoch} was introduced but never activated "
+          f"(leader {dead_epoch.leader} died)")
+
+    cluster.reconfigure(shard, initiator=survivor)
+    show(cluster, shard, "after traversing past the dead epoch")
+    print(f"  history still intact: stale write aborts again -> "
+          f"{cluster.certify(payload_for('ledger', tiebreak='stale2')).value}")
+
+    result, violations = cluster.check()
+    print(f"\n== specification check: correct={result.ok}, violations={len(violations)} ==")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""Metrics and experiment reporting helpers."""
+
+from repro.analysis.metrics import (
+    LatencySummary,
+    summarize,
+    leader_load,
+    messages_per_transaction,
+    format_table,
+    ExperimentReport,
+)
+
+__all__ = [
+    "LatencySummary",
+    "summarize",
+    "leader_load",
+    "messages_per_transaction",
+    "format_table",
+    "ExperimentReport",
+]

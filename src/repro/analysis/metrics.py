@@ -1,0 +1,119 @@
+"""Measurement helpers used by the benchmark harness.
+
+The paper's quantitative claims are expressed in *message delays* and in
+*messages handled per transaction by a shard leader*; the helpers here turn
+the raw simulation output (virtual-time latencies and per-process message
+counters) into those units and format the comparison tables that
+EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Summary statistics of a latency sample (in message delays)."""
+
+    count: int
+    mean: float
+    median: float
+    p99: float
+    minimum: float
+    maximum: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "median": self.median,
+            "p99": self.p99,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+
+def summarize(values: Iterable[float]) -> LatencySummary:
+    """Summarise a latency sample; raises on an empty sample."""
+    sample = sorted(values)
+    if not sample:
+        raise ValueError("cannot summarise an empty sample")
+    return LatencySummary(
+        count=len(sample),
+        mean=statistics.fmean(sample),
+        median=statistics.median(sample),
+        p99=percentile(sample, 0.99),
+        minimum=sample[0],
+        maximum=sample[-1],
+    )
+
+
+def percentile(sorted_sample: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample."""
+    if not sorted_sample:
+        raise ValueError("empty sample")
+    if not 0 <= fraction <= 1:
+        raise ValueError("fraction must be in [0, 1]")
+    rank = max(0, min(len(sorted_sample) - 1, round(fraction * (len(sorted_sample) - 1))))
+    return sorted_sample[rank]
+
+
+def leader_load(stats, leaders: Sequence[str], num_transactions: int) -> float:
+    """Average messages handled (sent + received) per transaction per leader."""
+    if num_transactions <= 0 or not leaders:
+        return 0.0
+    total = sum(stats.handled_by(pid) for pid in leaders)
+    return total / (num_transactions * len(leaders))
+
+
+def messages_per_transaction(stats, num_transactions: int) -> float:
+    """Total messages sent in the system per transaction."""
+    if num_transactions <= 0:
+        return 0.0
+    return stats.total_sent / num_transactions
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Plain-text table used by benchmarks to print paper-style rows."""
+    columns = [str(h) for h in headers]
+    text_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in columns]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        " | ".join(column.ljust(widths[i]) for i, column in enumerate(columns)),
+        "-+-".join("-" * width for width in widths),
+    ]
+    for row in text_rows:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+@dataclass
+class ExperimentReport:
+    """A named table of results, printable by the benchmark harness."""
+
+    experiment: str
+    claim: str
+    headers: Sequence[str]
+    rows: List[Sequence[object]] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        self.rows.append(list(cells))
+
+    def render(self) -> str:
+        body = format_table(self.headers, self.rows)
+        return f"\n=== {self.experiment} ===\nClaim: {self.claim}\n{body}\n"
+
+    def print(self) -> None:  # pragma: no cover - console output
+        print(self.render())

@@ -1,0 +1,177 @@
+"""Driver harness for the 2PC-over-Paxos baseline.
+
+Mirrors the API of :class:`repro.cluster.Cluster` (submit / run / certify /
+latency and message metrics) so that the benchmark harness can sweep both
+systems with the same code.  Each shard is a Multi-Paxos group of ``2f + 1``
+replicas running :class:`repro.baselines.twopc.CertificationStateMachine`;
+dedicated coordinator processes drive two-phase commit across the groups.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines.paxos import PaxosGroup
+from repro.baselines.twopc import CertificationStateMachine, TwoPCCoordinator
+from repro.client import Client
+from repro.core.certification import CertificationScheme
+from repro.core.directory import TransactionDirectory
+from repro.core.serializability import KeyHashSharding, SerializabilityScheme
+from repro.core.types import Decision, ShardId, TxnId
+from repro.runtime.events import Scheduler
+from repro.runtime.network import LatencyModel, Network, UnitLatency
+from repro.spec.checker import CheckResult, TCSChecker
+from repro.spec.history import History
+
+
+class BaselineCluster:
+    """A simulated deployment of the vanilla 2PC-over-Paxos TCS."""
+
+    def __init__(
+        self,
+        num_shards: int = 2,
+        failures_tolerated: int = 1,
+        num_clients: int = 1,
+        num_coordinators: int = 1,
+        scheme: Optional[CertificationScheme] = None,
+        latency: Optional[LatencyModel] = None,
+        seed: int = 0,
+    ) -> None:
+        if num_shards < 1 or failures_tolerated < 0:
+            raise ValueError("num_shards must be >= 1 and failures_tolerated >= 0")
+        self.num_shards = num_shards
+        self.failures_tolerated = failures_tolerated
+        self.replicas_per_shard = 2 * failures_tolerated + 1
+        self.shards: List[ShardId] = [f"shard-{i}" for i in range(num_shards)]
+        self.scheme = scheme or SerializabilityScheme(KeyHashSharding(self.shards))
+
+        self.scheduler = Scheduler()
+        self.network = Network(self.scheduler, latency=latency or UnitLatency(), seed=seed)
+        self.directory = TransactionDirectory()
+        self.history = History()
+
+        self.groups: Dict[ShardId, PaxosGroup] = {}
+        for shard in self.shards:
+            self.groups[shard] = PaxosGroup(
+                self.network,
+                name=shard,
+                size=self.replicas_per_shard,
+                state_machine_factory=lambda shard=shard: CertificationStateMachine(
+                    shard, self.scheme
+                ),
+            )
+
+        shard_leaders = {shard: group.leader for shard, group in self.groups.items()}
+        self.coordinators: List[TwoPCCoordinator] = []
+        for i in range(num_coordinators):
+            coordinator = TwoPCCoordinator(
+                pid=f"coordinator-{i}",
+                scheme=self.scheme,
+                directory=self.directory,
+                shard_leaders=shard_leaders,
+            )
+            self.network.register(coordinator)
+            self.coordinators.append(coordinator)
+
+        self.clients: List[Client] = []
+        for i in range(num_clients):
+            client = Client(
+                pid=f"client-{i}",
+                scheme=self.scheme,
+                directory=self.directory,
+                history=self.history,
+            )
+            self.network.register(client)
+            self.clients.append(client)
+        self._round_robin = 0
+
+    # ------------------------------------------------------------------
+    # transaction driving (same surface as Cluster)
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        payload: Any,
+        client_index: int = 0,
+        coordinator: Optional[str] = None,
+        txn: Optional[TxnId] = None,
+    ) -> TxnId:
+        client = self.clients[client_index]
+        if coordinator is None:
+            self._round_robin += 1
+            coordinator = self.coordinators[self._round_robin % len(self.coordinators)].pid
+        return client.submit(payload, coordinator=coordinator, txn=txn)
+
+    def run(self, max_time: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        return self.scheduler.run(max_time=max_time, max_events=max_events)
+
+    def run_until_decided(
+        self, txns: Optional[Sequence[TxnId]] = None, max_events: int = 1_000_000
+    ) -> bool:
+        def all_decided() -> bool:
+            targets = txns if txns is not None else list(self.history.certified())
+            return all(self.history.decision_of(t) is not None for t in targets)
+
+        return self.scheduler.run_until(all_decided, max_events=max_events)
+
+    def certify(self, payload: Any, client_index: int = 0) -> Decision:
+        txn = self.submit(payload, client_index=client_index)
+        if not self.run_until_decided([txn]):
+            raise RuntimeError(f"transaction {txn} was not decided")
+        return self.history.decision_of(txn)
+
+    def certify_many(self, payloads: Sequence[Any], client_index: int = 0) -> Dict[TxnId, Decision]:
+        txns = [self.submit(p, client_index=client_index) for p in payloads]
+        self.run_until_decided(txns)
+        return {t: self.history.decision_of(t) for t in txns}
+
+    def decision_of(self, txn: TxnId) -> Optional[Decision]:
+        return self.history.decision_of(txn)
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    def leader_of(self, shard: ShardId) -> str:
+        return self.groups[shard].leader
+
+    def client_latencies(self) -> List[float]:
+        values = []
+        for client in self.clients:
+            for txn in client.outcomes:
+                latency = client.latency_of(txn)
+                if latency is not None:
+                    values.append(latency)
+        return values
+
+    def durable_decision_latencies(self) -> List[float]:
+        """Latency from the coordinator starting 2PC to the decision being
+        durable on every shard (the baseline's 7-message-delay path)."""
+        values = []
+        for coordinator in self.coordinators:
+            for entry in coordinator.transactions.values():
+                if entry.durable_at is not None:
+                    values.append(entry.durable_at - entry.started_at)
+        return values
+
+    def vote_latencies(self) -> List[float]:
+        """Latency from 2PC start to the decision being known (not yet durable)."""
+        values = []
+        for coordinator in self.coordinators:
+            for entry in coordinator.transactions.values():
+                if entry.decided_at is not None:
+                    values.append(entry.decided_at - entry.started_at)
+        return values
+
+    def abort_rate(self) -> float:
+        decided = self.history.decided()
+        if not decided:
+            return 0.0
+        aborts = sum(1 for d in decided.values() if d is Decision.ABORT)
+        return aborts / len(decided)
+
+    def check(self) -> Tuple[CheckResult, list]:
+        checker = TCSChecker(self.scheme)
+        return checker.check(self.history), []
+
+    @property
+    def message_stats(self):
+        return self.network.stats

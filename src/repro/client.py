@@ -1,0 +1,84 @@
+"""Client processes: submit transactions for certification and record history.
+
+A client owns the ``certify``/``decide`` interface of the TCS (Section 2):
+it registers the transaction's static metadata (``client(t)``, ``shards(t)``)
+in the :class:`~repro.core.directory.TransactionDirectory`, records the
+``certify`` event into the shared :class:`~repro.spec.history.History`,
+sends the request to a replica acting as coordinator, and records the
+``decide`` event when the decision message arrives.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.core.certification import CertificationScheme
+from repro.core.directory import TransactionDirectory
+from repro.core.messages import CertifyRequest, TxnDecision
+from repro.core.types import Decision, TxnId
+from repro.runtime.process import Process
+from repro.spec.history import History
+
+
+class Client(Process):
+    """A TCS client."""
+
+    def __init__(
+        self,
+        pid: str,
+        scheme: CertificationScheme,
+        directory: TransactionDirectory,
+        history: History,
+    ) -> None:
+        super().__init__(pid)
+        self.scheme = scheme
+        self.directory = directory
+        self.history = history
+        self.outcomes: Dict[TxnId, Decision] = {}
+        self.submit_times: Dict[TxnId, float] = {}
+        self.decide_times: Dict[TxnId, float] = {}
+        self.coordinator_of: Dict[TxnId, str] = {}
+        self._txn_counter = 0
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def next_txn_id(self) -> TxnId:
+        self._txn_counter += 1
+        return f"{self.pid}/t{self._txn_counter}"
+
+    def submit(self, payload: Any, coordinator: str, txn: Optional[TxnId] = None) -> TxnId:
+        """``certify(t, l)``: submit a transaction to a coordinator replica."""
+        txn = txn or self.next_txn_id()
+        shards = self.scheme.shards_of(payload)
+        self.directory.register(txn, client=self.pid, shards=shards)
+        self.history.record_certify(txn, payload, self.now)
+        self.submit_times[txn] = self.now
+        self.coordinator_of[txn] = coordinator
+        self.send(coordinator, CertifyRequest(txn=txn, payload=payload))
+        return txn
+
+    # ------------------------------------------------------------------
+    # decisions
+    # ------------------------------------------------------------------
+    def on_txn_decision(self, msg: TxnDecision, sender: str) -> None:
+        self.history.record_decide(msg.txn, msg.decision, self.now)
+        if msg.txn not in self.outcomes:
+            self.outcomes[msg.txn] = msg.decision
+            self.decide_times[msg.txn] = self.now
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def decision_of(self, txn: TxnId) -> Optional[Decision]:
+        return self.outcomes.get(txn)
+
+    def latency_of(self, txn: TxnId) -> Optional[float]:
+        """Client-observed latency: submission to decision receipt."""
+        if txn not in self.decide_times:
+            return None
+        return self.decide_times[txn] - self.submit_times[txn]
+
+    @property
+    def pending(self) -> set:
+        return set(self.submit_times) - set(self.outcomes)

@@ -1,0 +1,412 @@
+"""Cluster harness: one-call construction of a complete simulated system.
+
+``Cluster`` wires together every piece of the reproduction — scheduler,
+network, configuration service, shard replicas (message-passing, RDMA, or
+the deliberately broken RDMA ablation variant), spare replicas for
+reconfiguration, and clients — and exposes a small driver API used by the
+examples, the tests and the benchmark harness:
+
+* :meth:`Cluster.submit` / :meth:`Cluster.run` / :meth:`Cluster.certify` —
+  drive transactions through the TCS;
+* :meth:`Cluster.crash`, :meth:`Cluster.crash_leader`,
+  :meth:`Cluster.crash_follower`, :meth:`Cluster.reconfigure` — fault
+  injection and recovery;
+* :meth:`Cluster.check` — validate the recorded history against the TCS
+  specification and the replica states against the Figure 3 invariants.
+
+The vanilla 2PC-over-Paxos baseline offers the same driver API through
+:class:`repro.baselines.cluster.BaselineCluster`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.client import Client
+from repro.configservice.service import ConfigurationService, GlobalConfigurationService
+from repro.core.certification import CertificationScheme
+from repro.core.directory import TransactionDirectory
+from repro.core.reconfig import MembershipPolicy, SparePool
+from repro.core.replica import ShardReplica
+from repro.core.serializability import (
+    KeyHashSharding,
+    SerializabilityScheme,
+    SnapshotIsolationScheme,
+)
+from repro.core.types import Configuration, Decision, GlobalConfiguration, ShardId, TxnId
+from repro.rdma.broken import BrokenRdmaShardReplica
+from repro.rdma.replica import RdmaShardReplica
+from repro.runtime.events import Scheduler
+from repro.runtime.network import LatencyModel, Network, UnitLatency
+from repro.spec.checker import CheckResult, TCSChecker
+from repro.spec.history import History
+from repro.spec.invariants import InvariantViolation, check_invariants
+
+
+PROTOCOL_MESSAGE_PASSING = "message-passing"
+PROTOCOL_RDMA = "rdma"
+PROTOCOL_BROKEN_RDMA = "broken-rdma"
+
+_PROTOCOLS = (PROTOCOL_MESSAGE_PASSING, PROTOCOL_RDMA, PROTOCOL_BROKEN_RDMA)
+
+_ISOLATION_SCHEMES = {
+    "serializability": SerializabilityScheme,
+    "snapshot-isolation": SnapshotIsolationScheme,
+}
+
+
+class Cluster:
+    """A complete simulated deployment of one of the paper's protocols."""
+
+    def __init__(
+        self,
+        num_shards: int = 2,
+        replicas_per_shard: int = 2,
+        num_clients: int = 1,
+        protocol: str = PROTOCOL_MESSAGE_PASSING,
+        isolation: str = "serializability",
+        scheme: Optional[CertificationScheme] = None,
+        latency: Optional[LatencyModel] = None,
+        seed: int = 0,
+        spares_per_shard: int = 2,
+        membership_policy: Optional[MembershipPolicy] = None,
+    ) -> None:
+        if protocol not in _PROTOCOLS:
+            raise ValueError(f"unknown protocol {protocol!r}; expected one of {_PROTOCOLS}")
+        if num_shards < 1 or replicas_per_shard < 1 or num_clients < 1:
+            raise ValueError("num_shards, replicas_per_shard and num_clients must be >= 1")
+        self.protocol = protocol
+        self.num_shards = num_shards
+        self.replicas_per_shard = replicas_per_shard
+        self.shards: List[ShardId] = [f"shard-{i}" for i in range(num_shards)]
+
+        if scheme is None:
+            if isolation not in _ISOLATION_SCHEMES:
+                raise ValueError(f"unknown isolation level {isolation!r}")
+            scheme = _ISOLATION_SCHEMES[isolation](KeyHashSharding(self.shards))
+        self.scheme = scheme
+
+        self.scheduler = Scheduler()
+        self.network = Network(self.scheduler, latency=latency or UnitLatency(), seed=seed)
+        self.directory = TransactionDirectory()
+        self.history = History()
+        self.membership_policy = membership_policy or MembershipPolicy(
+            target_size=replicas_per_shard
+        )
+
+        self.replicas: Dict[str, Any] = {}
+        self.replicas_by_shard: Dict[ShardId, List[Any]] = {s: [] for s in self.shards}
+        self.spare_pools: Dict[ShardId, SparePool] = {}
+        self.clients: List[Client] = []
+
+        self._build_config_service()
+        self._build_replicas(spares_per_shard)
+        self._build_clients(num_clients)
+        self._round_robin = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _build_config_service(self) -> None:
+        if self.protocol == PROTOCOL_RDMA:
+            self.config_service = GlobalConfigurationService("config-service")
+        else:
+            self.config_service = ConfigurationService("config-service")
+        self.network.register(self.config_service)
+
+    def _replica_class(self):
+        return {
+            PROTOCOL_MESSAGE_PASSING: ShardReplica,
+            PROTOCOL_RDMA: RdmaShardReplica,
+            PROTOCOL_BROKEN_RDMA: BrokenRdmaShardReplica,
+        }[self.protocol]
+
+    def _build_replicas(self, spares_per_shard: int) -> None:
+        replica_cls = self._replica_class()
+        members_by_shard: Dict[ShardId, Tuple[str, ...]] = {}
+        for shard in self.shards:
+            members_by_shard[shard] = tuple(
+                f"{shard}/r{i}" for i in range(self.replicas_per_shard)
+            )
+        initial_configs = {
+            shard: Configuration(epoch=1, members=members, leader=members[0])
+            for shard, members in members_by_shard.items()
+        }
+        global_config = GlobalConfiguration(
+            epoch=1,
+            members={s: c.members for s, c in initial_configs.items()},
+            leaders={s: c.leader for s, c in initial_configs.items()},
+        )
+
+        # Install initial configurations in the configuration service.
+        if self.protocol == PROTOCOL_RDMA:
+            self.config_service.install_initial(global_config)
+        else:
+            for shard, config in initial_configs.items():
+                self.config_service.install_initial(shard, config)
+
+        # Create replicas and spares.
+        for shard in self.shards:
+            pool = SparePool()
+            self.spare_pools[shard] = pool
+            pids = list(members_by_shard[shard]) + [
+                f"{shard}/spare{i}" for i in range(spares_per_shard)
+            ]
+            for pid in pids:
+                replica = replica_cls(
+                    pid=pid,
+                    shard=shard,
+                    scheme=self.scheme,
+                    directory=self.directory,
+                    config_service=self.config_service.pid,
+                    spares=pool,
+                    membership_policy=self.membership_policy,
+                )
+                self.network.register(replica)
+                self.replicas[pid] = replica
+                self.replicas_by_shard[shard].append(replica)
+                if pid not in members_by_shard[shard]:
+                    pool.add(pid)
+
+        # Bootstrap configuration knowledge.
+        for replica in self.replicas.values():
+            if self.protocol == PROTOCOL_RDMA:
+                replica.spare_pools = self.spare_pools
+                replica.bootstrap(global_config)
+            else:
+                replica.bootstrap(initial_configs)
+
+        # The broken RDMA ablation keeps RDMA access open between every pair
+        # of processes forever (that omission is exactly what makes it unsafe).
+        if self.protocol == PROTOCOL_BROKEN_RDMA:
+            all_pids = list(self.replicas)
+            for replica in self.replicas.values():
+                replica.open_to_all(all_pids)
+
+        self.initial_configs = initial_configs
+        self.initial_global_config = global_config
+
+    def _build_clients(self, num_clients: int) -> None:
+        for i in range(num_clients):
+            client = Client(
+                pid=f"client-{i}",
+                scheme=self.scheme,
+                directory=self.directory,
+                history=self.history,
+            )
+            self.network.register(client)
+            self.clients.append(client)
+
+    # ------------------------------------------------------------------
+    # topology queries
+    # ------------------------------------------------------------------
+    def replica(self, pid: str):
+        return self.replicas[pid]
+
+    def live_replicas(self, shard: ShardId) -> List[Any]:
+        return [r for r in self.replicas_by_shard[shard] if not r.crashed]
+
+    def current_configuration(self, shard: ShardId):
+        if self.protocol == PROTOCOL_RDMA:
+            config = self.config_service.last_configuration()
+            return Configuration(
+                epoch=config.epoch,
+                members=config.members[shard],
+                leader=config.leaders[shard],
+            )
+        return self.config_service.last_configuration(shard)
+
+    def leader_of(self, shard: ShardId) -> str:
+        return self.current_configuration(shard).leader
+
+    def followers_of(self, shard: ShardId) -> Tuple[str, ...]:
+        return self.current_configuration(shard).followers
+
+    def members_of(self, shard: ShardId) -> Tuple[str, ...]:
+        return self.current_configuration(shard).members
+
+    # ------------------------------------------------------------------
+    # transaction driving
+    # ------------------------------------------------------------------
+    def _pick_coordinator(self, payload: Any) -> str:
+        """Pick a replica to coordinate the transaction.
+
+        Mirrors Figure 2, where the coordinator is a replica of a shard not
+        involved in the transaction: we prefer members of uninvolved shards
+        (this also keeps the latency accounting identical to the paper's
+        5-delay analysis) and fall back to members of the involved shards
+        when every shard participates.
+        """
+        involved = sorted(self.scheme.shards_of(payload)) or [self.shards[0]]
+        uninvolved = [s for s in self.shards if s not in involved]
+        candidates: List[str] = []
+        for shard in uninvolved or involved:
+            candidates.extend(self.members_of(shard))
+        live = [pid for pid in candidates if not self.replicas[pid].crashed]
+        candidates = live or candidates
+        self._round_robin += 1
+        return candidates[self._round_robin % len(candidates)]
+
+    def submit(
+        self,
+        payload: Any,
+        client_index: int = 0,
+        coordinator: Optional[str] = None,
+        txn: Optional[TxnId] = None,
+    ) -> TxnId:
+        """Submit a transaction for certification; returns its identifier."""
+        client = self.clients[client_index]
+        coordinator = coordinator or self._pick_coordinator(payload)
+        return client.submit(payload, coordinator=coordinator, txn=txn)
+
+    def run(self, max_time: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run the simulation until idle (or until the given budget)."""
+        return self.scheduler.run(max_time=max_time, max_events=max_events)
+
+    def run_until_decided(
+        self, txns: Optional[Sequence[TxnId]] = None, max_events: int = 1_000_000
+    ) -> bool:
+        """Run until every given (default: every submitted) transaction is decided."""
+
+        def all_decided() -> bool:
+            targets = txns if txns is not None else list(self.history.certified())
+            return all(self.history.decision_of(t) is not None for t in targets)
+
+        return self.scheduler.run_until(all_decided, max_events=max_events)
+
+    def certify(
+        self,
+        payload: Any,
+        client_index: int = 0,
+        coordinator: Optional[str] = None,
+    ) -> Decision:
+        """Submit a transaction and run the simulation until it is decided."""
+        txn = self.submit(payload, client_index=client_index, coordinator=coordinator)
+        if not self.run_until_decided([txn]):
+            raise RuntimeError(f"transaction {txn} was not decided")
+        return self.history.decision_of(txn)
+
+    def certify_many(self, payloads: Sequence[Any], client_index: int = 0) -> Dict[TxnId, Decision]:
+        txns = [self.submit(p, client_index=client_index) for p in payloads]
+        self.run_until_decided(txns)
+        return {t: self.history.decision_of(t) for t in txns}
+
+    def decision_of(self, txn: TxnId) -> Optional[Decision]:
+        return self.history.decision_of(txn)
+
+    # ------------------------------------------------------------------
+    # fault injection and reconfiguration
+    # ------------------------------------------------------------------
+    def crash(self, pid: str) -> None:
+        self.network.crash(pid)
+
+    def crash_leader(self, shard: ShardId) -> str:
+        pid = self.leader_of(shard)
+        self.crash(pid)
+        return pid
+
+    def crash_follower(self, shard: ShardId) -> str:
+        followers = [p for p in self.followers_of(shard) if not self.replicas[p].crashed]
+        if not followers:
+            raise RuntimeError(f"shard {shard} has no live follower to crash")
+        self.crash(followers[0])
+        return followers[0]
+
+    def reconfigure(
+        self,
+        shard: Optional[ShardId] = None,
+        initiator: Optional[str] = None,
+        run: bool = True,
+        suspects: Sequence[str] = (),
+    ) -> bool:
+        """Trigger a reconfiguration (per-shard, or global for the RDMA protocol)."""
+        shard = shard or self.shards[0]
+        initiator_pid = initiator or self._pick_reconfigurer(shard)
+        replica = self.replicas[initiator_pid]
+        for suspect in suspects:
+            replica.suspect(suspect)
+        if self.protocol == PROTOCOL_RDMA:
+            started = replica.reconfigure()
+        else:
+            started = replica.reconfigure(shard)
+        if run:
+            self.run()
+        return started
+
+    def _pick_reconfigurer(self, shard: ShardId) -> str:
+        for replica in self.replicas_by_shard[shard]:
+            if not replica.crashed and replica.pid in self.members_of(shard):
+                return replica.pid
+        for replica in self.replicas_by_shard[shard]:
+            if not replica.crashed:
+                return replica.pid
+        raise RuntimeError(f"no live process available to reconfigure shard {shard}")
+
+    # ------------------------------------------------------------------
+    # validation and metrics
+    # ------------------------------------------------------------------
+    def member_replicas_by_shard(self) -> Dict[ShardId, List[Any]]:
+        """Replicas that are members of their shard's current configuration."""
+        result: Dict[ShardId, List[Any]] = {}
+        for shard in self.shards:
+            members = set(self.members_of(shard))
+            result[shard] = [r for r in self.replicas_by_shard[shard] if r.pid in members]
+        return result
+
+    def check(self, include_invariants: bool = True) -> Tuple[CheckResult, List[InvariantViolation]]:
+        """Check the recorded history and (optionally) the replica invariants."""
+        checker = TCSChecker(self.scheme)
+        result = checker.check(self.history)
+        violations: List[InvariantViolation] = []
+        if include_invariants:
+            violations = check_invariants(self.member_replicas_by_shard(), self.history)
+        return result, violations
+
+    def client_latencies(self) -> List[float]:
+        values: List[float] = []
+        for client in self.clients:
+            for txn in client.outcomes:
+                latency = client.latency_of(txn)
+                if latency is not None:
+                    values.append(latency)
+        return values
+
+    def coordinator_entries(self) -> Dict[TxnId, Any]:
+        entries: Dict[TxnId, Any] = {}
+        for replica in self.replicas.values():
+            for txn, entry in getattr(replica, "_coordinated", {}).items():
+                if entry.decided and txn not in entries:
+                    entries[txn] = entry
+        return entries
+
+    def protocol_latencies(self) -> List[float]:
+        """Latency from the coordinator starting ``certify`` to the client
+        receiving the decision (the paper's 5-message-delay path)."""
+        values = []
+        entries = self.coordinator_entries()
+        for client in self.clients:
+            for txn, decide_time in client.decide_times.items():
+                entry = entries.get(txn)
+                if entry is not None:
+                    values.append(decide_time - entry.started_at)
+        return values
+
+    def colocated_latencies(self) -> List[float]:
+        """Latency from the coordinator starting ``certify`` to it computing
+        the decision (the co-located-client 4-message-delay path)."""
+        return [
+            entry.decided_at - entry.started_at
+            for entry in self.coordinator_entries().values()
+            if entry.decided_at is not None
+        ]
+
+    def abort_rate(self) -> float:
+        decided = self.history.decided()
+        if not decided:
+            return 0.0
+        aborts = sum(1 for d in decided.values() if d is Decision.ABORT)
+        return aborts / len(decided)
+
+    @property
+    def message_stats(self):
+        return self.network.stats

@@ -1,0 +1,159 @@
+"""Reliable single-process configuration service.
+
+Stores, per shard, the sequence of configurations ``⟨e, M, pl⟩`` and serves
+the three operations of the paper:
+
+* ``compare_and_swap(s, e, ⟨e', M, pl⟩)`` — succeeds iff the epoch of the
+  last stored configuration of ``s`` is ``e`` and ``e' > e``;
+* ``get_last(s)`` — the last stored configuration of ``s``;
+* ``get(s, e)`` — the configuration of ``s`` at epoch ``e``.
+
+When a compare-and-swap succeeds the service pushes ``CONFIG_CHANGE``
+messages to the members of all *other* shards (Figure 1, line 67), so that
+coordinators learn about new configurations.
+
+:class:`GlobalConfigurationService` is the whole-system variant used by the
+RDMA protocol (Section 5): it stores a single sequence of
+:class:`GlobalConfiguration` records and its operations take no shard
+argument.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.messages import (
+    ConfigChange,
+    CsCompareAndSwap,
+    CsGet,
+    CsGetLast,
+    CsReply,
+)
+from repro.core.types import Configuration, GlobalConfiguration, ShardId
+from repro.runtime.process import Process
+
+
+class ConfigurationService(Process):
+    """The per-shard configuration service of the message-passing protocol."""
+
+    def __init__(self, pid: str = "config-service") -> None:
+        super().__init__(pid)
+        self._configs: Dict[ShardId, Dict[int, Configuration]] = {}
+        self._last: Dict[ShardId, int] = {}
+        self.cas_attempts = 0
+        self.cas_successes = 0
+
+    # ------------------------------------------------------------------
+    # direct (bootstrap) interface
+    # ------------------------------------------------------------------
+    def install_initial(self, shard: ShardId, config: Configuration) -> None:
+        """Install the initial configuration of a shard at bootstrap time."""
+        self._configs.setdefault(shard, {})[config.epoch] = config
+        self._last[shard] = config.epoch
+
+    def last_configuration(self, shard: ShardId) -> Optional[Configuration]:
+        epoch = self._last.get(shard)
+        if epoch is None:
+            return None
+        return self._configs[shard][epoch]
+
+    def configuration_at(self, shard: ShardId, epoch: int) -> Optional[Configuration]:
+        return self._configs.get(shard, {}).get(epoch)
+
+    def shards(self):
+        return list(self._configs.keys())
+
+    # ------------------------------------------------------------------
+    # message handlers
+    # ------------------------------------------------------------------
+    def on_cs_get_last(self, msg: CsGetLast, sender: str) -> None:
+        config = self.last_configuration(msg.shard)
+        self.send(sender, CsReply(msg.request_id, ok=config is not None, config=config))
+
+    def on_cs_get(self, msg: CsGet, sender: str) -> None:
+        config = self.configuration_at(msg.shard, msg.epoch)
+        self.send(sender, CsReply(msg.request_id, ok=config is not None, config=config))
+
+    def on_cs_compare_and_swap(self, msg: CsCompareAndSwap, sender: str) -> None:
+        self.cas_attempts += 1
+        current = self._last.get(msg.shard)
+        if current != msg.expected_epoch or msg.config.epoch <= msg.expected_epoch:
+            self.send(sender, CsReply(msg.request_id, ok=False, config=None))
+            return
+        self.cas_successes += 1
+        self._configs.setdefault(msg.shard, {})[msg.config.epoch] = msg.config
+        self._last[msg.shard] = msg.config.epoch
+        self.send(sender, CsReply(msg.request_id, ok=True, config=msg.config))
+        self._broadcast_config_change(msg.shard, msg.config)
+
+    def _broadcast_config_change(self, shard: ShardId, config: Configuration) -> None:
+        """Notify members of the other shards about the new configuration."""
+        change = ConfigChange(
+            shard=shard,
+            epoch=config.epoch,
+            members=config.members,
+            leader=config.leader,
+        )
+        for other_shard, last_epoch in self._last.items():
+            if other_shard == shard:
+                continue
+            other_config = self._configs[other_shard][last_epoch]
+            for member in other_config.members:
+                self.send(member, change)
+
+
+class GlobalConfigurationService(Process):
+    """Whole-system configuration service used by the RDMA protocol.
+
+    The interface mirrors :class:`ConfigurationService` but operations take
+    no shard argument: the service stores a single sequence of
+    :class:`GlobalConfiguration` values (Section 5: "the configuration
+    service keeps a single data structure with the system's sequence of
+    configurations parameterized by shard").
+    """
+
+    def __init__(self, pid: str = "global-config-service") -> None:
+        super().__init__(pid)
+        self._configs: Dict[int, GlobalConfiguration] = {}
+        self._last: Optional[int] = None
+        self.cas_attempts = 0
+        self.cas_successes = 0
+
+    def install_initial(self, config: GlobalConfiguration) -> None:
+        self._configs[config.epoch] = config
+        self._last = config.epoch
+
+    def last_configuration(self) -> Optional[GlobalConfiguration]:
+        if self._last is None:
+            return None
+        return self._configs[self._last]
+
+    def configuration_at(self, epoch: int) -> Optional[GlobalConfiguration]:
+        return self._configs.get(epoch)
+
+    # Handlers reuse the CS message types; the ``shard`` field is ignored
+    # (callers pass the sentinel "*").
+    def on_cs_get_last(self, msg: CsGetLast, sender: str) -> None:
+        config = self.last_configuration()
+        self.send(
+            sender,
+            CsReply(msg.request_id, ok=config is not None, config=config),  # type: ignore[arg-type]
+        )
+
+    def on_cs_get(self, msg: CsGet, sender: str) -> None:
+        config = self.configuration_at(msg.epoch)
+        self.send(
+            sender,
+            CsReply(msg.request_id, ok=config is not None, config=config),  # type: ignore[arg-type]
+        )
+
+    def on_cs_compare_and_swap(self, msg: CsCompareAndSwap, sender: str) -> None:
+        self.cas_attempts += 1
+        new_config: GlobalConfiguration = msg.config  # type: ignore[assignment]
+        if self._last != msg.expected_epoch or new_config.epoch <= msg.expected_epoch:
+            self.send(sender, CsReply(msg.request_id, ok=False, config=None))
+            return
+        self.cas_successes += 1
+        self._configs[new_config.epoch] = new_config
+        self._last = new_config.epoch
+        self.send(sender, CsReply(msg.request_id, ok=True, config=new_config))  # type: ignore[arg-type]

@@ -1,0 +1,50 @@
+"""Core message-passing TCS protocol (paper Section 3, Figure 1).
+
+The public pieces are:
+
+* :mod:`repro.core.types` — transaction identifiers, decisions, phases,
+  configurations;
+* :mod:`repro.core.certification` — the certification-function framework
+  (global ``f``, shard-local ``f_s`` and ``g_s``) the protocol is
+  parametric in;
+* :mod:`repro.core.serializability` — the serializability instantiation of
+  Section 2 (read/write-set payloads with versions);
+* :mod:`repro.core.replica` — the shard replica process implementing
+  Figure 1 (prepare/accept/decide, coordinator duties, reconfiguration).
+"""
+
+from repro.core.types import (
+    Decision,
+    Phase,
+    Status,
+    Configuration,
+    TxnId,
+    ShardId,
+    BOTTOM,
+)
+from repro.core.certification import CertificationScheme
+from repro.core.serializability import (
+    TransactionPayload,
+    SerializabilityScheme,
+    SnapshotIsolationScheme,
+    KeyHashSharding,
+)
+from repro.core.replica import ShardReplica
+from repro.core.directory import TransactionDirectory
+
+__all__ = [
+    "Decision",
+    "Phase",
+    "Status",
+    "Configuration",
+    "TxnId",
+    "ShardId",
+    "BOTTOM",
+    "CertificationScheme",
+    "TransactionPayload",
+    "SerializabilityScheme",
+    "SnapshotIsolationScheme",
+    "KeyHashSharding",
+    "ShardReplica",
+    "TransactionDirectory",
+]

@@ -1,0 +1,165 @@
+"""Certification-function framework (paper Section 2).
+
+A TCS is parametric in a *certification function* ``f : 2^L x L -> D`` that
+encodes the concurrency-control policy of the desired isolation level.  In a
+sharded system the protocol never evaluates ``f`` directly; each shard uses
+two *shard-local* functions:
+
+* ``f_s(L, l)`` — certify ``l`` against the shard-relevant payloads of
+  previously *committed* transactions;
+* ``g_s(L, l)`` — certify ``l`` against transactions *prepared to commit*
+  (typically a stricter, lock-style check).
+
+:class:`CertificationScheme` bundles ``f``, ``f_s``, ``g_s``, payload
+projection ``l|s``, the empty payload ``ε`` and the ``shards(t)`` function.
+It also provides property checkers for the paper's side conditions:
+distributivity (1), matching (3) and the relations (4)-(5) between ``f_s``
+and ``g_s``.  Those checkers are exercised by the hypothesis test-suite.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Generic, Iterable, Sequence, Set, TypeVar
+
+from repro.core.types import Decision, ShardId
+
+
+PayloadT = TypeVar("PayloadT")
+
+
+class CertificationScheme(Generic[PayloadT]):
+    """Abstract interface for an isolation level's certification functions.
+
+    Implementations must be *pure*: results may only depend on the
+    arguments, so that distributivity and matching can be checked
+    mechanically.
+    """
+
+    # ------------------------------------------------------------------
+    # required interface
+    # ------------------------------------------------------------------
+    def shards(self) -> Sequence[ShardId]:
+        """All shard identifiers in the system."""
+        raise NotImplementedError
+
+    def shards_of(self, payload: PayloadT) -> Set[ShardId]:
+        """``shards(t)``: the shards that must certify this payload."""
+        raise NotImplementedError
+
+    def project(self, payload: PayloadT, shard: ShardId) -> PayloadT:
+        """``l | s``: the part of the payload relevant to shard ``s``."""
+        raise NotImplementedError
+
+    def empty_payload(self) -> PayloadT:
+        """The distinguished empty payload ``ε`` (always certifies commit)."""
+        raise NotImplementedError
+
+    def is_empty(self, payload: PayloadT) -> bool:
+        """True if the payload equals ``ε``."""
+        raise NotImplementedError
+
+    def global_certify(self, committed: Iterable[PayloadT], payload: PayloadT) -> Decision:
+        """The global certification function ``f(L, l)``."""
+        raise NotImplementedError
+
+    def shard_certify_committed(
+        self, shard: ShardId, committed: Iterable[PayloadT], payload: PayloadT
+    ) -> Decision:
+        """The shard-local function ``f_s(L, l)`` (conflicts with committed txns)."""
+        raise NotImplementedError
+
+    def shard_certify_prepared(
+        self, shard: ShardId, prepared: Iterable[PayloadT], payload: PayloadT
+    ) -> Decision:
+        """The shard-local function ``g_s(L, l)`` (conflicts with prepared txns)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # derived helpers
+    # ------------------------------------------------------------------
+    def vote(
+        self,
+        shard: ShardId,
+        committed: Iterable[PayloadT],
+        prepared: Iterable[PayloadT],
+        payload: PayloadT,
+    ) -> Decision:
+        """The vote computed by a shard leader (Figure 1, line 12):
+        ``f_s(L1, l) ⊓ g_s(L2, l)``."""
+        return self.shard_certify_committed(shard, committed, payload).meet(
+            self.shard_certify_prepared(shard, prepared, payload)
+        )
+
+    def project_all(self, payloads: Iterable[PayloadT], shard: ShardId) -> list[PayloadT]:
+        """``L | s`` lifted to sets of payloads."""
+        return [self.project(payload, shard) for payload in payloads]
+
+    # ------------------------------------------------------------------
+    # specification side-condition checkers (used by property tests)
+    # ------------------------------------------------------------------
+    def check_distributive_global(
+        self, payload_sets: Sequence[Sequence[PayloadT]], payload: PayloadT
+    ) -> bool:
+        """Check requirement (1): ``f(L1 ∪ L2, l) = f(L1, l) ⊓ f(L2, l)``."""
+        for left, right in itertools.combinations(range(len(payload_sets)), 2):
+            l1, l2 = list(payload_sets[left]), list(payload_sets[right])
+            combined = self.global_certify(l1 + l2, payload)
+            split = self.global_certify(l1, payload).meet(self.global_certify(l2, payload))
+            if combined is not split:
+                return False
+        return True
+
+    def check_distributive_shard(
+        self,
+        shard: ShardId,
+        payload_sets: Sequence[Sequence[PayloadT]],
+        payload: PayloadT,
+    ) -> bool:
+        """Check distributivity of ``f_s`` and ``g_s`` on the given sets."""
+        for left, right in itertools.combinations(range(len(payload_sets)), 2):
+            l1, l2 = list(payload_sets[left]), list(payload_sets[right])
+            for fn in (self.shard_certify_committed, self.shard_certify_prepared):
+                combined = fn(shard, l1 + l2, payload)
+                split = fn(shard, l1, payload).meet(fn(shard, l2, payload))
+                if combined is not split:
+                    return False
+        return True
+
+    def check_matching(self, committed: Sequence[PayloadT], payload: PayloadT) -> bool:
+        """Check requirement (3): the global decision equals the meet of the
+        shard-local ``f_s`` decisions over projected payloads."""
+        global_decision = self.global_certify(committed, payload)
+        local_decision = Decision.meet_all(
+            self.shard_certify_committed(
+                shard,
+                self.project_all(committed, shard),
+                self.project(payload, shard),
+            )
+            for shard in self.shards()
+        )
+        return global_decision is local_decision
+
+    def check_prepared_stronger(
+        self, shard: ShardId, prepared: Sequence[PayloadT], payload: PayloadT
+    ) -> bool:
+        """Check requirement (4): ``g_s(L, l) = commit ⟹ f_s(L, l) = commit``."""
+        if self.shard_certify_prepared(shard, prepared, payload) is Decision.COMMIT:
+            return self.shard_certify_committed(shard, prepared, payload) is Decision.COMMIT
+        return True
+
+    def check_prepared_commutes(
+        self, shard: ShardId, pending: PayloadT, payload: PayloadT
+    ) -> bool:
+        """Check requirement (5): if ``l'`` may commit after pending ``l``,
+        then ``l`` may commit after committed ``l'``."""
+        if self.shard_certify_prepared(shard, [pending], payload) is Decision.COMMIT:
+            return self.shard_certify_committed(shard, [payload], pending) is Decision.COMMIT
+        return True
+
+    def check_empty_payload_commits(self, shard: ShardId, committed: Sequence[PayloadT]) -> bool:
+        """``∀s, L. f_s(L, ε) = commit``."""
+        return (
+            self.shard_certify_committed(shard, committed, self.empty_payload())
+            is Decision.COMMIT
+        )

@@ -1,0 +1,168 @@
+"""Transaction-coordinator duties of a replica (Figure 1, lines 1-3, 18-29, 70-73).
+
+Any replica process can act as the coordinator of a transaction: it sends
+``PREPARE`` to the leaders of the relevant shards, relays each leader's vote
+to the shard's followers in ``ACCEPT`` messages, collects ``ACCEPT_ACK``
+confirmation from every follower, computes the final decision with ``⊓`` and
+distributes it.  A replica that is left holding a prepared transaction whose
+coordinator seems to have failed can take over with ``retry`` (line 70).
+
+The logic lives in :class:`CoordinatorMixin`, mixed into
+:class:`repro.core.replica.ShardReplica`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Set
+
+from repro.core.messages import (
+    Accept,
+    AcceptAck,
+    CertifyRequest,
+    Prepare,
+    PrepareAck,
+    SlotDecision,
+    TxnDecision,
+)
+from repro.core.types import BOTTOM, Decision, Phase, ShardId, TxnId
+
+
+@dataclass
+class CoordinatorEntry:
+    """Book-keeping for one transaction this process coordinates."""
+
+    txn: TxnId
+    payload: Any
+    shards: frozenset
+    started_at: float
+    votes: Dict[ShardId, Decision] = field(default_factory=dict)
+    slots: Dict[ShardId, int] = field(default_factory=dict)
+    vote_epochs: Dict[ShardId, int] = field(default_factory=dict)
+    # follower acks received, keyed by (shard, epoch)
+    acks: Dict[tuple, Set[str]] = field(default_factory=dict)
+    decided: bool = False
+    decision: Optional[Decision] = None
+    decided_at: Optional[float] = None
+
+
+class CoordinatorMixin:
+    """Coordinator-side message handlers; mixed into ``ShardReplica``."""
+
+    def _init_coordinator(self) -> None:
+        self._coordinated: Dict[TxnId, CoordinatorEntry] = {}
+
+    # ------------------------------------------------------------------
+    # public API (Figure 1, lines 1-3 and 70-73)
+    # ------------------------------------------------------------------
+    def certify(self, txn: TxnId, payload: Any) -> CoordinatorEntry:
+        """``certify(t, l)``: act as coordinator for transaction ``txn``."""
+        shards = self.directory.shards_of(txn)
+        entry = self._coordinated.get(txn)
+        if entry is None:
+            entry = CoordinatorEntry(
+                txn=txn, payload=payload, shards=frozenset(shards), started_at=self.now
+            )
+            self._coordinated[txn] = entry
+        for shard in shards:
+            projected = (
+                BOTTOM if payload is BOTTOM else self.scheme.project(payload, shard)
+            )
+            self.send(self.leader[shard], Prepare(txn=txn, payload=projected))
+        if not shards:
+            # A transaction touching no shard (empty payload) commits
+            # trivially: the meet over an empty set of votes is commit.
+            self._maybe_decide(entry)
+        return entry
+
+    def retry(self, slot: int) -> Optional[CoordinatorEntry]:
+        """``retry(k)``: become a new coordinator for a prepared transaction
+        whose original coordinator is suspected to have failed (line 70)."""
+        if self.phase_arr.get(slot) is not Phase.PREPARED:
+            return None
+        txn = self.txn_arr[slot]
+        return self.certify(txn, BOTTOM)
+
+    def coordinated(self, txn: TxnId) -> Optional[CoordinatorEntry]:
+        return self._coordinated.get(txn)
+
+    # ------------------------------------------------------------------
+    # message handlers
+    # ------------------------------------------------------------------
+    def on_certify_request(self, msg: CertifyRequest, sender: str) -> None:
+        """A client picked this replica as the transaction's coordinator."""
+        self.certify(msg.txn, msg.payload)
+
+    def on_prepare_ack(self, msg: PrepareAck, sender: str) -> None:
+        """Relay the leader's vote to the shard's followers (lines 18-20)."""
+        entry = self._coordinated.get(msg.txn)
+        if entry is None:
+            return
+        if self.epoch.get(msg.shard) != msg.epoch:
+            # Precondition epoch[s] = e (line 19).  A newer epoch may simply
+            # not have reached us yet; stash and retry once it does.
+            if msg.epoch > self.epoch.get(msg.shard, 0):
+                self._stash_message(msg, sender)
+            return
+        entry.votes[msg.shard] = msg.vote
+        entry.slots[msg.shard] = msg.slot
+        entry.vote_epochs[msg.shard] = msg.epoch
+        followers = [p for p in self.members[msg.shard] if p != self.leader[msg.shard]]
+        accept = Accept(
+            epoch=msg.epoch,
+            slot=msg.slot,
+            txn=msg.txn,
+            payload=msg.payload,
+            vote=msg.vote,
+        )
+        self.send_all(followers, accept)
+        # A shard with no followers (f = 0) is fully persisted by the
+        # leader's own vote, so the decision check must run here too.
+        self._maybe_decide(entry)
+
+    def on_accept_ack(self, msg: AcceptAck, sender: str) -> None:
+        """Count follower confirmations; decide once every shard is persisted
+        (lines 26-29)."""
+        entry = self._coordinated.get(msg.txn)
+        if entry is None:
+            return
+        entry.acks.setdefault((msg.shard, msg.epoch), set()).add(sender)
+        entry.votes.setdefault(msg.shard, msg.vote)
+        entry.slots.setdefault(msg.shard, msg.slot)
+        entry.vote_epochs.setdefault(msg.shard, msg.epoch)
+        self._maybe_decide(entry)
+
+    # ------------------------------------------------------------------
+    # decision
+    # ------------------------------------------------------------------
+    def _shard_persisted(self, entry: CoordinatorEntry, shard: ShardId) -> bool:
+        """True when every follower of ``shard`` (in the coordinator's current
+        view of its configuration) has acknowledged the ACCEPT for this txn."""
+        epoch = self.epoch.get(shard)
+        if epoch is None:
+            return False
+        if entry.vote_epochs.get(shard) != epoch or shard not in entry.votes:
+            return False
+        followers = {p for p in self.members[shard] if p != self.leader[shard]}
+        acked = entry.acks.get((shard, epoch), set())
+        return followers <= acked
+
+    def _maybe_decide(self, entry: CoordinatorEntry) -> None:
+        if entry.decided:
+            return
+        if not all(self._shard_persisted(entry, shard) for shard in entry.shards):
+            return
+        decision = Decision.meet_all(entry.votes[s] for s in entry.shards)
+        entry.decided = True
+        entry.decision = decision
+        entry.decided_at = self.now
+        # Report to the client (line 27) ...
+        if self.directory.known(entry.txn):
+            client = self.directory.client_of(entry.txn)
+            self.send(client, TxnDecision(txn=entry.txn, decision=decision))
+        # ... and persist the decision at every relevant shard (lines 28-29).
+        for shard in entry.shards:
+            message = SlotDecision(
+                epoch=self.epoch[shard], slot=entry.slots[shard], decision=decision
+            )
+            self.send_all(self.members[shard], message)

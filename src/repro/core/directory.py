@@ -1,0 +1,67 @@
+"""Static transaction metadata: the ``client(t)`` and ``shards(t)`` functions.
+
+The paper's system model assumes two static functions known to every
+process: ``client : T -> P`` giving the client that issued a transaction and
+``shards : T -> 2^S`` giving the shards that must certify it.  In a running
+system these are derivable from the transaction identifier (e.g. encoded in
+it); we model them as a :class:`TransactionDirectory` shared *by reference*
+between all processes of a cluster.  The directory is append-only and
+written exactly once per transaction, by its issuing client, before the
+transaction enters the protocol — so sharing it does not constitute a
+communication channel between processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional
+
+from repro.core.types import ProcessId, ShardId, TxnId
+
+
+@dataclass(frozen=True)
+class TxnInfo:
+    """Static per-transaction metadata."""
+
+    txn: TxnId
+    client: ProcessId
+    shards: FrozenSet[ShardId]
+
+
+class TransactionDirectory:
+    """Append-only registry implementing ``client(t)`` and ``shards(t)``."""
+
+    def __init__(self) -> None:
+        self._info: Dict[TxnId, TxnInfo] = {}
+
+    def register(self, txn: TxnId, client: ProcessId, shards) -> TxnInfo:
+        """Record the static metadata for ``txn``.
+
+        Re-registration with identical metadata is idempotent; conflicting
+        re-registration raises, because the functions are meant to be static.
+        """
+        info = TxnInfo(txn=txn, client=client, shards=frozenset(shards))
+        existing = self._info.get(txn)
+        if existing is not None:
+            if existing != info:
+                raise ValueError(f"conflicting registration for transaction {txn!r}")
+            return existing
+        self._info[txn] = info
+        return info
+
+    def known(self, txn: TxnId) -> bool:
+        return txn in self._info
+
+    def client_of(self, txn: TxnId) -> ProcessId:
+        """``client(t)``."""
+        return self._info[txn].client
+
+    def shards_of(self, txn: TxnId) -> FrozenSet[ShardId]:
+        """``shards(t)``."""
+        return self._info[txn].shards
+
+    def get(self, txn: TxnId) -> Optional[TxnInfo]:
+        return self._info.get(txn)
+
+    def __len__(self) -> int:
+        return len(self._info)

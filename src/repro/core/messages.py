@@ -1,0 +1,190 @@
+"""Protocol messages for the message-passing protocol (Figure 1).
+
+Every ``when received X(...)`` clause of the pseudocode corresponds to a
+frozen dataclass here and an ``on_*`` handler on
+:class:`repro.core.replica.ShardReplica`.  Field names follow the paper's
+notation (``e`` = epoch, ``k`` = certification-order position, ``t`` =
+transaction, ``l`` = payload, ``d`` = vote/decision).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.types import Configuration, Decision, Phase, ShardId, TxnId
+
+
+# ----------------------------------------------------------------------
+# client <-> coordinator
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CertifyRequest:
+    """Client request: ``certify(t, l)`` submitted to a replica that will act
+    as the transaction's coordinator (Figure 1, line 1)."""
+
+    txn: TxnId
+    payload: Any
+
+
+@dataclass(frozen=True)
+class TxnDecision:
+    """``DECISION(t, d)`` sent to the client of a transaction (line 27)."""
+
+    txn: TxnId
+    decision: Decision
+
+
+# ----------------------------------------------------------------------
+# certification (failure-free path)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Prepare:
+    """``PREPARE(t, l)`` from a coordinator to a shard leader (line 3).
+
+    ``payload`` is the shard projection ``l | s`` or ``BOTTOM`` when a
+    recovering coordinator does not know the payload (line 73).
+    """
+
+    txn: TxnId
+    payload: Any
+
+
+@dataclass(frozen=True)
+class PrepareAck:
+    """``PREPARE_ACK(e, s, k, t, l, d)`` from a leader to the coordinator
+    (lines 7 and 17)."""
+
+    epoch: int
+    shard: ShardId
+    slot: int
+    txn: TxnId
+    payload: Any
+    vote: Decision
+
+
+@dataclass(frozen=True)
+class Accept:
+    """``ACCEPT(e, k, t, l, d)`` from the coordinator to the followers of a
+    shard (line 20)."""
+
+    epoch: int
+    slot: int
+    txn: TxnId
+    payload: Any
+    vote: Decision
+
+
+@dataclass(frozen=True)
+class AcceptAck:
+    """``ACCEPT_ACK(s, e, k, t, d)`` from a follower back to the coordinator
+    (line 25)."""
+
+    shard: ShardId
+    epoch: int
+    slot: int
+    txn: TxnId
+    vote: Decision
+
+
+@dataclass(frozen=True)
+class SlotDecision:
+    """``DECISION(e, k, d)`` from the coordinator to the members of a shard
+    (line 29)."""
+
+    epoch: int
+    slot: int
+    decision: Decision
+
+
+# ----------------------------------------------------------------------
+# reconfiguration
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Probe:
+    """``PROBE(e)`` asking a member of an old configuration to join epoch
+    ``e`` (line 39)."""
+
+    epoch: int
+
+
+@dataclass(frozen=True)
+class ProbeAck:
+    """``PROBE_ACK(initialized, e, s)`` (line 44)."""
+
+    initialized: bool
+    epoch: int
+    shard: ShardId
+
+
+@dataclass(frozen=True)
+class NewConfig:
+    """``NEW_CONFIG(e, M)`` notifying the new leader of a shard (line 50)."""
+
+    epoch: int
+    members: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class NewState:
+    """``NEW_STATE(e, M, txn, payload, vote, dec, phase)``: the new leader's
+    full state transferred to its followers (line 60)."""
+
+    epoch: int
+    members: Tuple[str, ...]
+    txn: Dict[int, TxnId]
+    payload: Dict[int, Any]
+    vote: Dict[int, Decision]
+    dec: Dict[int, Decision]
+    phase: Dict[int, Phase]
+
+
+@dataclass(frozen=True)
+class ConfigChange:
+    """``CONFIG_CHANGE(s, e, M, pl)`` pushed by the configuration service to
+    the members of shards other than ``s`` (line 67)."""
+
+    shard: ShardId
+    epoch: int
+    members: Tuple[str, ...]
+    leader: str
+
+
+# ----------------------------------------------------------------------
+# configuration service RPC framing
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CsGetLast:
+    """``get_last(s)``: fetch the last stored configuration of shard ``s``."""
+
+    shard: ShardId
+    request_id: int
+
+
+@dataclass(frozen=True)
+class CsGet:
+    """``get(s, e)``: fetch the configuration of shard ``s`` at epoch ``e``."""
+
+    shard: ShardId
+    epoch: int
+    request_id: int
+
+
+@dataclass(frozen=True)
+class CsCompareAndSwap:
+    """``compare_and_swap(s, e, ⟨e', M, pl⟩)``: store a new configuration if
+    the last stored epoch of ``s`` is still ``e``."""
+
+    shard: ShardId
+    expected_epoch: int
+    config: Configuration
+    request_id: int
+
+
+@dataclass(frozen=True)
+class CsReply:
+    """Response to any configuration-service request."""
+
+    request_id: int
+    ok: bool
+    config: Optional[Configuration] = None

@@ -1,0 +1,311 @@
+"""Per-shard reconfiguration (Figure 1, lines 33-69) and membership policy.
+
+When a failure is suspected inside a shard, any process can reconfigure it:
+
+1. read the last configuration from the configuration service and *probe*
+   its members, asking them to join a higher epoch (which makes them stop
+   processing transactions, Invariant 3);
+2. traverse epochs downwards past configurations that never became
+   operational, until an *initialized* process is found — it becomes the new
+   leader and is guaranteed to know every transaction accepted at the shard
+   (Invariant 2);
+3. compute the new membership (probe responders plus fresh spare
+   processes), publish it with a compare-and-swap on the configuration
+   service, and tell the new leader, which transfers its state to the new
+   followers with ``NEW_STATE``.
+
+The logic lives in :class:`ReconfigMixin`, mixed into
+:class:`repro.core.replica.ShardReplica`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.messages import (
+    ConfigChange,
+    CsCompareAndSwap,
+    CsGet,
+    CsGetLast,
+    CsReply,
+    NewConfig,
+    NewState,
+    Probe,
+    ProbeAck,
+)
+from repro.core.types import Configuration, Phase, ProcessId, ShardId, Status
+
+
+class SparePool:
+    """Pool of fresh, not-yet-initialized replica processes.
+
+    ``compute_membership`` may add fresh processes to a new configuration to
+    restore the desired fault-tolerance level after replacing crashed ones.
+    The pool is shared by reference between the reconfigurers of a cluster;
+    it models the operator-provided supply of standby machines.
+    """
+
+    def __init__(self, pids: Sequence[ProcessId] = ()) -> None:
+        self._available: List[ProcessId] = list(pids)
+        self.taken: List[ProcessId] = []
+
+    def add(self, pid: ProcessId) -> None:
+        self._available.append(pid)
+
+    def take(self, count: int) -> List[ProcessId]:
+        taken = self._available[:count]
+        self._available = self._available[count:]
+        self.taken.extend(taken)
+        return taken
+
+    @property
+    def available(self) -> Tuple[ProcessId, ...]:
+        return tuple(self._available)
+
+    def __len__(self) -> int:
+        return len(self._available)
+
+
+class MembershipPolicy:
+    """Strategy for ``compute_membership`` (line 48).
+
+    The paper only requires that the new membership contains the new leader
+    and otherwise consists of probe responders or fresh processes.  The
+    default policy keeps the responders (minus processes the reconfigurer
+    believes crashed) and tops up to ``target_size`` from the spare pool.
+    """
+
+    def __init__(self, target_size: Optional[int] = None) -> None:
+        self.target_size = target_size
+
+    def compute(
+        self,
+        shard: ShardId,
+        new_leader: ProcessId,
+        responders: Set[ProcessId],
+        suspected: Set[ProcessId],
+        spares: SparePool,
+        previous_size: int,
+    ) -> Tuple[ProcessId, ...]:
+        target = self.target_size or previous_size
+        members: List[ProcessId] = [new_leader]
+        for pid in sorted(responders):
+            if pid != new_leader and pid not in suspected and len(members) < target:
+                members.append(pid)
+        if len(members) < target:
+            members.extend(spares.take(target - len(members)))
+        return tuple(members)
+
+
+@dataclass
+class _ProbeRound:
+    """State of the probing loop of one reconfiguration attempt."""
+
+    shard: ShardId
+    recon_epoch: int
+    probed_epoch: int = 0
+    probed_members: Tuple[ProcessId, ...] = ()
+    responders: Set[ProcessId] = field(default_factory=set)
+    false_ack_from_current_round: bool = False
+
+
+class ReconfigMixin:
+    """Reconfiguration-side handlers; mixed into ``ShardReplica``."""
+
+    def _init_reconfig(self) -> None:
+        self.probing = False
+        self._probe_round: Optional[_ProbeRound] = None
+        self.suspected: Set[ProcessId] = set()
+        self._cs_request_id = 0
+        self._cs_callbacks: Dict[int, Callable[[CsReply], None]] = {}
+        self.reconfigurations_initiated = 0
+        self.reconfigurations_introduced = 0
+
+    # ------------------------------------------------------------------
+    # configuration-service RPC plumbing
+    # ------------------------------------------------------------------
+    def _cs_call(self, build_message, callback: Callable[[CsReply], None]) -> None:
+        self._cs_request_id += 1
+        request_id = self._cs_request_id
+        self._cs_callbacks[request_id] = callback
+        self.send(self.config_service, build_message(request_id))
+
+    def on_cs_reply(self, msg: CsReply, sender: str) -> None:
+        callback = self._cs_callbacks.pop(msg.request_id, None)
+        if callback is not None:
+            callback(msg)
+
+    # ------------------------------------------------------------------
+    # reconfigure(s): lines 33-39
+    # ------------------------------------------------------------------
+    def suspect(self, pid: ProcessId) -> None:
+        """Record a failure suspicion (used by compute_membership)."""
+        self.suspected.add(pid)
+
+    def reconfigure(self, shard: Optional[ShardId] = None) -> bool:
+        """Initiate a reconfiguration of ``shard`` (default: own shard)."""
+        shard = shard or self.shard
+        if self.probing:
+            return False
+        self.probing = True
+        self.reconfigurations_initiated += 1
+
+        def on_last(reply: CsReply) -> None:
+            if not reply.ok or reply.config is None:
+                self.probing = False
+                return
+            round_ = _ProbeRound(
+                shard=shard,
+                recon_epoch=reply.config.epoch + 1,
+                probed_epoch=reply.config.epoch,
+                probed_members=reply.config.members,
+            )
+            self._probe_round = round_
+            self.send_all(round_.probed_members, Probe(epoch=round_.recon_epoch))
+
+        self._cs_call(lambda rid: CsGetLast(shard=shard, request_id=rid), on_last)
+        return True
+
+    # ------------------------------------------------------------------
+    # PROBE / PROBE_ACK: lines 40-55
+    # ------------------------------------------------------------------
+    def on_probe(self, msg: Probe, sender: str) -> None:
+        if msg.epoch < self.new_epoch:
+            return
+        self.status = Status.RECONFIGURING
+        self.new_epoch = msg.epoch
+        self.send(sender, ProbeAck(initialized=self.initialized, epoch=msg.epoch, shard=self.shard))
+
+    def on_probe_ack(self, msg: ProbeAck, sender: str) -> None:
+        round_ = self._probe_round
+        if (
+            not self.probing
+            or round_ is None
+            or msg.epoch != round_.recon_epoch
+            or msg.shard != round_.shard
+        ):
+            return
+        round_.responders.add(sender)
+        if msg.initialized:
+            self._finish_probing(round_, new_leader=sender)
+        else:
+            self._step_down_probing(round_, sender)
+
+    def _finish_probing(self, round_: _ProbeRound, new_leader: ProcessId) -> None:
+        """Line 45: an initialized process was found; install the new config."""
+        self.probing = False
+        members = self.membership_policy.compute(
+            shard=round_.shard,
+            new_leader=new_leader,
+            responders=round_.responders,
+            suspected=self.suspected,
+            spares=self.spares,
+            previous_size=len(round_.probed_members),
+        )
+        config = Configuration(epoch=round_.recon_epoch, members=members, leader=new_leader)
+
+        def on_cas(reply: CsReply) -> None:
+            if reply.ok:
+                self.reconfigurations_introduced += 1
+                self.send(new_leader, NewConfig(epoch=round_.recon_epoch, members=members))
+
+        self._cs_call(
+            lambda rid: CsCompareAndSwap(
+                shard=round_.shard,
+                expected_epoch=round_.recon_epoch - 1,
+                config=config,
+                request_id=rid,
+            ),
+            on_cas,
+        )
+
+    def _step_down_probing(self, round_: _ProbeRound, sender: ProcessId) -> None:
+        """Lines 51-55: the probed epoch never became operational; probe the
+        preceding one."""
+        if sender not in round_.probed_members:
+            return
+        if round_.false_ack_from_current_round:
+            return
+        round_.false_ack_from_current_round = True
+        previous_epoch = round_.probed_epoch - 1
+        if previous_epoch < 1:
+            # Nothing below the initial configuration: reconfiguration is stuck
+            # (all shard data lost), matching the paper's liveness caveat.
+            self.probing = False
+            return
+
+        def on_get(reply: CsReply) -> None:
+            if not reply.ok or reply.config is None or not self.probing:
+                return
+            round_.probed_epoch = previous_epoch
+            round_.probed_members = reply.config.members
+            round_.false_ack_from_current_round = False
+            self.send_all(round_.probed_members, Probe(epoch=round_.recon_epoch))
+
+        self._cs_call(
+            lambda rid: CsGet(shard=round_.shard, epoch=previous_epoch, request_id=rid),
+            on_get,
+        )
+
+    # ------------------------------------------------------------------
+    # NEW_CONFIG / NEW_STATE / CONFIG_CHANGE: lines 56-69
+    # ------------------------------------------------------------------
+    def on_new_config(self, msg: NewConfig, sender: str) -> None:
+        if msg.epoch != self.new_epoch:
+            # A newer probe has superseded this configuration; refusing to
+            # lead it preserves Invariant 3.
+            return
+        self.status = Status.LEADER
+        self.epoch[self.shard] = msg.epoch
+        self.members[self.shard] = tuple(msg.members)
+        self.leader[self.shard] = self.pid
+        self.next = max((k for k, ph in self.phase_arr.items() if ph is not Phase.START), default=0)
+        state = NewState(
+            epoch=msg.epoch,
+            members=tuple(msg.members),
+            txn=dict(self.txn_arr),
+            payload=dict(self.payload_arr),
+            vote=dict(self.vote_arr),
+            dec=dict(self.dec_arr),
+            phase=dict(self.phase_arr),
+        )
+        for member in msg.members:
+            if member != self.pid:
+                self.send(member, state)
+        self._on_configuration_installed()
+        self._unstash()
+
+    def on_new_state(self, msg: NewState, sender: str) -> None:
+        if msg.epoch < self.new_epoch:
+            return
+        self.initialized = True
+        self.status = Status.FOLLOWER
+        self.new_epoch = msg.epoch
+        self.epoch[self.shard] = msg.epoch
+        self.members[self.shard] = tuple(msg.members)
+        self.leader[self.shard] = sender
+        self.txn_arr = dict(msg.txn)
+        self.payload_arr = dict(msg.payload)
+        self.vote_arr = dict(msg.vote)
+        self.dec_arr = dict(msg.dec)
+        self.phase_arr = dict(msg.phase)
+        self.slot_of = {txn: slot for slot, txn in self.txn_arr.items()}
+        self.next = max(
+            (k for k, ph in self.phase_arr.items() if ph is not Phase.START), default=0
+        )
+        self._on_configuration_installed()
+        self._unstash()
+
+    def on_config_change(self, msg: ConfigChange, sender: str) -> None:
+        if msg.shard == self.shard:
+            return
+        if self.epoch.get(msg.shard, 0) >= msg.epoch:
+            return
+        self.epoch[msg.shard] = msg.epoch
+        self.members[msg.shard] = tuple(msg.members)
+        self.leader[msg.shard] = msg.leader
+        self._unstash()
+
+    def _on_configuration_installed(self) -> None:
+        """Hook for subclasses (the RDMA variant re-opens connections here)."""

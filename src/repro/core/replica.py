@@ -1,0 +1,256 @@
+"""Shard replica process: the complete Figure 1 protocol.
+
+A :class:`ShardReplica` is a process ``pi`` belonging to a shard ``s0``.  It
+plays three roles, each implemented by a dedicated module and mixed in here:
+
+* *certification participant* (this module): leader-side ``PREPARE``
+  handling and vote computation, follower-side ``ACCEPT`` handling, and
+  ``DECISION`` persistence — Figure 1 lines 4-17, 21-25 and 30-32;
+* *transaction coordinator* (:mod:`repro.core.coordinator`) — lines 1-3,
+  18-20, 26-29 and 70-73;
+* *reconfiguration participant and initiator* (:mod:`repro.core.reconfig`)
+  — lines 33-69.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.certification import CertificationScheme
+from repro.core.coordinator import CoordinatorMixin
+from repro.core.directory import TransactionDirectory
+from repro.core.messages import Accept, AcceptAck, Prepare, PrepareAck, SlotDecision
+from repro.core.reconfig import MembershipPolicy, ReconfigMixin, SparePool
+from repro.core.types import (
+    BOTTOM,
+    Configuration,
+    Decision,
+    Phase,
+    ProcessId,
+    ShardId,
+    Status,
+    TxnId,
+)
+from repro.runtime.process import Process
+
+
+class ShardReplica(CoordinatorMixin, ReconfigMixin, Process):
+    """A replica process of one shard, implementing the Figure 1 protocol."""
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        shard: ShardId,
+        scheme: CertificationScheme,
+        directory: TransactionDirectory,
+        config_service: ProcessId,
+        spares: Optional[SparePool] = None,
+        membership_policy: Optional[MembershipPolicy] = None,
+    ) -> None:
+        super().__init__(pid)
+        self.shard = shard
+        self.scheme = scheme
+        self.directory = directory
+        self.config_service = config_service
+        self.spares = spares if spares is not None else SparePool()
+        self.membership_policy = membership_policy or MembershipPolicy()
+
+        # Configuration knowledge (Figure 1 preliminaries): epoch, members and
+        # leader of every shard; the entry for our own shard is the
+        # configuration we currently participate in.
+        self.epoch: Dict[ShardId, int] = {}
+        self.members: Dict[ShardId, Tuple[ProcessId, ...]] = {}
+        self.leader: Dict[ShardId, ProcessId] = {}
+
+        self.status: Status = Status.FOLLOWER
+        self.new_epoch = 0
+        self.initialized = False
+
+        # The shard-local certification order and per-slot state.
+        self.next = 0
+        self.txn_arr: Dict[int, TxnId] = {}
+        self.payload_arr: Dict[int, Any] = {}
+        self.vote_arr: Dict[int, Decision] = {}
+        self.dec_arr: Dict[int, Decision] = {}
+        self.phase_arr: Dict[int, Phase] = {}
+        self.slot_of: Dict[TxnId, int] = {}
+
+        # Messages whose precondition mentions an epoch we have not reached
+        # yet; re-dispatched whenever configuration knowledge advances.
+        self._stash: List[Tuple[Any, str]] = []
+
+        # Observers notified when a slot reaches the decided phase (used by
+        # the store layer and by metrics).
+        self.decision_listeners: List[Callable[[int, Optional[TxnId], Decision], None]] = []
+
+        self._init_coordinator()
+        self._init_reconfig()
+
+    # ------------------------------------------------------------------
+    # bootstrap
+    # ------------------------------------------------------------------
+    def bootstrap(
+        self,
+        configurations: Dict[ShardId, Configuration],
+        initialized: bool = True,
+    ) -> None:
+        """Install the initial configuration knowledge.
+
+        Members of the initial configuration of their shard start
+        ``initialized`` (the initial configuration is active by assumption);
+        spare processes start uninitialized and outside any configuration.
+        """
+        for shard, config in configurations.items():
+            self.epoch[shard] = config.epoch
+            self.members[shard] = config.members
+            self.leader[shard] = config.leader
+        own = configurations.get(self.shard)
+        if own is not None and self.pid in own.members:
+            self.initialized = initialized
+            self.new_epoch = own.epoch
+            self.status = Status.LEADER if own.leader == self.pid else Status.FOLLOWER
+        else:
+            # A fresh spare: it knows the current configurations (and can
+            # therefore act as a transaction coordinator), but it is not a
+            # member of any of them, holds no shard state and counts as
+            # uninitialised until it receives a NEW_STATE transfer.
+            self.initialized = False
+            self.new_epoch = 0
+            self.status = Status.FOLLOWER
+
+    # ------------------------------------------------------------------
+    # convenience accessors
+    # ------------------------------------------------------------------
+    @property
+    def my_epoch(self) -> int:
+        return self.epoch[self.shard]
+
+    @property
+    def is_leader(self) -> bool:
+        return self.status is Status.LEADER
+
+    def certification_order(self) -> List[TxnId]:
+        """The transactions in this replica's certification order (with holes
+        omitted), in slot order."""
+        return [self.txn_arr[k] for k in sorted(self.txn_arr)]
+
+    def slot_state(self, slot: int) -> Dict[str, Any]:
+        return {
+            "txn": self.txn_arr.get(slot),
+            "payload": self.payload_arr.get(slot),
+            "vote": self.vote_arr.get(slot),
+            "dec": self.dec_arr.get(slot),
+            "phase": self.phase_arr.get(slot, Phase.START),
+        }
+
+    # ------------------------------------------------------------------
+    # stashing of early messages
+    # ------------------------------------------------------------------
+    def _stash_message(self, message: Any, sender: str) -> None:
+        self._stash.append((message, sender))
+
+    def _unstash(self) -> None:
+        if not self._stash:
+            return
+        stashed, self._stash = self._stash, []
+        for message, sender in stashed:
+            self.handle(message, sender)
+
+    # ------------------------------------------------------------------
+    # leader: PREPARE (lines 4-17)
+    # ------------------------------------------------------------------
+    def on_prepare(self, msg: Prepare, sender: str) -> None:
+        if self.status is not Status.LEADER:
+            return
+        existing_slot = self.slot_of.get(msg.txn)
+        if existing_slot is not None:
+            # The transaction is already in the certification order (line 6):
+            # resend the stored vote to the (possibly new) coordinator.
+            self.send(
+                sender,
+                PrepareAck(
+                    epoch=self.my_epoch,
+                    shard=self.shard,
+                    slot=existing_slot,
+                    txn=msg.txn,
+                    payload=self.payload_arr[existing_slot],
+                    vote=self.vote_arr[existing_slot],
+                ),
+            )
+            return
+        self.next += 1
+        slot = self.next
+        self.txn_arr[slot] = msg.txn
+        self.phase_arr[slot] = Phase.PREPARED
+        self.slot_of[msg.txn] = slot
+        if msg.payload is not BOTTOM:
+            committed = [
+                self.payload_arr[k]
+                for k in self.payload_arr
+                if k < slot
+                and self.phase_arr.get(k) is Phase.DECIDED
+                and self.dec_arr.get(k) is Decision.COMMIT
+            ]
+            prepared = [
+                self.payload_arr[k]
+                for k in self.payload_arr
+                if k < slot
+                and self.phase_arr.get(k) is Phase.PREPARED
+                and self.vote_arr.get(k) is Decision.COMMIT
+            ]
+            self.vote_arr[slot] = self.scheme.vote(self.shard, committed, prepared, msg.payload)
+            self.payload_arr[slot] = msg.payload
+        else:
+            # Coordinator recovery with an unknown payload (lines 14-16).
+            self.vote_arr[slot] = Decision.ABORT
+            self.payload_arr[slot] = self.scheme.empty_payload()
+        self.send(
+            sender,
+            PrepareAck(
+                epoch=self.my_epoch,
+                shard=self.shard,
+                slot=slot,
+                txn=msg.txn,
+                payload=self.payload_arr[slot],
+                vote=self.vote_arr[slot],
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # follower: ACCEPT (lines 21-25)
+    # ------------------------------------------------------------------
+    def on_accept(self, msg: Accept, sender: str) -> None:
+        if msg.epoch > self.my_epoch:
+            self._stash_message(msg, sender)
+            return
+        if self.status is not Status.FOLLOWER or self.my_epoch != msg.epoch:
+            return
+        if self.phase_arr.get(msg.slot, Phase.START) is Phase.START:
+            self.txn_arr[msg.slot] = msg.txn
+            self.payload_arr[msg.slot] = msg.payload
+            self.vote_arr[msg.slot] = msg.vote
+            self.phase_arr[msg.slot] = Phase.PREPARED
+            self.slot_of[msg.txn] = msg.slot
+        self.send(
+            sender,
+            AcceptAck(
+                shard=self.shard,
+                epoch=msg.epoch,
+                slot=msg.slot,
+                txn=msg.txn,
+                vote=msg.vote,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # everyone: DECISION (lines 30-32)
+    # ------------------------------------------------------------------
+    def on_slot_decision(self, msg: SlotDecision, sender: str) -> None:
+        if self.status is Status.RECONFIGURING or self.my_epoch < msg.epoch:
+            self._stash_message(msg, sender)
+            return
+        self.dec_arr[msg.slot] = msg.decision
+        self.phase_arr[msg.slot] = Phase.DECIDED
+        txn = self.txn_arr.get(msg.slot)
+        for listener in self.decision_listeners:
+            listener(msg.slot, txn, msg.decision)

@@ -1,0 +1,315 @@
+"""Concrete certification schemes: serializability and snapshot isolation.
+
+This module instantiates the framework of :mod:`repro.core.certification`
+with the transaction domain of paper Section 2: a payload is a triple
+``⟨R, W, Vc⟩`` of a versioned read set, a write set and a commit version.
+
+* :class:`SerializabilityScheme` implements the classical backward
+  optimistic-concurrency-control check of equation (2): a transaction
+  commits iff none of the versions it read have been overwritten by a
+  committed transaction, and its lock-style ``g_s`` aborts on read-write
+  and write-read conflicts with prepared transactions.
+* :class:`SnapshotIsolationScheme` implements a write-write-conflict-only
+  variant, demonstrating that the protocols are parametric in the isolation
+  level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Iterable, Optional, Sequence, Set, Tuple
+
+from repro.core.certification import CertificationScheme
+from repro.core.types import Decision, ShardId
+
+
+ObjectId = str
+Value = object
+
+# Versions are totally ordered.  We use (counter, tie-break) pairs so that
+# independent clients can mint distinct versions without coordination.
+Version = Tuple[int, str]
+
+VERSION_ZERO: Version = (0, "")
+
+
+def version_after(versions: Iterable[Version], tiebreak: str) -> Version:
+    """Mint a version strictly greater than every version in ``versions``."""
+    highest = max(versions, default=VERSION_ZERO)
+    return (highest[0] + 1, tiebreak)
+
+
+@dataclass(frozen=True)
+class TransactionPayload:
+    """The result of a transaction's optimistic execution: ``⟨R, W, Vc⟩``.
+
+    * ``read_set`` — objects with the versions that were read (one version
+      per object);
+    * ``write_set`` — objects with the values to be installed on commit;
+    * ``commit_version`` — the version assigned to the writes, strictly
+      greater than every version read.
+
+    The paper requires every written object to have been read and the commit
+    version to dominate all read versions; ``validate`` enforces both.
+    """
+
+    read_set: FrozenSet[Tuple[ObjectId, Version]] = frozenset()
+    write_set: FrozenSet[Tuple[ObjectId, Value]] = frozenset()
+    commit_version: Version = VERSION_ZERO
+
+    @staticmethod
+    def make(
+        reads: Iterable[Tuple[ObjectId, Version]] = (),
+        writes: Iterable[Tuple[ObjectId, Value]] = (),
+        commit_version: Optional[Version] = None,
+        tiebreak: str = "",
+    ) -> "TransactionPayload":
+        reads = frozenset(reads)
+        writes = frozenset(writes)
+        if commit_version is None:
+            commit_version = version_after((v for _, v in reads), tiebreak)
+        payload = TransactionPayload(
+            read_set=reads, write_set=writes, commit_version=commit_version
+        )
+        payload.validate()
+        return payload
+
+    def validate(self) -> None:
+        """Enforce the well-formedness conditions of Section 2."""
+        read_objects = {obj for obj, _ in self.read_set}
+        per_object_versions: Dict[ObjectId, Set[Version]] = {}
+        for obj, version in self.read_set:
+            per_object_versions.setdefault(obj, set()).add(version)
+        for obj, versions in per_object_versions.items():
+            if len(versions) > 1:
+                raise ValueError(f"object {obj!r} read at more than one version")
+        written_objects = [obj for obj, _ in self.write_set]
+        if len(set(written_objects)) != len(written_objects):
+            raise ValueError("write set contains an object more than once")
+        for obj in written_objects:
+            if obj not in read_objects:
+                raise ValueError(f"written object {obj!r} was not read")
+        if self.read_set:
+            for _, version in self.read_set:
+                if not self.commit_version > version:
+                    raise ValueError(
+                        "commit version must be greater than every version read"
+                    )
+
+    @property
+    def read_objects(self) -> Set[ObjectId]:
+        return {obj for obj, _ in self.read_set}
+
+    @property
+    def written_objects(self) -> Set[ObjectId]:
+        return {obj for obj, _ in self.write_set}
+
+    def is_empty(self) -> bool:
+        """True for the empty payload ``ε`` (no reads, no writes)."""
+        return not self.read_set and not self.write_set
+
+    def read_version(self, obj: ObjectId) -> Optional[Version]:
+        for read_obj, version in self.read_set:
+            if read_obj == obj:
+                return version
+        return None
+
+
+EMPTY_PAYLOAD = TransactionPayload()
+
+
+class ShardingFunction:
+    """Maps objects to the shard that manages them (``Objs``)."""
+
+    def shard_of(self, obj: ObjectId) -> ShardId:
+        raise NotImplementedError
+
+
+class KeyHashSharding(ShardingFunction):
+    """Deterministic hash partitioning of objects across a fixed shard list."""
+
+    def __init__(self, shards: Sequence[ShardId]) -> None:
+        if not shards:
+            raise ValueError("at least one shard is required")
+        self._shards = tuple(shards)
+
+    @property
+    def shards(self) -> Tuple[ShardId, ...]:
+        return self._shards
+
+    def shard_of(self, obj: ObjectId) -> ShardId:
+        # Stable across runs and processes (unlike the built-in ``hash`` on
+        # strings, which is salted per interpreter).
+        digest = 0
+        for char in obj:
+            digest = (digest * 131 + ord(char)) % (2**31)
+        return self._shards[digest % len(self._shards)]
+
+
+class ExplicitSharding(ShardingFunction):
+    """Sharding by explicit object -> shard mapping, with an optional default."""
+
+    def __init__(self, mapping: Dict[ObjectId, ShardId], default: Optional[ShardId] = None):
+        self.mapping = dict(mapping)
+        self.default = default
+        self._shards = tuple(dict.fromkeys(list(mapping.values()) + ([default] if default else [])))
+
+    @property
+    def shards(self) -> Tuple[ShardId, ...]:
+        return self._shards
+
+    def shard_of(self, obj: ObjectId) -> ShardId:
+        if obj in self.mapping:
+            return self.mapping[obj]
+        if self.default is not None:
+            return self.default
+        raise KeyError(f"object {obj!r} is not mapped to a shard")
+
+
+class _ReadWriteScheme(CertificationScheme[TransactionPayload]):
+    """Shared plumbing for schemes over ``⟨R, W, Vc⟩`` payloads."""
+
+    def __init__(self, sharding: ShardingFunction) -> None:
+        self.sharding = sharding
+
+    def shards(self) -> Sequence[ShardId]:
+        return self.sharding.shards  # type: ignore[attr-defined]
+
+    def shards_of(self, payload: TransactionPayload) -> Set[ShardId]:
+        objects = payload.read_objects | payload.written_objects
+        return {self.sharding.shard_of(obj) for obj in objects}
+
+    def project(self, payload: TransactionPayload, shard: ShardId) -> TransactionPayload:
+        reads = frozenset(
+            (obj, version)
+            for obj, version in payload.read_set
+            if self.sharding.shard_of(obj) == shard
+        )
+        writes = frozenset(
+            (obj, value)
+            for obj, value in payload.write_set
+            if self.sharding.shard_of(obj) == shard
+        )
+        return TransactionPayload(
+            read_set=reads, write_set=writes, commit_version=payload.commit_version
+        )
+
+    def empty_payload(self) -> TransactionPayload:
+        return EMPTY_PAYLOAD
+
+    def is_empty(self, payload: TransactionPayload) -> bool:
+        return payload.is_empty()
+
+
+class SerializabilityScheme(_ReadWriteScheme):
+    """The serializability certification functions of Section 2.
+
+    * ``f(L, l) = commit`` iff no version read by ``l`` has been overwritten
+      by a transaction in ``L`` (equation (2));
+    * ``f_s`` is the same check restricted to the objects of shard ``s``;
+    * ``g_s`` aborts ``l`` if it read an object written by a prepared
+      transaction, or writes an object read by a prepared transaction
+      (lock-acquisition semantics).
+    """
+
+    def global_certify(
+        self, committed: Iterable[TransactionPayload], payload: TransactionPayload
+    ) -> Decision:
+        committed = list(committed)
+        for obj, version in payload.read_set:
+            for other in committed:
+                if obj in other.written_objects and other.commit_version > version:
+                    return Decision.ABORT
+        return Decision.COMMIT
+
+    def shard_certify_committed(
+        self,
+        shard: ShardId,
+        committed: Iterable[TransactionPayload],
+        payload: TransactionPayload,
+    ) -> Decision:
+        committed = list(committed)
+        for obj, version in payload.read_set:
+            if self.sharding.shard_of(obj) != shard:
+                continue
+            for other in committed:
+                if obj in other.written_objects and other.commit_version > version:
+                    return Decision.ABORT
+        return Decision.COMMIT
+
+    def shard_certify_prepared(
+        self,
+        shard: ShardId,
+        prepared: Iterable[TransactionPayload],
+        payload: TransactionPayload,
+    ) -> Decision:
+        prepared = list(prepared)
+        for obj in payload.read_objects:
+            if self.sharding.shard_of(obj) != shard:
+                continue
+            for other in prepared:
+                if obj in other.written_objects:
+                    return Decision.ABORT
+        for obj in payload.written_objects:
+            if self.sharding.shard_of(obj) != shard:
+                continue
+            for other in prepared:
+                if obj in other.read_objects:
+                    return Decision.ABORT
+        return Decision.COMMIT
+
+
+class SnapshotIsolationScheme(_ReadWriteScheme):
+    """A write-write-conflict-only scheme (snapshot-isolation style).
+
+    Demonstrates that the protocols are parametric in the isolation level:
+    ``f`` aborts only when a *written* object has been overwritten since it
+    was read (first-committer-wins), and ``g_s`` aborts only on write-write
+    conflicts with prepared transactions.
+    """
+
+    def global_certify(
+        self, committed: Iterable[TransactionPayload], payload: TransactionPayload
+    ) -> Decision:
+        committed = list(committed)
+        for obj in payload.written_objects:
+            version = payload.read_version(obj)
+            if version is None:
+                continue
+            for other in committed:
+                if obj in other.written_objects and other.commit_version > version:
+                    return Decision.ABORT
+        return Decision.COMMIT
+
+    def shard_certify_committed(
+        self,
+        shard: ShardId,
+        committed: Iterable[TransactionPayload],
+        payload: TransactionPayload,
+    ) -> Decision:
+        committed = list(committed)
+        for obj in payload.written_objects:
+            if self.sharding.shard_of(obj) != shard:
+                continue
+            version = payload.read_version(obj)
+            if version is None:
+                continue
+            for other in committed:
+                if obj in other.written_objects and other.commit_version > version:
+                    return Decision.ABORT
+        return Decision.COMMIT
+
+    def shard_certify_prepared(
+        self,
+        shard: ShardId,
+        prepared: Iterable[TransactionPayload],
+        payload: TransactionPayload,
+    ) -> Decision:
+        prepared = list(prepared)
+        for obj in payload.written_objects:
+            if self.sharding.shard_of(obj) != shard:
+                continue
+            for other in prepared:
+                if obj in other.written_objects:
+                    return Decision.ABORT
+        return Decision.COMMIT

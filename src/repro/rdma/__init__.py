@@ -1,0 +1,22 @@
+"""RDMA-based atomic commit protocol (paper Section 5, Figures 7-8).
+
+The protocol follows the FaRM design: the leader's vote and the final
+decision are persisted at followers with one-sided RDMA writes, and the
+transaction coordinator acts on NIC-level acknowledgements instead of
+explicit ``ACCEPT_ACK`` messages.  The price is that reconfiguration must be
+*global*: all shards change epoch together, every probed process closes its
+RDMA connections, the new configuration is disseminated to the whole system
+(``CONFIG_PREPARE``) before it is activated, and new leaders ``flush`` their
+buffers before transferring state.
+
+* :class:`repro.rdma.replica.RdmaShardReplica` — the correct protocol of
+  Figures 7-8;
+* :class:`repro.rdma.broken.BrokenRdmaShardReplica` — a deliberately naive
+  variant (RDMA data path + per-shard reconfiguration, no connection
+  management) used to reproduce the Figure 4a safety counter-example.
+"""
+
+from repro.rdma.replica import RdmaShardReplica
+from repro.rdma.broken import BrokenRdmaShardReplica
+
+__all__ = ["RdmaShardReplica", "BrokenRdmaShardReplica"]

@@ -1,0 +1,89 @@
+"""Messages of the RDMA-based protocol (Figures 7-8).
+
+``PREPARE``, ``PREPARE_ACK``, ``PROBE``, ``PROBE_ACK`` and the client-facing
+``DECISION`` are reused from :mod:`repro.core.messages`.  The messages below
+differ from their message-passing counterparts:
+
+* ``Accept`` and ``SlotDecision`` carry no epoch — they are written with
+  one-sided RDMA and the receiver cannot check a precondition (the paper
+  compensates with Invariant 13);
+* reconfiguration is global: ``NewConfig``/``NewState`` carry a single
+  system-wide epoch, and ``ConfigPrepare``/``ConfigPrepareAck``/``Connect``/
+  ``ConnectAck`` implement the dissemination and RDMA connection
+  re-establishment steps of Figure 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+from repro.core.types import Decision, Phase, ShardId, TxnId
+
+
+@dataclass(frozen=True)
+class Accept:
+    """``ACCEPT(k, t, l, d)`` written into follower memory via RDMA (line 93)."""
+
+    slot: int
+    txn: TxnId
+    payload: Any
+    vote: Decision
+
+
+@dataclass(frozen=True)
+class SlotDecision:
+    """``DECISION(k, d)`` written into member memory via RDMA (line 100)."""
+
+    slot: int
+    decision: Decision
+
+
+@dataclass(frozen=True)
+class ConfigPrepare:
+    """``CONFIG_PREPARE(e, M, leaders)`` disseminating the new global
+    configuration to every member before activation (line 124)."""
+
+    epoch: int
+    members: Dict[ShardId, Tuple[str, ...]]
+    leaders: Dict[ShardId, str]
+
+
+@dataclass(frozen=True)
+class ConfigPrepareAck:
+    """``CONFIG_PREPARE_ACK(e)`` (line 136)."""
+
+    epoch: int
+
+
+@dataclass(frozen=True)
+class NewConfig:
+    """``NEW_CONFIG(e)`` sent to the leaders of the new configuration (line 139)."""
+
+    epoch: int
+
+
+@dataclass(frozen=True)
+class NewState:
+    """``NEW_STATE(e, txn, payload, vote, dec, phase)`` (line 146)."""
+
+    epoch: int
+    txn: Dict[int, TxnId]
+    payload: Dict[int, Any]
+    vote: Dict[int, Decision]
+    dec: Dict[int, Decision]
+    phase: Dict[int, Phase]
+
+
+@dataclass(frozen=True)
+class Connect:
+    """``CONNECT(e)`` requesting an RDMA connection in the new epoch (line 147/153)."""
+
+    epoch: int
+
+
+@dataclass(frozen=True)
+class ConnectAck:
+    """``CONNECT_ACK(e)`` (line 158)."""
+
+    epoch: int

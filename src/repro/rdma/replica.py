@@ -1,0 +1,594 @@
+"""The RDMA-based shard replica (Figures 7 and 8).
+
+Differences from the message-passing protocol of Figure 1:
+
+* ``ACCEPT`` and ``DECISION`` are persisted at shard members with one-sided
+  RDMA writes; the coordinator acts on NIC-level acknowledgements
+  (``ack-rdma``) rather than on explicit ``ACCEPT_ACK`` messages, and the
+  receivers cannot reject the writes (there is no epoch precondition on the
+  follower side);
+* processes keep a single system-wide ``epoch`` instead of one per shard;
+* reconfiguration is *global*: the reconfigurer probes every shard, each
+  probed process closes its RDMA connections, the new configuration is
+  disseminated to all members (``CONFIG_PREPARE`` / ``CONFIG_PREPARE_ACK``)
+  before the new leaders are activated, new leaders ``flush`` their RDMA
+  buffers before sending ``NEW_STATE``, and connections are re-established
+  with ``CONNECT`` / ``CONNECT_ACK``.
+
+One deliberate, documented deviation from the pseudocode: on line 153 the
+paper has a follower send ``CONNECT`` only to the processes of *other*
+shards (the leader's ``CONNECT`` covers leader-follower pairs).  Because in
+our setting any replica may coordinate transactions of its own shard — and
+therefore needs RDMA access to its co-followers — followers here connect to
+every member of the configuration.  The ``pj ∉ connections`` guard of
+line 155 makes the extra connection requests harmless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.core.certification import CertificationScheme
+from repro.core.directory import TransactionDirectory
+from repro.core.messages import (
+    CertifyRequest,
+    CsCompareAndSwap,
+    CsGet,
+    CsGetLast,
+    CsReply,
+    Prepare,
+    PrepareAck,
+    Probe,
+    ProbeAck,
+    TxnDecision,
+)
+from repro.core.reconfig import MembershipPolicy, SparePool
+from repro.core.types import (
+    BOTTOM,
+    Decision,
+    GlobalConfiguration,
+    Phase,
+    ProcessId,
+    ShardId,
+    Status,
+    TxnId,
+)
+from repro.rdma.messages import (
+    Accept,
+    ConfigPrepare,
+    ConfigPrepareAck,
+    Connect,
+    ConnectAck,
+    NewConfig,
+    NewState,
+    SlotDecision,
+)
+from repro.runtime.process import Process
+from repro.runtime.rdma import RdmaManager
+
+
+GLOBAL_SHARD = "*"
+
+
+@dataclass
+class RdmaCoordinatorEntry:
+    """Coordinator book-keeping for one transaction (RDMA variant)."""
+
+    txn: TxnId
+    payload: Any
+    shards: frozenset
+    started_at: float
+    votes: Dict[ShardId, Decision] = field(default_factory=dict)
+    slots: Dict[ShardId, int] = field(default_factory=dict)
+    vote_epochs: Dict[ShardId, int] = field(default_factory=dict)
+    rdma_acks: Dict[ShardId, Set[ProcessId]] = field(default_factory=dict)
+    decided: bool = False
+    decision: Optional[Decision] = None
+    decided_at: Optional[float] = None
+
+
+class RecStatus:
+    """Values of the ``rec_status`` variable (Figure 8)."""
+
+    READY = "ready"
+    PROBING = "probing"
+    INSTALLING = "installing"
+
+
+class RdmaShardReplica(Process):
+    """A replica of one shard running the RDMA-based protocol."""
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        shard: ShardId,
+        scheme: CertificationScheme,
+        directory: TransactionDirectory,
+        config_service: ProcessId,
+        spares: Optional[SparePool] = None,
+        membership_policy: Optional[MembershipPolicy] = None,
+    ) -> None:
+        super().__init__(pid)
+        self.shard = shard
+        self.scheme = scheme
+        self.directory = directory
+        self.config_service = config_service
+        self.spares = spares if spares is not None else SparePool()
+        # Global reconfiguration recomputes the membership of *every* shard,
+        # so replacements must come from per-shard spare pools; the cluster
+        # harness fills this map in.  Shards without an entry fall back to
+        # the replica's own pool.
+        self.spare_pools: Dict[ShardId, SparePool] = {}
+        self.membership_policy = membership_policy or MembershipPolicy()
+        RdmaManager.install(self)
+
+        # Single system-wide epoch (Section 5).
+        self.epoch = 0
+        self.members: Dict[ShardId, Tuple[ProcessId, ...]] = {}
+        self.leader: Dict[ShardId, ProcessId] = {}
+        self.status: Status = Status.FOLLOWER
+        self.new_epoch = 0
+        self.initialized = False
+
+        self.next = 0
+        self.txn_arr: Dict[int, TxnId] = {}
+        self.payload_arr: Dict[int, Any] = {}
+        self.vote_arr: Dict[int, Decision] = {}
+        self.dec_arr: Dict[int, Decision] = {}
+        self.phase_arr: Dict[int, Phase] = {}
+        self.slot_of: Dict[TxnId, int] = {}
+
+        # Reconfiguration state (Figure 8 preliminaries).
+        self.rec_status = RecStatus.READY
+        self.recon_epoch = 0
+        self.probed_epoch: Dict[ShardId, int] = {}
+        self.probed_members: Dict[ShardId, Tuple[ProcessId, ...]] = {}
+        self._probe_responders: Dict[ShardId, Set[ProcessId]] = {}
+        self._probe_leaders: Dict[ShardId, ProcessId] = {}
+        self._probe_stepping: Dict[ShardId, bool] = {}
+        self.recon_members: Dict[ShardId, Tuple[ProcessId, ...]] = {}
+        self.recon_leaders: Dict[ShardId, ProcessId] = {}
+        self._config_prepare_acks: Set[ProcessId] = set()
+        self.suspected: Set[ProcessId] = set()
+        self.reconfigurations_initiated = 0
+        self.reconfigurations_introduced = 0
+
+        self._coordinated: Dict[TxnId, RdmaCoordinatorEntry] = {}
+        self._cs_request_id = 0
+        self._cs_callbacks: Dict[int, Callable[[CsReply], None]] = {}
+        self.decision_listeners: List[Callable[[int, Optional[TxnId], Decision], None]] = []
+
+    # ------------------------------------------------------------------
+    # bootstrap
+    # ------------------------------------------------------------------
+    def bootstrap(self, config: GlobalConfiguration) -> None:
+        """Install the initial global configuration."""
+        self.members = {s: tuple(m) for s, m in config.members.items()}
+        self.leader = dict(config.leaders)
+        own_members = self.members.get(self.shard, ())
+        if self.pid in own_members:
+            self.epoch = config.epoch
+            self.new_epoch = config.epoch
+            self.initialized = True
+            self.status = (
+                Status.LEADER if self.leader[self.shard] == self.pid else Status.FOLLOWER
+            )
+            for pid in config.all_processes():
+                if pid != self.pid:
+                    self.rdma.open(pid)
+        else:
+            self.epoch = 0
+            self.new_epoch = 0
+            self.initialized = False
+            self.status = Status.FOLLOWER
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    @property
+    def is_leader(self) -> bool:
+        return self.status is Status.LEADER
+
+    def certification_order(self) -> List[TxnId]:
+        return [self.txn_arr[k] for k in sorted(self.txn_arr)]
+
+    def coordinated(self, txn: TxnId) -> Optional[RdmaCoordinatorEntry]:
+        return self._coordinated.get(txn)
+
+    def _all_members(self) -> List[ProcessId]:
+        seen: List[ProcessId] = []
+        for members in self.members.values():
+            for pid in members:
+                if pid not in seen:
+                    seen.append(pid)
+        return seen
+
+    def _cs_call(self, build_message, callback: Callable[[CsReply], None]) -> None:
+        self._cs_request_id += 1
+        request_id = self._cs_request_id
+        self._cs_callbacks[request_id] = callback
+        self.send(self.config_service, build_message(request_id))
+
+    def on_cs_reply(self, msg: CsReply, sender: str) -> None:
+        callback = self._cs_callbacks.pop(msg.request_id, None)
+        if callback is not None:
+            callback(msg)
+
+    # ------------------------------------------------------------------
+    # coordinator: certify / retry (Figure 7, lines 74-76 and 167-170)
+    # ------------------------------------------------------------------
+    def certify(self, txn: TxnId, payload: Any) -> RdmaCoordinatorEntry:
+        shards = self.directory.shards_of(txn)
+        entry = self._coordinated.get(txn)
+        if entry is None:
+            entry = RdmaCoordinatorEntry(
+                txn=txn, payload=payload, shards=frozenset(shards), started_at=self.now
+            )
+            self._coordinated[txn] = entry
+        for shard in shards:
+            projected = (
+                BOTTOM if payload is BOTTOM else self.scheme.project(payload, shard)
+            )
+            self.send(self.leader[shard], Prepare(txn=txn, payload=projected))
+        if not shards:
+            self._maybe_decide(entry)
+        return entry
+
+    def retry(self, slot: int) -> Optional[RdmaCoordinatorEntry]:
+        if self.phase_arr.get(slot) is not Phase.PREPARED:
+            return None
+        return self.certify(self.txn_arr[slot], BOTTOM)
+
+    def on_certify_request(self, msg: CertifyRequest, sender: str) -> None:
+        self.certify(msg.txn, msg.payload)
+
+    # ------------------------------------------------------------------
+    # leader: PREPARE (lines 77-90)
+    # ------------------------------------------------------------------
+    def on_prepare(self, msg: Prepare, sender: str) -> None:
+        if self.status is not Status.LEADER:
+            return
+        existing_slot = self.slot_of.get(msg.txn)
+        if existing_slot is not None:
+            self.send(
+                sender,
+                PrepareAck(
+                    epoch=self.epoch,
+                    shard=self.shard,
+                    slot=existing_slot,
+                    txn=msg.txn,
+                    payload=self.payload_arr[existing_slot],
+                    vote=self.vote_arr[existing_slot],
+                ),
+            )
+            return
+        self.next += 1
+        slot = self.next
+        self.txn_arr[slot] = msg.txn
+        self.phase_arr[slot] = Phase.PREPARED
+        self.slot_of[msg.txn] = slot
+        if msg.payload is not BOTTOM:
+            committed = [
+                self.payload_arr[k]
+                for k in self.payload_arr
+                if k < slot
+                and self.phase_arr.get(k) is Phase.DECIDED
+                and self.dec_arr.get(k) is Decision.COMMIT
+            ]
+            prepared = [
+                self.payload_arr[k]
+                for k in self.payload_arr
+                if k < slot
+                and self.phase_arr.get(k) is Phase.PREPARED
+                and self.vote_arr.get(k) is Decision.COMMIT
+            ]
+            self.vote_arr[slot] = self.scheme.vote(self.shard, committed, prepared, msg.payload)
+            self.payload_arr[slot] = msg.payload
+        else:
+            self.vote_arr[slot] = Decision.ABORT
+            self.payload_arr[slot] = self.scheme.empty_payload()
+        self.send(
+            sender,
+            PrepareAck(
+                epoch=self.epoch,
+                shard=self.shard,
+                slot=slot,
+                txn=msg.txn,
+                payload=self.payload_arr[slot],
+                vote=self.vote_arr[slot],
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # coordinator: persist votes with RDMA (lines 91-93, 96-100)
+    # ------------------------------------------------------------------
+    def on_prepare_ack(self, msg: PrepareAck, sender: str) -> None:
+        if msg.epoch != self.epoch:
+            # Precondition e = epoch (line 92): stale or too-new votes are
+            # ignored; coordinator recovery handles the transaction later.
+            return
+        entry = self._coordinated.get(msg.txn)
+        if entry is None:
+            return
+        entry.votes[msg.shard] = msg.vote
+        entry.slots[msg.shard] = msg.slot
+        entry.vote_epochs[msg.shard] = msg.epoch
+        followers = [p for p in self.members[msg.shard] if p != self.leader[msg.shard]]
+        accept = Accept(slot=msg.slot, txn=msg.txn, payload=msg.payload, vote=msg.vote)
+        for follower in followers:
+            if follower == self.pid:
+                # A coordinator that is itself a follower of the shard writes
+                # to its own memory directly (no NIC round-trip needed).
+                self.on_accept(accept, self.pid)
+                entry.rdma_acks.setdefault(msg.shard, set()).add(self.pid)
+                continue
+            self.rdma.send(
+                follower,
+                accept,
+                on_ack=lambda _message, dst, shard=msg.shard, txn=msg.txn: self._on_accept_acked(
+                    txn, shard, dst
+                ),
+            )
+        self._maybe_decide(entry)
+
+    def _on_accept_acked(self, txn: TxnId, shard: ShardId, follower: ProcessId) -> None:
+        """ack-rdma received for an ACCEPT written to ``follower`` (line 96)."""
+        entry = self._coordinated.get(txn)
+        if entry is None:
+            return
+        entry.rdma_acks.setdefault(shard, set()).add(follower)
+        self._maybe_decide(entry)
+
+    def _shard_persisted(self, entry: RdmaCoordinatorEntry, shard: ShardId) -> bool:
+        if entry.vote_epochs.get(shard) != self.epoch or shard not in entry.votes:
+            return False
+        followers = {p for p in self.members[shard] if p != self.leader[shard]}
+        return followers <= entry.rdma_acks.get(shard, set())
+
+    def _maybe_decide(self, entry: RdmaCoordinatorEntry) -> None:
+        if entry.decided:
+            return
+        if not all(self._shard_persisted(entry, shard) for shard in entry.shards):
+            return
+        decision = Decision.meet_all(entry.votes[s] for s in entry.shards)
+        entry.decided = True
+        entry.decision = decision
+        entry.decided_at = self.now
+        if self.directory.known(entry.txn):
+            self.send(self.directory.client_of(entry.txn), TxnDecision(entry.txn, decision))
+        for shard in entry.shards:
+            message = SlotDecision(slot=entry.slots[shard], decision=decision)
+            for member in self.members[shard]:
+                if member == self.pid:
+                    # A coordinator that is itself a member persists the
+                    # decision locally without a network round-trip.
+                    self._apply_decision(message.slot, decision)
+                else:
+                    self.rdma.send(member, message)
+
+    # ------------------------------------------------------------------
+    # members: RDMA-delivered ACCEPT and DECISION (lines 94-95, 101-102)
+    # ------------------------------------------------------------------
+    def on_accept(self, msg: Accept, sender: str) -> None:
+        self.txn_arr[msg.slot] = msg.txn
+        self.payload_arr[msg.slot] = msg.payload
+        self.vote_arr[msg.slot] = msg.vote
+        if self.phase_arr.get(msg.slot) is not Phase.DECIDED:
+            self.phase_arr[msg.slot] = Phase.PREPARED
+        self.slot_of[msg.txn] = msg.slot
+
+    def on_slot_decision(self, msg: SlotDecision, sender: str) -> None:
+        self._apply_decision(msg.slot, msg.decision)
+
+    def _apply_decision(self, slot: int, decision: Decision) -> None:
+        self.dec_arr[slot] = decision
+        self.phase_arr[slot] = Phase.DECIDED
+        txn = self.txn_arr.get(slot)
+        for listener in self.decision_listeners:
+            listener(slot, txn, decision)
+
+    # ------------------------------------------------------------------
+    # reconfiguration (Figure 8)
+    # ------------------------------------------------------------------
+    def suspect(self, pid: ProcessId) -> None:
+        self.suspected.add(pid)
+
+    def reconfigure(self) -> bool:
+        """Initiate a global reconfiguration (lines 103-110)."""
+        if self.rec_status is not RecStatus.READY:
+            return False
+        self.rec_status = RecStatus.PROBING
+        self.reconfigurations_initiated += 1
+
+        def on_last(reply: CsReply) -> None:
+            if not reply.ok or reply.config is None:
+                self.rec_status = RecStatus.READY
+                return
+            config: GlobalConfiguration = reply.config  # type: ignore[assignment]
+            self.recon_epoch = config.epoch + 1
+            self._probe_responders = {shard: set() for shard in config.members}
+            self._probe_leaders = {}
+            self._probe_stepping = {shard: False for shard in config.members}
+            self.probed_epoch = {shard: config.epoch for shard in config.members}
+            self.probed_members = {s: tuple(m) for s, m in config.members.items()}
+            targets: List[ProcessId] = []
+            for members in self.probed_members.values():
+                for pid in members:
+                    if pid not in targets:
+                        targets.append(pid)
+            self.send_all(targets, Probe(epoch=self.recon_epoch))
+
+        self._cs_call(lambda rid: CsGetLast(shard=GLOBAL_SHARD, request_id=rid), on_last)
+        return True
+
+    def on_probe(self, msg: Probe, sender: str) -> None:
+        if msg.epoch < self.new_epoch:
+            return
+        self.status = Status.RECONFIGURING
+        self.rdma.multiclose(self.rdma.connections)
+        self.new_epoch = msg.epoch
+        self.send(sender, ProbeAck(initialized=self.initialized, epoch=msg.epoch, shard=self.shard))
+
+    def on_probe_ack(self, msg: ProbeAck, sender: str) -> None:
+        if self.rec_status is not RecStatus.PROBING or msg.epoch != self.recon_epoch:
+            return
+        shard = msg.shard
+        self._probe_responders.setdefault(shard, set()).add(sender)
+        if msg.initialized:
+            self._probe_leaders.setdefault(shard, sender)
+            if all(s in self._probe_leaders for s in self.probed_members):
+                self._finish_probing()
+        else:
+            self._step_down_probing(shard, sender)
+
+    def _finish_probing(self) -> None:
+        """Lines 117-124: an initialized leader was found for every shard."""
+        self.rec_status = RecStatus.READY
+        members: Dict[ShardId, Tuple[ProcessId, ...]] = {}
+        leaders: Dict[ShardId, ProcessId] = {}
+        for shard, new_leader in self._probe_leaders.items():
+            leaders[shard] = new_leader
+            members[shard] = self.membership_policy.compute(
+                shard=shard,
+                new_leader=new_leader,
+                responders=self._probe_responders.get(shard, set()),
+                suspected=self.suspected,
+                spares=self.spare_pools.get(shard, self.spares),
+                previous_size=len(self.probed_members.get(shard, ())),
+            )
+        config = GlobalConfiguration(epoch=self.recon_epoch, members=members, leaders=leaders)
+
+        def on_cas(reply: CsReply) -> None:
+            if not reply.ok:
+                return
+            self.reconfigurations_introduced += 1
+            self.rec_status = RecStatus.INSTALLING
+            self.recon_members = members
+            self.recon_leaders = leaders
+            self._config_prepare_acks = set()
+            targets: List[ProcessId] = []
+            for shard_members in members.values():
+                for pid in shard_members:
+                    if pid not in targets:
+                        targets.append(pid)
+            self.send_all(
+                targets,
+                ConfigPrepare(epoch=self.recon_epoch, members=members, leaders=leaders),
+            )
+
+        self._cs_call(
+            lambda rid: CsCompareAndSwap(
+                shard=GLOBAL_SHARD,
+                expected_epoch=self.recon_epoch - 1,
+                config=config,  # type: ignore[arg-type]
+                request_id=rid,
+            ),
+            on_cas,
+        )
+
+    def _step_down_probing(self, shard: ShardId, sender: ProcessId) -> None:
+        """Lines 125-130: the probed epoch of this shard never became
+        operational; probe its preceding configuration."""
+        if sender not in self.probed_members.get(shard, ()):
+            return
+        if shard in self._probe_leaders or self._probe_stepping.get(shard):
+            return
+        self._probe_stepping[shard] = True
+        previous_epoch = self.probed_epoch[shard] - 1
+        if previous_epoch < 1:
+            self.rec_status = RecStatus.READY
+            return
+
+        def on_get(reply: CsReply) -> None:
+            if self.rec_status is not RecStatus.PROBING:
+                return
+            if not reply.ok or reply.config is None:
+                return
+            config: GlobalConfiguration = reply.config  # type: ignore[assignment]
+            self.probed_epoch[shard] = previous_epoch
+            self.probed_members[shard] = tuple(config.members.get(shard, ()))
+            self._probe_stepping[shard] = False
+            self.send_all(self.probed_members[shard], Probe(epoch=self.recon_epoch))
+
+        self._cs_call(
+            lambda rid: CsGet(shard=GLOBAL_SHARD, epoch=previous_epoch, request_id=rid),
+            on_get,
+        )
+
+    def on_config_prepare(self, msg: ConfigPrepare, sender: str) -> None:
+        if msg.epoch < self.new_epoch:
+            return
+        self.members = {s: tuple(m) for s, m in msg.members.items()}
+        self.leader = dict(msg.leaders)
+        self.new_epoch = msg.epoch
+        self.send(sender, ConfigPrepareAck(epoch=msg.epoch))
+
+    def on_config_prepare_ack(self, msg: ConfigPrepareAck, sender: str) -> None:
+        if self.rec_status is not RecStatus.INSTALLING or msg.epoch != self.recon_epoch:
+            return
+        self._config_prepare_acks.add(sender)
+        expected: Set[ProcessId] = set()
+        for shard_members in self.recon_members.values():
+            expected.update(shard_members)
+        if expected <= self._config_prepare_acks:
+            self.rec_status = RecStatus.READY
+            for shard, leader in self.recon_leaders.items():
+                self.send(leader, NewConfig(epoch=self.recon_epoch))
+
+    def on_new_config(self, msg: NewConfig, sender: str) -> None:
+        if msg.epoch != self.new_epoch:
+            return
+        # All writes already acknowledged by our NIC must be visible before
+        # we snapshot our state for the followers (line 142).
+        self.rdma.flush()
+        self.status = Status.LEADER
+        self.epoch = msg.epoch
+        self.next = max(
+            (k for k, ph in self.phase_arr.items() if ph is not Phase.START), default=0
+        )
+        state = NewState(
+            epoch=self.epoch,
+            txn=dict(self.txn_arr),
+            payload=dict(self.payload_arr),
+            vote=dict(self.vote_arr),
+            dec=dict(self.dec_arr),
+            phase=dict(self.phase_arr),
+        )
+        for member in self.members.get(self.shard, ()):
+            if member != self.pid:
+                self.send(member, state)
+        for pid in self._all_members():
+            if pid != self.pid:
+                self.send(pid, Connect(epoch=self.epoch))
+
+    def on_new_state(self, msg: NewState, sender: str) -> None:
+        if msg.epoch < self.new_epoch:
+            return
+        self.status = Status.FOLLOWER
+        self.epoch = msg.epoch
+        self.new_epoch = msg.epoch
+        self.initialized = True
+        self.txn_arr = dict(msg.txn)
+        self.payload_arr = dict(msg.payload)
+        self.vote_arr = dict(msg.vote)
+        self.dec_arr = dict(msg.dec)
+        self.phase_arr = dict(msg.phase)
+        self.slot_of = {txn: slot for slot, txn in self.txn_arr.items()}
+        self.next = max(
+            (k for k, ph in self.phase_arr.items() if ph is not Phase.START), default=0
+        )
+        for pid in self._all_members():
+            if pid != self.pid:
+                self.send(pid, Connect(epoch=self.epoch))
+
+    def on_connect(self, msg: Connect, sender: str) -> None:
+        if self.status is Status.RECONFIGURING or sender in self.rdma.connections:
+            return
+        self.rdma.open(sender)
+        self.send(sender, ConnectAck(epoch=msg.epoch))
+
+    def on_connect_ack(self, msg: ConnectAck, sender: str) -> None:
+        if self.status is Status.RECONFIGURING or sender in self.rdma.connections:
+            return
+        self.rdma.open(sender)

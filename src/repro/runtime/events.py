@@ -1,0 +1,139 @@
+"""Deterministic discrete-event scheduler.
+
+All protocol code runs on virtual time managed by :class:`Scheduler`.
+Events scheduled for the same virtual time fire in the order they were
+scheduled, which, combined with seeded randomness in the latency models,
+makes every simulation run fully reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events are ordered by ``(time, seq)``; ``seq`` is a monotonically
+    increasing counter so that ties in virtual time are broken by
+    scheduling order.
+    """
+
+    time: float
+    seq: int
+    fn: Callable[..., Any] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Prevent the event from firing when its time comes."""
+        self.cancelled = True
+
+
+class Scheduler:
+    """A virtual-time event loop.
+
+    The scheduler is the only source of time in the simulation.  Processes
+    never block; they schedule callbacks (message deliveries, timers) and
+    the scheduler fires them in timestamp order.
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._seq = 0
+        self._now = 0.0
+        self.events_fired = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        return self.schedule_at(self._now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run at absolute virtual time ``time``."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self._now}")
+        event = Event(time=time, seq=self._seq, fn=fn, args=args)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    @property
+    def idle(self) -> bool:
+        """True when no live events remain."""
+        return not any(not e.cancelled for e in self._queue)
+
+    def step(self) -> bool:
+        """Fire the next live event.  Returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self.events_fired += 1
+            event.fn(*event.args)
+            return True
+        return False
+
+    def run(
+        self,
+        max_time: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> int:
+        """Run until the queue drains, ``max_time`` passes or ``max_events`` fire.
+
+        Returns the number of events fired by this call.
+        """
+        fired = 0
+        while self._queue:
+            event = self._queue[0]
+            if event.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if max_time is not None and event.time > max_time:
+                break
+            if max_events is not None and fired >= max_events:
+                break
+            if self.step():
+                fired += 1
+        if max_time is not None and self._now < max_time and not self._queue:
+            # Advance time to the requested horizon even if we ran dry, so
+            # that callers can reason about elapsed virtual time.
+            self._now = max_time
+        return fired
+
+    def run_until(
+        self,
+        predicate: Callable[[], bool],
+        max_time: Optional[float] = None,
+        max_events: int = 1_000_000,
+    ) -> bool:
+        """Run until ``predicate()`` becomes true.
+
+        Returns True if the predicate was satisfied, False if the simulation
+        ran out of events or budget first.
+        """
+        fired = 0
+        while not predicate():
+            if max_time is not None and self._queue and self._queue[0].time > max_time:
+                return False
+            if fired >= max_events:
+                return False
+            if not self.step():
+                return predicate()
+            fired += 1
+        return True

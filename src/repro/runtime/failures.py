@@ -1,0 +1,77 @@
+"""Declarative failure injection.
+
+Benchmarks and integration tests describe crash schedules declaratively
+(*crash process X at virtual time T*, or *crash X as soon as predicate P
+holds*) and the :class:`FailureInjector` arms them on the scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.runtime.network import Network
+
+
+@dataclass(frozen=True)
+class CrashPlan:
+    """A single planned crash.
+
+    ``at_time`` crashes at an absolute virtual time; ``when`` (if given)
+    crashes the first time the predicate holds at a plan-evaluation point.
+    Exactly one of the two must be provided.
+    """
+
+    pid: str
+    at_time: Optional[float] = None
+    when: Optional[Callable[[], bool]] = None
+
+    def __post_init__(self) -> None:
+        if (self.at_time is None) == (self.when is None):
+            raise ValueError("exactly one of at_time / when must be set")
+
+
+class FailureInjector:
+    """Arms :class:`CrashPlan` instances against a network."""
+
+    def __init__(self, network: Network, poll_interval: float = 0.5) -> None:
+        self.network = network
+        self.poll_interval = poll_interval
+        self.executed: List[str] = []
+        self._conditional: List[CrashPlan] = []
+        self._polling = False
+
+    def crash_now(self, pid: str) -> None:
+        """Crash the process immediately."""
+        self.network.crash(pid)
+        self.executed.append(pid)
+
+    def arm(self, plan: CrashPlan) -> None:
+        """Arm a crash plan."""
+        if plan.at_time is not None:
+            self.network.scheduler.schedule_at(plan.at_time, self.crash_now, plan.pid)
+        else:
+            self._conditional.append(plan)
+            self._ensure_polling()
+
+    def arm_all(self, plans) -> None:
+        for plan in plans:
+            self.arm(plan)
+
+    def _ensure_polling(self) -> None:
+        if not self._polling:
+            self._polling = True
+            self.network.scheduler.schedule(self.poll_interval, self._poll)
+
+    def _poll(self) -> None:
+        remaining: List[CrashPlan] = []
+        for plan in self._conditional:
+            if plan.when is not None and plan.when():
+                self.crash_now(plan.pid)
+            else:
+                remaining.append(plan)
+        self._conditional = remaining
+        if self._conditional:
+            self.network.scheduler.schedule(self.poll_interval, self._poll)
+        else:
+            self._polling = False

@@ -1,0 +1,210 @@
+"""Reliable FIFO point-to-point network.
+
+The paper's system model (Section 3) assumes that "processes are connected
+by reliable FIFO channels: messages are delivered in FIFO order, and
+messages between non-faulty processes are guaranteed to be eventually
+delivered".  :class:`Network` provides exactly that on top of the
+discrete-event scheduler, plus the instrumentation used by the benchmark
+harness (per-process and per-type message counters) and controlled fault
+injection (crashes, partitions, per-channel blocking).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Optional, Set, Tuple, TYPE_CHECKING
+
+from repro.runtime.events import Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.process import Process
+
+
+class LatencyModel:
+    """Strategy object deciding the one-way delay of each message."""
+
+    def delay(self, src: str, dst: str, message: Any, rng: random.Random) -> float:
+        raise NotImplementedError
+
+
+class UnitLatency(LatencyModel):
+    """Every message takes exactly one time unit.
+
+    With this model, the virtual time elapsed between a request and the
+    corresponding response equals the number of message delays on the
+    critical path — the unit the paper uses for its latency claims.
+    """
+
+    def __init__(self, unit: float = 1.0) -> None:
+        self.unit = unit
+
+    def delay(self, src: str, dst: str, message: Any, rng: random.Random) -> float:
+        return self.unit
+
+
+class UniformLatency(LatencyModel):
+    """Message delays drawn uniformly from ``[low, high]``."""
+
+    def __init__(self, low: float = 0.5, high: float = 1.5) -> None:
+        if low < 0 or high < low:
+            raise ValueError("require 0 <= low <= high")
+        self.low = low
+        self.high = high
+
+    def delay(self, src: str, dst: str, message: Any, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+
+@dataclass
+class MessageStats:
+    """Message accounting used by the leader-load and cost experiments."""
+
+    sent_by_process: Counter = field(default_factory=Counter)
+    received_by_process: Counter = field(default_factory=Counter)
+    sent_by_type: Counter = field(default_factory=Counter)
+    sent_by_process_and_type: Counter = field(default_factory=Counter)
+    received_by_process_and_type: Counter = field(default_factory=Counter)
+    dropped: int = 0
+    total_sent: int = 0
+    total_delivered: int = 0
+
+    def record_send(self, src: str, message: Any) -> None:
+        name = type(message).__name__
+        self.total_sent += 1
+        self.sent_by_process[src] += 1
+        self.sent_by_type[name] += 1
+        self.sent_by_process_and_type[(src, name)] += 1
+
+    def record_delivery(self, dst: str, message: Any) -> None:
+        name = type(message).__name__
+        self.total_delivered += 1
+        self.received_by_process[dst] += 1
+        self.received_by_process_and_type[(dst, name)] += 1
+
+    def handled_by(self, pid: str) -> int:
+        """Total messages sent plus received by process ``pid``."""
+        return self.sent_by_process[pid] + self.received_by_process[pid]
+
+
+class Network:
+    """Simulated network of reliable FIFO channels.
+
+    Channels between live, non-partitioned processes deliver every message
+    exactly once, in FIFO order per (source, destination) pair.  Messages to
+    crashed or partitioned destinations are silently dropped, which models
+    the asynchronous crash-stop setting: senders cannot distinguish a slow
+    process from a failed one.
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        latency: Optional[LatencyModel] = None,
+        seed: int = 0,
+    ) -> None:
+        self.scheduler = scheduler
+        self.latency = latency or UnitLatency()
+        self.rng = random.Random(seed)
+        self.processes: Dict[str, "Process"] = {}
+        self.stats = MessageStats()
+        self.trace: list[Tuple[float, str, str, Any]] = []
+        self.trace_enabled = False
+        self._channel_clock: Dict[Tuple[str, str], float] = {}
+        self._blocked: Set[Tuple[str, str]] = set()
+        self._extra_delay: Dict[Tuple[str, str], float] = {}
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def register(self, process: "Process") -> None:
+        """Attach a process to the network (and to the scheduler)."""
+        if process.pid in self.processes:
+            raise ValueError(f"duplicate process id {process.pid!r}")
+        self.processes[process.pid] = process
+        process.attach(self)
+
+    def process(self, pid: str) -> "Process":
+        return self.processes[pid]
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def crash(self, pid: str) -> None:
+        """Crash-stop the process: it stops sending and receiving forever."""
+        self.processes[pid].crashed = True
+
+    def is_crashed(self, pid: str) -> bool:
+        return self.processes[pid].crashed
+
+    def block(self, src: str, dst: str) -> None:
+        """Drop all future messages on the directed channel ``src -> dst``."""
+        self._blocked.add((src, dst))
+
+    def unblock(self, src: str, dst: str) -> None:
+        self._blocked.discard((src, dst))
+
+    def partition(self, group_a: Iterable[str], group_b: Iterable[str]) -> None:
+        """Block every channel between the two groups, in both directions."""
+        group_a, group_b = list(group_a), list(group_b)
+        for a in group_a:
+            for b in group_b:
+                self.block(a, b)
+                self.block(b, a)
+
+    def heal(self) -> None:
+        """Remove all channel blocks."""
+        self._blocked.clear()
+
+    def add_extra_delay(self, src: str, dst: str, delay: float) -> None:
+        """Add a fixed extra delay to the directed channel ``src -> dst``.
+
+        Unlike :meth:`block`, messages are still delivered (eventually), so
+        this models an asynchronous network being slow on one link — the tool
+        the adversarial schedules (e.g. the Figure 4a counter-example) use.
+        """
+        if delay < 0:
+            raise ValueError("extra delay must be non-negative")
+        self._extra_delay[(src, dst)] = delay
+
+    def clear_extra_delays(self) -> None:
+        self._extra_delay.clear()
+
+    # ------------------------------------------------------------------
+    # message transport
+    # ------------------------------------------------------------------
+    def send(self, src: str, dst: str, message: Any) -> None:
+        """Send ``message`` from ``src`` to ``dst`` over the FIFO channel."""
+        if src in self.processes and self.processes[src].crashed:
+            return
+        self.stats.record_send(src, message)
+        if dst not in self.processes:
+            self.stats.dropped += 1
+            return
+        if (src, dst) in self._blocked:
+            self.stats.dropped += 1
+            return
+        delay = self.latency.delay(src, dst, message, self.rng)
+        delay += self._extra_delay.get((src, dst), 0.0)
+        deliver_at = self.scheduler.now + delay
+        # FIFO: never deliver earlier than the previous message on the same
+        # channel.  Ties in delivery time are broken by scheduling order,
+        # which is send order, so FIFO is preserved.
+        last = self._channel_clock.get((src, dst), 0.0)
+        deliver_at = max(deliver_at, last)
+        self._channel_clock[(src, dst)] = deliver_at
+        self.scheduler.schedule_at(deliver_at, self._deliver, src, dst, message)
+
+    def _deliver(self, src: str, dst: str, message: Any) -> None:
+        process = self.processes.get(dst)
+        if process is None or process.crashed:
+            self.stats.dropped += 1
+            return
+        if (src, dst) in self._blocked:
+            self.stats.dropped += 1
+            return
+        self.stats.record_delivery(dst, message)
+        if self.trace_enabled:
+            self.trace.append((self.scheduler.now, src, dst, message))
+        process.deliver(message, src)

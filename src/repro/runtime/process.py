@@ -1,0 +1,122 @@
+"""Actor-style processes with crash-stop failures.
+
+Every protocol role in the reproduction (shard replica, transaction
+coordinator/client, configuration service, Paxos acceptor, ...) is a
+:class:`Process`.  A process reacts to delivered messages by dispatching to
+``on_<message-type>`` handler methods, mirroring the "when received ..."
+clauses of the paper's pseudocode.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Iterable, Optional, TYPE_CHECKING
+
+from repro.runtime.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.network import Network
+
+
+_CAMEL_RE = re.compile(r"(?<!^)(?=[A-Z])")
+
+
+def handler_name(message: Any) -> str:
+    """Map a message class name to its handler method name.
+
+    ``PrepareAck`` -> ``on_prepare_ack``; ``PROBE`` style names are not used,
+    message classes are CamelCase dataclasses.
+    """
+    return "on_" + _CAMEL_RE.sub("_", type(message).__name__).lower()
+
+
+class Process:
+    """Base class for simulated processes.
+
+    Subclasses implement ``on_<message>`` methods for every message type they
+    handle.  Unhandled messages raise, which surfaces protocol wiring bugs
+    immediately in tests.
+    """
+
+    def __init__(self, pid: str) -> None:
+        self.pid = pid
+        self.crashed = False
+        self.network: Optional["Network"] = None
+        self.rdma = None  # type: ignore[assignment]  # set by RdmaManager.install
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def attach(self, network: "Network") -> None:
+        self.network = network
+        self.on_attach()
+
+    def on_attach(self) -> None:
+        """Hook called once the process is registered with a network."""
+
+    @property
+    def scheduler(self):
+        assert self.network is not None, f"{self.pid} is not attached to a network"
+        return self.network.scheduler
+
+    @property
+    def now(self) -> float:
+        return self.scheduler.now
+
+    # ------------------------------------------------------------------
+    # sending and timers
+    # ------------------------------------------------------------------
+    def send(self, dst: str, message: Any) -> None:
+        """Send a message over the reliable FIFO network."""
+        if self.crashed:
+            return
+        assert self.network is not None
+        self.network.send(self.pid, dst, message)
+
+    def send_all(self, dsts: Iterable[str], message: Any) -> None:
+        """Send the same message to every destination (excluding none)."""
+        for dst in dsts:
+            self.send(dst, message)
+
+    def set_timer(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule a local callback; it is suppressed if the process crashed."""
+
+        def fire() -> None:
+            if not self.crashed:
+                fn(*args)
+
+        return self.scheduler.schedule(delay, fire)
+
+    # ------------------------------------------------------------------
+    # receiving
+    # ------------------------------------------------------------------
+    def deliver(self, message: Any, sender: str) -> None:
+        """Entry point used by the network; dispatches to handlers."""
+        if self.crashed:
+            return
+        # RDMA traffic is handled by the NIC-level manager without involving
+        # the "CPU" (i.e. regardless of protocol state); see runtime.rdma.
+        if self.rdma is not None and self.rdma.intercept(message, sender):
+            return
+        self.handle(message, sender)
+
+    def handle(self, message: Any, sender: str) -> None:
+        """Dispatch a message to its ``on_<type>`` handler."""
+        method = getattr(self, handler_name(message), None)
+        if method is None:
+            raise NotImplementedError(
+                f"{type(self).__name__}({self.pid}) has no handler for "
+                f"{type(message).__name__}"
+            )
+        method(message, sender)
+
+    # ------------------------------------------------------------------
+    # failures
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Crash-stop this process."""
+        self.crashed = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "crashed" if self.crashed else "up"
+        return f"<{type(self).__name__} {self.pid} {status}>"

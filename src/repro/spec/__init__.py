@@ -1,0 +1,22 @@
+"""The multi-shot transaction certification specification (paper Section 2).
+
+* :mod:`repro.spec.history` — recorded ``certify``/``decide`` histories;
+* :mod:`repro.spec.checker` — decides whether a history is *correct with
+  respect to a certification function f*, i.e. whether its committed
+  projection has a legal linearization;
+* :mod:`repro.spec.invariants` — checks the key protocol invariants of
+  Figure 3 against a snapshot of replica states (used heavily in tests).
+"""
+
+from repro.spec.history import Event, History
+from repro.spec.checker import CheckResult, TCSChecker
+from repro.spec.invariants import InvariantViolation, check_invariants
+
+__all__ = [
+    "Event",
+    "History",
+    "CheckResult",
+    "TCSChecker",
+    "InvariantViolation",
+    "check_invariants",
+]

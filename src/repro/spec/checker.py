@@ -1,0 +1,174 @@
+"""Correctness checker for TCS histories (paper Section 2).
+
+A history ``h`` is *correct with respect to a certification function f* when
+its committed projection has a *legal linearization*: a total order of the
+committed transactions that (i) respects the real-time order (if ``t`` was
+decided before ``t'`` was certified then ``t`` precedes ``t'``) and (ii) in
+which every transaction's commit decision is what ``f`` computes over the
+payloads of the transactions preceding it.
+
+Because ``f`` is distributive (requirement (1)), ``f(L, l) = commit`` iff
+``f({l'}, l) = commit`` for every ``l' ∈ L``.  Therefore a legal
+linearization exists iff the directed graph with
+
+* a *conflict edge* ``b -> a`` whenever ``f({l_a}, l_b) = abort`` (``b``
+  must precede ``a``), and
+* a *real-time edge* ``a -> b`` whenever ``decide(a) ≺h certify(b)``
+
+is acyclic; any topological order of it is a legal linearization.  The
+checker builds this graph and reports either a witness linearization or the
+offending cycle.  An exhaustive fallback is provided for schemes whose
+distributivity the caller does not trust (and is used by tests to validate
+the graph construction itself).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.certification import CertificationScheme
+from repro.core.types import Decision, TxnId
+from repro.spec.history import History
+
+
+@dataclass
+class CheckResult:
+    """Outcome of a correctness check."""
+
+    ok: bool
+    reason: str = ""
+    linearization: List[TxnId] = field(default_factory=list)
+    cycle: List[TxnId] = field(default_factory=list)
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.ok
+
+
+class TCSChecker:
+    """Checks histories for correctness with respect to a certification scheme."""
+
+    def __init__(self, scheme: CertificationScheme) -> None:
+        self.scheme = scheme
+
+    # ------------------------------------------------------------------
+    # public entry points
+    # ------------------------------------------------------------------
+    def check(self, history: History) -> CheckResult:
+        """Check the committed projection of ``history`` (graph-based)."""
+        if history.contradictions:
+            txn, first, second = history.contradictions[0]
+            return CheckResult(
+                ok=False,
+                reason=(
+                    f"contradictory decisions externalised for {txn}: "
+                    f"{first.value} vs {second.value}"
+                ),
+            )
+        committed = history.committed()
+        payloads = {txn: history.payload_of(txn) for txn in committed}
+        edges = self._build_edges(history, committed, payloads)
+        order, cycle = _topological_order(committed, edges)
+        if cycle:
+            return CheckResult(
+                ok=False,
+                reason="no legal linearization: conflict/real-time cycle",
+                cycle=cycle,
+            )
+        # Defensive re-validation of the witness (cheap, and guards against a
+        # non-distributive scheme slipping through the graph construction).
+        witness_ok, reason = self._legal(order, payloads)
+        if not witness_ok:
+            return CheckResult(ok=False, reason=reason)
+        return CheckResult(ok=True, linearization=order)
+
+    def check_exhaustive(self, history: History, limit: int = 8) -> CheckResult:
+        """Brute-force search over permutations (only for small histories)."""
+        committed = history.committed()
+        if len(committed) > limit:
+            raise ValueError(
+                f"exhaustive check limited to {limit} committed transactions, "
+                f"got {len(committed)}"
+            )
+        payloads = {txn: history.payload_of(txn) for txn in committed}
+        rt_pairs = set(history.real_time_pairs(committed))
+        for order in itertools.permutations(committed):
+            position = {txn: i for i, txn in enumerate(order)}
+            if any(position[a] > position[b] for a, b in rt_pairs):
+                continue
+            ok, _ = self._legal(list(order), payloads)
+            if ok:
+                return CheckResult(ok=True, linearization=list(order))
+        return CheckResult(ok=False, reason="no legal linearization (exhaustive)")
+
+    def check_decisions_unique(self, history: History) -> CheckResult:
+        """Sanity check: at most one decision per transaction (enforced while
+        recording, re-checked here for defence in depth)."""
+        seen: Dict[TxnId, Decision] = {}
+        for event in history.events:
+            if event.kind != "decide":
+                continue
+            if event.txn in seen and seen[event.txn] is not event.decision:
+                return CheckResult(ok=False, reason=f"two decisions for {event.txn}")
+            seen[event.txn] = event.decision
+        return CheckResult(ok=True)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _build_edges(
+        self,
+        history: History,
+        committed: Sequence[TxnId],
+        payloads: Dict[TxnId, object],
+    ) -> Dict[TxnId, Set[TxnId]]:
+        edges: Dict[TxnId, Set[TxnId]] = {txn: set() for txn in committed}
+        # Real-time edges: a must precede b.
+        for a, b in history.real_time_pairs(committed):
+            edges[a].add(b)
+        # Conflict edges: if committing a before b would abort b, then b must
+        # precede a in any legal linearization.
+        for a in committed:
+            for b in committed:
+                if a == b:
+                    continue
+                if self.scheme.global_certify([payloads[a]], payloads[b]) is Decision.ABORT:
+                    edges[b].add(a)
+        return edges
+
+    def _legal(
+        self, order: Sequence[TxnId], payloads: Dict[TxnId, object]
+    ) -> Tuple[bool, str]:
+        placed: List[object] = []
+        for txn in order:
+            decision = self.scheme.global_certify(placed, payloads[txn])
+            if decision is not Decision.COMMIT:
+                return False, f"transaction {txn} cannot commit at its position"
+            placed.append(payloads[txn])
+        return True, ""
+
+
+def _topological_order(
+    nodes: Sequence[TxnId], edges: Dict[TxnId, Set[TxnId]]
+) -> Tuple[List[TxnId], List[TxnId]]:
+    """Kahn's algorithm; returns (order, []) or ([], cycle_witness)."""
+    indegree: Dict[TxnId, int] = {node: 0 for node in nodes}
+    for src, dsts in edges.items():
+        for dst in dsts:
+            if dst in indegree:
+                indegree[dst] += 1
+    ready = sorted([node for node, deg in indegree.items() if deg == 0])
+    order: List[TxnId] = []
+    while ready:
+        node = ready.pop(0)
+        order.append(node)
+        for dst in sorted(edges.get(node, ())):
+            indegree[dst] -= 1
+            if indegree[dst] == 0:
+                ready.append(dst)
+        ready.sort()
+    if len(order) == len(nodes):
+        return order, []
+    cycle = [node for node in nodes if node not in set(order)]
+    return [], cycle

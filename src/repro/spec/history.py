@@ -1,0 +1,117 @@
+"""TCS histories.
+
+A history is a sequence of ``certify(t, l)`` and ``decide(t, d)`` actions
+such that every transaction is certified at most once and every decide
+responds to exactly one preceding certify (Section 2).  Clients record their
+interactions with the service into a shared :class:`History`, which the
+checker and the metrics layer consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.types import Decision, TxnId
+
+
+@dataclass(frozen=True)
+class Event:
+    """One action of a history."""
+
+    kind: str  # "certify" | "decide"
+    txn: TxnId
+    time: float
+    seq: int
+    payload: Any = None
+    decision: Optional[Decision] = None
+
+
+class History:
+    """An append-only TCS history with the derived relations the spec uses."""
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+        self._certified: Dict[TxnId, Event] = {}
+        self._decided: Dict[TxnId, Event] = {}
+        # Contradictory decide events observed for the same transaction.
+        # A correct protocol never produces these (Invariant 4b); the broken
+        # RDMA variant used for the Figure 4a ablation does, and the checker
+        # reports them rather than the recorder raising mid-simulation.
+        self.contradictions: List[Tuple[TxnId, Decision, Decision]] = []
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def record_certify(self, txn: TxnId, payload: Any, time: float) -> Event:
+        if txn in self._certified:
+            raise ValueError(f"transaction {txn!r} certified twice")
+        event = Event(kind="certify", txn=txn, time=time, seq=len(self.events), payload=payload)
+        self.events.append(event)
+        self._certified[txn] = event
+        return event
+
+    def record_decide(self, txn: TxnId, decision: Decision, time: float) -> Event:
+        if txn not in self._certified:
+            raise ValueError(f"decide for unknown transaction {txn!r}")
+        if txn in self._decided:
+            previous = self._decided[txn].decision
+            if previous is not decision:
+                self.contradictions.append((txn, previous, decision))
+            return self._decided[txn]
+        event = Event(kind="decide", txn=txn, time=time, seq=len(self.events), decision=decision)
+        self.events.append(event)
+        self._decided[txn] = event
+        return event
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def certified(self) -> List[TxnId]:
+        return list(self._certified)
+
+    def payload_of(self, txn: TxnId) -> Any:
+        return self._certified[txn].payload
+
+    def decision_of(self, txn: TxnId) -> Optional[Decision]:
+        event = self._decided.get(txn)
+        return event.decision if event else None
+
+    def decided(self) -> Dict[TxnId, Decision]:
+        return {txn: event.decision for txn, event in self._decided.items()}
+
+    def committed(self) -> List[TxnId]:
+        """Transactions that committed, in decide order."""
+        return [
+            event.txn
+            for event in self.events
+            if event.kind == "decide" and event.decision is Decision.COMMIT
+        ]
+
+    def is_complete(self) -> bool:
+        """True when every certify has a matching decide."""
+        return set(self._certified) == set(self._decided)
+
+    def pending(self) -> Set[TxnId]:
+        return set(self._certified) - set(self._decided)
+
+    def real_time_precedes(self, first: TxnId, second: TxnId) -> bool:
+        """``first ≺rt second``: first was decided before second was certified."""
+        decide = self._decided.get(first)
+        certify = self._certified.get(second)
+        if decide is None or certify is None:
+            return False
+        return decide.seq < certify.seq
+
+    def real_time_pairs(self, txns: Optional[Iterable[TxnId]] = None) -> List[Tuple[TxnId, TxnId]]:
+        """All ``(a, b)`` with ``a ≺rt b`` among the given transactions."""
+        txns = list(txns) if txns is not None else list(self._certified)
+        pairs = []
+        for a in txns:
+            for b in txns:
+                if a != b and self.real_time_precedes(a, b):
+                    pairs.append((a, b))
+        return pairs
+
+    def __len__(self) -> int:
+        return len(self.events)

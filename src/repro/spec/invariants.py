@@ -1,0 +1,200 @@
+"""Run-time checks of the key protocol invariants (paper Figure 3 / Figure 5).
+
+These checks take a snapshot of the replica states of a cluster (typically
+at quiescence) and verify the state-level consequences of the invariants the
+correctness proof relies on:
+
+* **log agreement** (from Invariants 1, 2, 6, 9): replicas of the same shard
+  that are in the same epoch agree on the transaction, payload and vote of
+  every slot they both have filled, and a follower's certification order is
+  a hole-y prefix of its leader's;
+* **unique slots** (Invariant 10): a replica never places the same
+  transaction in two slots;
+* **decision agreement** (Invariant 4a): replicas of a shard agree on the
+  decision recorded for each slot;
+* **system-wide decision agreement** (Invariant 4b): every process — and the
+  client-observed history — agrees on the decision of each transaction;
+* **commit implies commit-vote** (Invariant 12b): a slot decided commit has
+  a commit vote wherever the vote is recorded.
+
+Violations are returned (not raised) so that tests and the safety-ablation
+benchmark can assert on their presence or absence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.types import Decision, Phase
+from repro.spec.history import History
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One detected violation."""
+
+    invariant: str
+    shard: Optional[str]
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        where = f" [shard {self.shard}]" if self.shard else ""
+        return f"{self.invariant}{where}: {self.detail}"
+
+
+def _own_epoch(replica) -> int:
+    """The replica's epoch for its own shard.
+
+    Message-passing replicas keep a per-shard epoch vector; RDMA replicas
+    keep a single system-wide epoch (Section 5).
+    """
+    epoch = replica.epoch
+    if isinstance(epoch, dict):
+        return epoch.get(replica.shard, 0)
+    return epoch
+
+
+def check_invariants(
+    replicas_by_shard: Dict[str, Sequence],
+    history: Optional[History] = None,
+    include_crashed: bool = False,
+) -> List[InvariantViolation]:
+    """Check all state-level invariants; return the list of violations."""
+    violations: List[InvariantViolation] = []
+    for shard, replicas in replicas_by_shard.items():
+        live = [r for r in replicas if include_crashed or not r.crashed]
+        violations.extend(_check_unique_slots(shard, live))
+        violations.extend(_check_log_agreement(shard, live))
+        violations.extend(_check_slot_decision_agreement(shard, live))
+        violations.extend(_check_commit_vote(shard, live))
+    violations.extend(_check_global_decision_agreement(replicas_by_shard, history, include_crashed))
+    return violations
+
+
+# ----------------------------------------------------------------------
+# per-shard checks
+# ----------------------------------------------------------------------
+def _check_unique_slots(shard: str, replicas: Iterable) -> List[InvariantViolation]:
+    violations = []
+    for replica in replicas:
+        seen: Dict[str, int] = {}
+        for slot, txn in replica.txn_arr.items():
+            if txn in seen:
+                violations.append(
+                    InvariantViolation(
+                        invariant="unique-slots (Inv. 10)",
+                        shard=shard,
+                        detail=f"{replica.pid}: transaction {txn} in slots {seen[txn]} and {slot}",
+                    )
+                )
+            seen[txn] = slot
+    return violations
+
+
+def _check_log_agreement(shard: str, replicas: Sequence) -> List[InvariantViolation]:
+    violations = []
+    replicas = list(replicas)
+    for i, a in enumerate(replicas):
+        for b in replicas[i + 1 :]:
+            if _own_epoch(a) != _own_epoch(b):
+                continue
+            for slot in set(a.txn_arr) & set(b.txn_arr):
+                if a.txn_arr[slot] != b.txn_arr[slot]:
+                    violations.append(
+                        InvariantViolation(
+                            invariant="log-agreement (Inv. 1/2/6)",
+                            shard=shard,
+                            detail=(
+                                f"slot {slot}: {a.pid} has {a.txn_arr[slot]} but "
+                                f"{b.pid} has {b.txn_arr[slot]}"
+                            ),
+                        )
+                    )
+                    continue
+                if a.vote_arr.get(slot) != b.vote_arr.get(slot) and slot in a.vote_arr and slot in b.vote_arr:
+                    violations.append(
+                        InvariantViolation(
+                            invariant="vote-agreement (Inv. 1/2/6)",
+                            shard=shard,
+                            detail=(
+                                f"slot {slot} ({a.txn_arr[slot]}): {a.pid} voted "
+                                f"{a.vote_arr.get(slot)} but {b.pid} voted {b.vote_arr.get(slot)}"
+                            ),
+                        )
+                    )
+    return violations
+
+
+def _check_slot_decision_agreement(shard: str, replicas: Sequence) -> List[InvariantViolation]:
+    violations = []
+    decisions: Dict[int, Dict] = {}
+    for replica in replicas:
+        for slot, decision in replica.dec_arr.items():
+            txn = replica.txn_arr.get(slot)
+            decisions.setdefault(slot, {})[replica.pid] = (txn, decision)
+    for slot, per_replica in decisions.items():
+        observed = {decision for _, decision in per_replica.values()}
+        if len(observed) > 1:
+            violations.append(
+                InvariantViolation(
+                    invariant="slot-decision-agreement (Inv. 4a)",
+                    shard=shard,
+                    detail=f"slot {slot}: replicas recorded decisions {per_replica}",
+                )
+            )
+    return violations
+
+
+def _check_commit_vote(shard: str, replicas: Sequence) -> List[InvariantViolation]:
+    violations = []
+    for replica in replicas:
+        for slot, decision in replica.dec_arr.items():
+            if decision is not Decision.COMMIT:
+                continue
+            vote = replica.vote_arr.get(slot)
+            if vote is not None and vote is not Decision.COMMIT:
+                violations.append(
+                    InvariantViolation(
+                        invariant="commit-implies-commit-vote (Inv. 12b)",
+                        shard=shard,
+                        detail=f"{replica.pid}: slot {slot} decided commit but voted {vote}",
+                    )
+                )
+    return violations
+
+
+# ----------------------------------------------------------------------
+# system-wide checks
+# ----------------------------------------------------------------------
+def _check_global_decision_agreement(
+    replicas_by_shard: Dict[str, Sequence],
+    history: Optional[History],
+    include_crashed: bool,
+) -> List[InvariantViolation]:
+    violations = []
+    per_txn: Dict[str, Dict[str, Decision]] = {}
+    for shard, replicas in replicas_by_shard.items():
+        for replica in replicas:
+            if replica.crashed and not include_crashed:
+                continue
+            for slot, decision in replica.dec_arr.items():
+                txn = replica.txn_arr.get(slot)
+                if txn is None:
+                    continue
+                per_txn.setdefault(txn, {})[f"{replica.pid}"] = decision
+    if history is not None:
+        for txn, decision in history.decided().items():
+            if decision is not None:
+                per_txn.setdefault(txn, {})["<client-history>"] = decision
+    for txn, observations in per_txn.items():
+        observed = set(observations.values())
+        if len(observed) > 1:
+            violations.append(
+                InvariantViolation(
+                    invariant="global-decision-agreement (Inv. 4b)",
+                    shard=None,
+                    detail=f"transaction {txn}: {observations}",
+                )
+            )
+    return violations

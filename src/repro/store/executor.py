@@ -1,0 +1,196 @@
+"""Optimistic transaction execution on top of the TCS.
+
+The execution model is the one assumed by the paper (Section 2): a
+transaction is first executed speculatively against the committed state,
+producing a payload ``⟨R, W, Vc⟩``; the payload is submitted to the TCS for
+certification; if the TCS commits it, its writes are applied to the store at
+the commit version.  Because payloads only ever read committed versions, a
+history that is correct with respect to the serializability certification
+function yields a serializable store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.core.serializability import (
+    ObjectId,
+    TransactionPayload,
+    Version,
+    version_after,
+)
+from repro.core.types import Decision, TxnId
+from repro.store.kv import VersionedKVStore
+
+
+class TransactionContext:
+    """Buffered reads and writes of one speculative transaction execution."""
+
+    def __init__(self, store: VersionedKVStore, name: str = "") -> None:
+        self._store = store
+        self.name = name
+        self._reads: Dict[ObjectId, Version] = {}
+        self._read_values: Dict[ObjectId, Any] = {}
+        self._writes: Dict[ObjectId, Any] = {}
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def read(self, obj: ObjectId) -> Any:
+        """Read the latest committed value of ``obj`` (or a buffered write)."""
+        if obj in self._writes:
+            return self._writes[obj]
+        if obj not in self._reads:
+            versioned = self._store.read(obj)
+            self._reads[obj] = versioned.version
+            self._read_values[obj] = versioned.value
+        return self._read_values[obj]
+
+    def write(self, obj: ObjectId, value: Any) -> None:
+        """Buffer a write; the object is read first if it has not been yet,
+        because the payload model requires every written object to be read."""
+        if obj not in self._reads:
+            self.read(obj)
+        self._writes[obj] = value
+
+    def increment(self, obj: ObjectId, delta: float = 1) -> Any:
+        current = self.read(obj) or 0
+        updated = current + delta
+        self.write(obj, updated)
+        return updated
+
+    # ------------------------------------------------------------------
+    # payload construction
+    # ------------------------------------------------------------------
+    @property
+    def read_set(self) -> Dict[ObjectId, Version]:
+        return dict(self._reads)
+
+    @property
+    def write_set(self) -> Dict[ObjectId, Any]:
+        return dict(self._writes)
+
+    def payload(self, tiebreak: str = "") -> TransactionPayload:
+        reads = frozenset(self._reads.items())
+        writes = frozenset(self._writes.items())
+        commit_version = version_after(self._reads.values(), tiebreak or self.name)
+        return TransactionPayload(
+            read_set=reads, write_set=writes, commit_version=commit_version
+        )
+
+
+@dataclass
+class TransactionOutcome:
+    """Result of running one transaction through the store."""
+
+    txn: TxnId
+    decision: Decision
+    payload: TransactionPayload
+    result: Any = None
+
+    @property
+    def committed(self) -> bool:
+        return self.decision is Decision.COMMIT
+
+
+class TransactionalStore:
+    """Couples a :class:`VersionedKVStore` with a TCS cluster.
+
+    Works with :class:`repro.cluster.Cluster` and
+    :class:`repro.baselines.cluster.BaselineCluster` alike, since both expose
+    ``submit`` / ``run_until_decided`` / ``decision_of``.
+    """
+
+    def __init__(
+        self,
+        cluster,
+        initial: Optional[Dict[ObjectId, Any]] = None,
+        store: Optional[VersionedKVStore] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.store = store or VersionedKVStore(initial=initial)
+        self.outcomes: List[TransactionOutcome] = []
+        self._txn_counter = 0
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def read(self, obj: ObjectId) -> Any:
+        return self.store.value_of(obj)
+
+    def version_of(self, obj: ObjectId) -> Version:
+        return self.store.version_of(obj)
+
+    # ------------------------------------------------------------------
+    # transactions
+    # ------------------------------------------------------------------
+    def _next_name(self) -> str:
+        self._txn_counter += 1
+        return f"store-txn-{self._txn_counter}"
+
+    def execute(self, body: Callable[[TransactionContext], Any], name: str = "") -> TransactionContext:
+        """Run the speculative phase only; returns the populated context."""
+        context = TransactionContext(self.store, name=name or self._next_name())
+        context.result = body(context)  # type: ignore[attr-defined]
+        return context
+
+    def transact(
+        self,
+        body: Callable[[TransactionContext], Any],
+        client_index: int = 0,
+    ) -> TransactionOutcome:
+        """Execute, certify and (on commit) apply one transaction."""
+        context = self.execute(body)
+        payload = context.payload()
+        txn = self.cluster.submit(payload, client_index=client_index)
+        if not self.cluster.run_until_decided([txn]):
+            raise RuntimeError(f"transaction {txn} was not decided")
+        decision = self.cluster.decision_of(txn)
+        outcome = TransactionOutcome(
+            txn=txn,
+            decision=decision,
+            payload=payload,
+            result=getattr(context, "result", None),
+        )
+        if decision is Decision.COMMIT and payload.write_set:
+            self.store.apply_payload(payload)
+        self.outcomes.append(outcome)
+        return outcome
+
+    def run_batch(
+        self,
+        bodies: Sequence[Callable[[TransactionContext], Any]],
+        client_index: int = 0,
+    ) -> List[TransactionOutcome]:
+        """Execute a batch of transactions against the same snapshot and
+        certify them concurrently (this is where conflicts arise)."""
+        contexts = [self.execute(body) for body in bodies]
+        payloads = [context.payload() for context in contexts]
+        txns = [self.cluster.submit(payload, client_index=client_index) for payload in payloads]
+        self.cluster.run_until_decided(txns)
+        outcomes = []
+        for context, payload, txn in zip(contexts, payloads, txns):
+            decision = self.cluster.decision_of(txn)
+            outcome = TransactionOutcome(
+                txn=txn,
+                decision=decision,
+                payload=payload,
+                result=getattr(context, "result", None),
+            )
+            if decision is Decision.COMMIT and payload.write_set:
+                self.store.apply_payload(payload)
+            outcomes.append(outcome)
+            self.outcomes.append(outcome)
+        return outcomes
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    @property
+    def committed_count(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.committed)
+
+    @property
+    def aborted_count(self) -> int:
+        return sum(1 for outcome in self.outcomes if not outcome.committed)

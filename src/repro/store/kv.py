@@ -1,0 +1,91 @@
+"""Multi-version key-value store.
+
+Objects are associated with a totally ordered set of versions (Section 2).
+The store keeps the full version history of each object so that the
+optimistic executor can read the latest committed version and so that tests
+can inspect how committed payloads were applied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.serializability import ObjectId, TransactionPayload, Version, VERSION_ZERO
+
+
+@dataclass(frozen=True)
+class VersionedValue:
+    """One version of one object."""
+
+    value: object
+    version: Version
+
+
+class VersionedKVStore:
+    """A multi-version store of committed object values."""
+
+    def __init__(self, initial: Optional[Dict[ObjectId, object]] = None) -> None:
+        self._history: Dict[ObjectId, List[VersionedValue]] = {}
+        if initial:
+            for obj, value in initial.items():
+                self._history[obj] = [VersionedValue(value=value, version=VERSION_ZERO)]
+        self.applied_payloads: List[TransactionPayload] = []
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def read(self, obj: ObjectId) -> VersionedValue:
+        """Latest committed version of ``obj`` (missing objects read as None@0)."""
+        versions = self._history.get(obj)
+        if not versions:
+            return VersionedValue(value=None, version=VERSION_ZERO)
+        return versions[-1]
+
+    def read_at(self, obj: ObjectId, version: Version) -> Optional[VersionedValue]:
+        """The newest version of ``obj`` that is <= ``version``."""
+        candidates = [v for v in self._history.get(obj, []) if v.version <= version]
+        return candidates[-1] if candidates else None
+
+    def version_of(self, obj: ObjectId) -> Version:
+        return self.read(obj).version
+
+    def value_of(self, obj: ObjectId, default: object = None) -> object:
+        value = self.read(obj).value
+        return default if value is None else value
+
+    def history_of(self, obj: ObjectId) -> Tuple[VersionedValue, ...]:
+        return tuple(self._history.get(obj, ()))
+
+    def objects(self) -> Iterable[ObjectId]:
+        return self._history.keys()
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def seed(self, obj: ObjectId, value: object) -> None:
+        """Install an initial (version-zero) value for an object."""
+        self._history.setdefault(obj, []).insert(
+            0, VersionedValue(value=value, version=VERSION_ZERO)
+        )
+
+    def apply_payload(self, payload: TransactionPayload) -> None:
+        """Install the writes of a committed transaction at its commit version.
+
+        Versions are installed in order; out-of-order application of an older
+        commit version than the object's latest is rejected because the TCS
+        guarantees committed transactions admit a serial order consistent
+        with their certification.
+        """
+        for obj, value in sorted(payload.write_set):
+            versions = self._history.setdefault(obj, [])
+            if versions and versions[-1].version >= payload.commit_version:
+                raise ValueError(
+                    f"out-of-order application for {obj!r}: "
+                    f"{payload.commit_version} after {versions[-1].version}"
+                )
+            versions.append(VersionedValue(value=value, version=payload.commit_version))
+        self.applied_payloads.append(payload)
+
+    def __len__(self) -> int:
+        return len(self._history)

@@ -1,0 +1,30 @@
+"""Synthetic workload generators.
+
+The paper reports no experimental workloads (it is a theory paper) and
+FaRM's production traces are proprietary, so the benchmark harness drives
+the protocols with synthetic workloads that exercise the same code paths
+with tunable contention and shard spans:
+
+* :class:`UniformKeyGenerator` / :class:`ZipfianKeyGenerator` — key-access
+  skew;
+* :class:`ReadWriteWorkload` — YCSB-style read/write transactions with a
+  configurable multi-shard span;
+* :class:`BankWorkload` — the classic balance-transfer workload used by the
+  examples and the contention benchmarks.
+"""
+
+from repro.workload.generators import (
+    UniformKeyGenerator,
+    ZipfianKeyGenerator,
+    TransactionSpec,
+    ReadWriteWorkload,
+    BankWorkload,
+)
+
+__all__ = [
+    "UniformKeyGenerator",
+    "ZipfianKeyGenerator",
+    "TransactionSpec",
+    "ReadWriteWorkload",
+    "BankWorkload",
+]

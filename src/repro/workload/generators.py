@@ -1,0 +1,193 @@
+"""Workload generators for the benchmark harness.
+
+All generators are deterministic given a seed and produce
+:class:`TransactionSpec` values — abstract descriptions of the keys a
+transaction reads and writes — which the store's optimistic executor turns
+into certification payloads against the current committed state.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class TransactionSpec:
+    """Abstract transaction: keys read and key/value pairs written."""
+
+    reads: Tuple[str, ...]
+    writes: Tuple[Tuple[str, object], ...]
+    label: str = ""
+
+    def body(self) -> Callable:
+        """Build an executor body that performs these operations."""
+
+        def run(ctx):
+            for key in self.reads:
+                ctx.read(key)
+            for key, value in self.writes:
+                ctx.write(key, value)
+            return self.label
+
+        return run
+
+
+class UniformKeyGenerator:
+    """Keys drawn uniformly from ``key-0 .. key-(n-1)``."""
+
+    def __init__(self, num_keys: int, seed: int = 0, prefix: str = "key") -> None:
+        if num_keys < 1:
+            raise ValueError("num_keys must be >= 1")
+        self.num_keys = num_keys
+        self.prefix = prefix
+        self.rng = random.Random(seed)
+
+    def key(self) -> str:
+        return f"{self.prefix}-{self.rng.randrange(self.num_keys)}"
+
+    def keys(self, count: int) -> List[str]:
+        """``count`` distinct keys (or as many as the key space allows)."""
+        chosen: List[str] = []
+        seen = set()
+        attempts = 0
+        while len(chosen) < min(count, self.num_keys) and attempts < 50 * count:
+            key = self.key()
+            attempts += 1
+            if key not in seen:
+                seen.add(key)
+                chosen.append(key)
+        return chosen
+
+
+class ZipfianKeyGenerator:
+    """Zipfian-skewed key access (higher ``theta`` = more contention)."""
+
+    def __init__(
+        self, num_keys: int, theta: float = 0.9, seed: int = 0, prefix: str = "key"
+    ) -> None:
+        if num_keys < 1:
+            raise ValueError("num_keys must be >= 1")
+        if theta < 0:
+            raise ValueError("theta must be >= 0")
+        self.num_keys = num_keys
+        self.theta = theta
+        self.prefix = prefix
+        self.rng = random.Random(seed)
+        weights = [1.0 / ((rank + 1) ** theta) for rank in range(num_keys)]
+        total = sum(weights)
+        self._cumulative: List[float] = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight / total
+            self._cumulative.append(acc)
+
+    def key(self) -> str:
+        target = self.rng.random()
+        low, high = 0, self.num_keys - 1
+        while low < high:
+            mid = (low + high) // 2
+            if self._cumulative[mid] < target:
+                low = mid + 1
+            else:
+                high = mid
+        return f"{self.prefix}-{low}"
+
+    def keys(self, count: int) -> List[str]:
+        chosen: List[str] = []
+        seen = set()
+        attempts = 0
+        while len(chosen) < min(count, self.num_keys) and attempts < 50 * count + 100:
+            key = self.key()
+            attempts += 1
+            if key not in seen:
+                seen.add(key)
+                chosen.append(key)
+        return chosen
+
+
+class ReadWriteWorkload:
+    """YCSB-style transactions: read ``reads_per_txn`` keys, update a subset."""
+
+    def __init__(
+        self,
+        key_generator,
+        reads_per_txn: int = 3,
+        writes_per_txn: int = 1,
+        seed: int = 0,
+    ) -> None:
+        if writes_per_txn > reads_per_txn:
+            raise ValueError("writes_per_txn must not exceed reads_per_txn")
+        self.keys = key_generator
+        self.reads_per_txn = reads_per_txn
+        self.writes_per_txn = writes_per_txn
+        self.rng = random.Random(seed)
+        self._counter = 0
+
+    def next(self) -> TransactionSpec:
+        self._counter += 1
+        keys = self.keys.keys(self.reads_per_txn)
+        written = keys[: self.writes_per_txn]
+        writes = tuple((key, f"v{self._counter}") for key in written)
+        return TransactionSpec(reads=tuple(keys), writes=writes, label=f"rw-{self._counter}")
+
+    def batch(self, count: int) -> List[TransactionSpec]:
+        return [self.next() for _ in range(count)]
+
+
+class BankWorkload:
+    """Balance transfers between accounts (read two accounts, write both)."""
+
+    def __init__(
+        self,
+        num_accounts: int = 16,
+        initial_balance: int = 100,
+        seed: int = 0,
+        hot_fraction: float = 0.0,
+    ) -> None:
+        if num_accounts < 2:
+            raise ValueError("need at least two accounts")
+        self.num_accounts = num_accounts
+        self.initial_balance = initial_balance
+        self.hot_fraction = hot_fraction
+        self.rng = random.Random(seed)
+        self._counter = 0
+
+    def account(self, index: int) -> str:
+        return f"account-{index}"
+
+    def initial_state(self) -> Dict[str, int]:
+        return {self.account(i): self.initial_balance for i in range(self.num_accounts)}
+
+    def _pick_account(self) -> int:
+        if self.hot_fraction and self.rng.random() < self.hot_fraction:
+            return 0
+        return self.rng.randrange(self.num_accounts)
+
+    def next_transfer(self, amount: Optional[int] = None) -> Callable:
+        """An executor body moving ``amount`` between two random accounts."""
+        self._counter += 1
+        src = self._pick_account()
+        dst = self._pick_account()
+        while dst == src:
+            dst = self.rng.randrange(self.num_accounts)
+        amount = amount if amount is not None else self.rng.randint(1, 10)
+
+        def transfer(ctx):
+            source_balance = ctx.read(self.account(src)) or 0
+            target_balance = ctx.read(self.account(dst)) or 0
+            moved = min(amount, source_balance)
+            ctx.write(self.account(src), source_balance - moved)
+            ctx.write(self.account(dst), target_balance + moved)
+            return moved
+
+        return transfer
+
+    def batch(self, count: int) -> List[Callable]:
+        return [self.next_transfer() for _ in range(count)]
+
+    def total_balance(self, store) -> int:
+        return sum(
+            store.value_of(self.account(i)) or 0 for i in range(self.num_accounts)
+        )

@@ -1,0 +1,171 @@
+"""Unit tests for the configuration service and the transaction directory."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.configservice.service import ConfigurationService, GlobalConfigurationService
+from repro.core.directory import TransactionDirectory
+from repro.core.messages import (
+    ConfigChange,
+    CsCompareAndSwap,
+    CsGet,
+    CsGetLast,
+    CsReply,
+)
+from repro.core.types import Configuration, GlobalConfiguration
+from repro.runtime.events import Scheduler
+from repro.runtime.network import Network
+from repro.runtime.process import Process
+
+
+class Recorder(Process):
+    """Collects every message it receives."""
+
+    def __init__(self, pid):
+        super().__init__(pid)
+        self.messages = []
+
+    def handle(self, message, sender):
+        self.messages.append((message, sender))
+
+
+def build_cs():
+    scheduler = Scheduler()
+    network = Network(scheduler)
+    cs = ConfigurationService()
+    network.register(cs)
+    requester = Recorder("requester")
+    network.register(requester)
+    return scheduler, network, cs, requester
+
+
+def replies_of(recorder):
+    return [m for m, _ in recorder.messages if isinstance(m, CsReply)]
+
+
+def test_get_last_returns_installed_configuration():
+    scheduler, network, cs, requester = build_cs()
+    config = Configuration(epoch=1, members=("a", "b"), leader="a")
+    cs.install_initial("s0", config)
+    requester.send(cs.pid, CsGetLast(shard="s0", request_id=1))
+    scheduler.run()
+    reply = replies_of(requester)[0]
+    assert reply.ok and reply.config == config
+
+
+def test_get_last_unknown_shard_not_ok():
+    scheduler, network, cs, requester = build_cs()
+    requester.send(cs.pid, CsGetLast(shard="nope", request_id=1))
+    scheduler.run()
+    assert not replies_of(requester)[0].ok
+
+
+def test_get_specific_epoch():
+    scheduler, network, cs, requester = build_cs()
+    c1 = Configuration(epoch=1, members=("a", "b"), leader="a")
+    cs.install_initial("s0", c1)
+    c2 = Configuration(epoch=2, members=("b", "c"), leader="b")
+    requester.send(cs.pid, CsCompareAndSwap(shard="s0", expected_epoch=1, config=c2, request_id=1))
+    scheduler.run()
+    requester.send(cs.pid, CsGet(shard="s0", epoch=1, request_id=2))
+    requester.send(cs.pid, CsGet(shard="s0", epoch=2, request_id=3))
+    requester.send(cs.pid, CsGet(shard="s0", epoch=3, request_id=4))
+    scheduler.run()
+    replies = {r.request_id: r for r in replies_of(requester)}
+    assert replies[2].config == c1
+    assert replies[3].config == c2
+    assert not replies[4].ok
+
+
+def test_compare_and_swap_succeeds_only_on_matching_epoch():
+    scheduler, network, cs, requester = build_cs()
+    cs.install_initial("s0", Configuration(epoch=1, members=("a",), leader="a"))
+    good = Configuration(epoch=2, members=("b",), leader="b")
+    stale = Configuration(epoch=3, members=("c",), leader="c")
+    requester.send(cs.pid, CsCompareAndSwap(shard="s0", expected_epoch=1, config=good, request_id=1))
+    requester.send(cs.pid, CsCompareAndSwap(shard="s0", expected_epoch=1, config=stale, request_id=2))
+    scheduler.run()
+    replies = {r.request_id: r for r in replies_of(requester)}
+    assert replies[1].ok
+    assert not replies[2].ok
+    assert cs.last_configuration("s0") == good
+    assert cs.cas_attempts == 2 and cs.cas_successes == 1
+
+
+def test_compare_and_swap_requires_higher_epoch():
+    scheduler, network, cs, requester = build_cs()
+    cs.install_initial("s0", Configuration(epoch=5, members=("a",), leader="a"))
+    same_epoch = Configuration(epoch=5, members=("b",), leader="b")
+    requester.send(
+        cs.pid, CsCompareAndSwap(shard="s0", expected_epoch=5, config=same_epoch, request_id=1)
+    )
+    scheduler.run()
+    assert not replies_of(requester)[0].ok
+
+
+def test_successful_cas_broadcasts_config_change_to_other_shards():
+    scheduler, network, cs, requester = build_cs()
+    cs.install_initial("s0", Configuration(epoch=1, members=("a", "b"), leader="a"))
+    other_member = Recorder("x")
+    network.register(other_member)
+    cs.install_initial("s1", Configuration(epoch=1, members=("x",), leader="x"))
+    new_config = Configuration(epoch=2, members=("b", "c"), leader="b")
+    requester.send(
+        cs.pid, CsCompareAndSwap(shard="s0", expected_epoch=1, config=new_config, request_id=1)
+    )
+    scheduler.run()
+    changes = [m for m, _ in other_member.messages if isinstance(m, ConfigChange)]
+    assert len(changes) == 1
+    assert changes[0].shard == "s0" and changes[0].epoch == 2 and changes[0].leader == "b"
+
+
+def test_global_configuration_service_cas_and_get():
+    scheduler = Scheduler()
+    network = Network(scheduler)
+    cs = GlobalConfigurationService()
+    network.register(cs)
+    requester = Recorder("requester")
+    network.register(requester)
+    initial = GlobalConfiguration(epoch=1, members={"s0": ("a",)}, leaders={"s0": "a"})
+    cs.install_initial(initial)
+    new = GlobalConfiguration(epoch=2, members={"s0": ("b",)}, leaders={"s0": "b"})
+    requester.send(cs.pid, CsCompareAndSwap(shard="*", expected_epoch=1, config=new, request_id=1))
+    requester.send(cs.pid, CsGetLast(shard="*", request_id=2))
+    requester.send(cs.pid, CsGet(shard="*", epoch=1, request_id=3))
+    scheduler.run()
+    replies = {r.request_id: r for r in replies_of(requester)}
+    assert replies[1].ok
+    assert replies[2].config == new
+    assert replies[3].config == initial
+    # A CAS against a stale epoch fails.
+    requester.send(cs.pid, CsCompareAndSwap(shard="*", expected_epoch=1, config=new, request_id=4))
+    scheduler.run()
+    assert not {r.request_id: r for r in replies_of(requester)}[4].ok
+
+
+# ----------------------------------------------------------------------
+# transaction directory
+# ----------------------------------------------------------------------
+def test_directory_register_and_query():
+    directory = TransactionDirectory()
+    directory.register("t1", client="client-0", shards=["s0", "s1"])
+    assert directory.known("t1")
+    assert directory.client_of("t1") == "client-0"
+    assert directory.shards_of("t1") == frozenset({"s0", "s1"})
+    assert len(directory) == 1
+    assert directory.get("missing") is None
+
+
+def test_directory_idempotent_registration():
+    directory = TransactionDirectory()
+    directory.register("t1", client="c", shards=["s0"])
+    directory.register("t1", client="c", shards=["s0"])
+    assert len(directory) == 1
+
+
+def test_directory_rejects_conflicting_registration():
+    directory = TransactionDirectory()
+    directory.register("t1", client="c", shards=["s0"])
+    with pytest.raises(ValueError):
+        directory.register("t1", client="other", shards=["s0"])

@@ -1,0 +1,118 @@
+"""The Figure 4a counter-example: naive RDMA + per-shard reconfiguration is
+unsafe; the paper's protocols are not.
+
+The schedule (Section 5, Figure 4a):
+
+1. a transaction ``t`` spanning shards s1 and s2 is prepared to commit at
+   both leaders, and the commit vote of s1 is persisted at its follower;
+2. before the coordinator ``pc`` persists s2's vote at s2's follower ``p4``,
+   s2's leader is suspected and s2 is reconfigured: ``p4`` becomes the new
+   leader and a fresh process joins as follower;
+3. s1's leader retries ``t``; the new leader of s2 does not know it, so the
+   retry coordinator decides **abort** and externalises it;
+4. ``pc`` — not actually failed, still holding s2's old commit vote and a
+   stale view of s2's configuration — belatedly persists the vote at ``p4``
+   with a one-sided RDMA write that ``p4`` cannot reject, gathers its acks
+   and decides **commit**.
+
+Two contradictory decisions for ``t`` are externalised.  The fixed protocols
+prevent this: the message-passing protocol rejects the stale ACCEPT (line 22
+epoch check), and the RDMA protocol reconfigures globally, closing RDMA
+connections and invalidating the coordinator's epoch.
+"""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core.types import Decision
+
+from conftest import payload, shard_key
+
+
+LATE_ACCEPT_DELAY = 60.0
+LATE_CONFIG_DELAY = 500.0
+
+
+def _spanning_payload(cluster):
+    key0 = shard_key(cluster.scheme, "shard-0")
+    key1 = shard_key(cluster.scheme, "shard-1")
+    return payload(
+        reads=[(key0, (0, "")), (key1, (0, ""))],
+        writes=[(key0, 1), (key1, 1)],
+        tiebreak="t",
+    )
+
+
+def _drive_figure_4a(cluster, global_reconfig: bool):
+    """Drive the Figure 4a schedule against the given cluster."""
+    spanning = _spanning_payload(cluster)
+    coordinator = cluster.members_of("shard-2")[0]  # pc, from a third shard
+    s1_leader = cluster.leader_of("shard-0")  # p1
+    s2_leader = cluster.leader_of("shard-1")  # p3
+    s2_follower = cluster.followers_of("shard-1")[0]  # p4
+
+    # The ACCEPT carrying s2's vote reaches p4 only much later, and pc learns
+    # about configuration changes very late (it "still believes s2 is in the
+    # old configuration").
+    cluster.network.add_extra_delay(coordinator, s2_follower, LATE_ACCEPT_DELAY)
+    cluster.network.add_extra_delay(cluster.config_service.pid, coordinator, LATE_CONFIG_DELAY)
+
+    txn = cluster.submit(spanning, coordinator=coordinator)
+    # Step 1-2: run long enough for both PREPARE_ACKs and for s1's vote to be
+    # persisted, but not long enough for the delayed ACCEPT to land at p4.
+    cluster.run(max_time=10.0)
+    assert cluster.history.decision_of(txn) is None
+
+    # Step 3: s2's leader is suspected; s2 is reconfigured (p4 promoted).
+    cluster.crash(s2_leader)
+    if global_reconfig:
+        cluster.reconfigure(initiator=s2_follower, suspects=[s2_leader], run=False)
+    else:
+        cluster.reconfigure("shard-1", initiator=s2_follower, suspects=[s2_leader], run=False)
+    cluster.run(max_time=40.0)
+
+    # Step 4-5: s1's leader retries the transaction.
+    p1 = cluster.replica(s1_leader)
+    if txn in p1.slot_of:
+        p1.retry(p1.slot_of[txn])
+    cluster.run(max_time=55.0)
+
+    # Step 6-7: the delayed RDMA write lands at p4 and pc finishes.
+    cluster.run(max_time=LATE_CONFIG_DELAY + 50.0)
+    return txn
+
+
+def test_broken_variant_reproduces_contradictory_decisions():
+    cluster = Cluster(
+        num_shards=3, replicas_per_shard=2, protocol="broken-rdma", spares_per_shard=2, seed=51
+    )
+    txn = _drive_figure_4a(cluster, global_reconfig=False)
+    # Both an abort and a commit were externalised for the same transaction.
+    assert cluster.history.contradictions, "expected the Figure 4a safety violation"
+    contradicted = {t for t, _, _ in cluster.history.contradictions}
+    assert txn in contradicted
+    result, _ = cluster.check(include_invariants=False)
+    assert not result.ok
+    assert "contradictory" in result.reason
+
+
+def test_message_passing_protocol_safe_under_same_schedule():
+    cluster = Cluster(
+        num_shards=3, replicas_per_shard=2, protocol="message-passing", spares_per_shard=2, seed=51
+    )
+    _drive_figure_4a(cluster, global_reconfig=False)
+    assert cluster.history.contradictions == []
+    result, violations = cluster.check()
+    assert result.ok, result.reason
+    assert violations == []
+
+
+def test_rdma_protocol_safe_under_same_schedule():
+    cluster = Cluster(
+        num_shards=3, replicas_per_shard=2, protocol="rdma", spares_per_shard=2, seed=51
+    )
+    _drive_figure_4a(cluster, global_reconfig=True)
+    assert cluster.history.contradictions == []
+    result, violations = cluster.check()
+    assert result.ok, result.reason
+    assert violations == []

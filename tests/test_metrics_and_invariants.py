@@ -1,0 +1,165 @@
+"""Tests for the metrics helpers and the invariant checker."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    ExperimentReport,
+    LatencySummary,
+    format_table,
+    leader_load,
+    messages_per_transaction,
+    percentile,
+    summarize,
+)
+from repro.cluster import Cluster
+from repro.core.types import Decision, Phase
+from repro.runtime.network import MessageStats
+from repro.spec.invariants import check_invariants
+
+from conftest import rw_payload
+
+
+# ----------------------------------------------------------------------
+# metrics
+# ----------------------------------------------------------------------
+def test_summarize_basic_statistics():
+    summary = summarize([1.0, 2.0, 3.0, 4.0])
+    assert summary.count == 4
+    assert summary.mean == pytest.approx(2.5)
+    assert summary.median == pytest.approx(2.5)
+    assert summary.minimum == 1.0 and summary.maximum == 4.0
+    assert set(summary.as_dict()) == {"count", "mean", "median", "p99", "min", "max"}
+
+
+def test_summarize_empty_raises():
+    with pytest.raises(ValueError):
+        summarize([])
+
+
+def test_percentile_nearest_rank():
+    sample = sorted([1.0, 2.0, 3.0, 4.0, 5.0])
+    assert percentile(sample, 0.0) == 1.0
+    assert percentile(sample, 1.0) == 5.0
+    assert percentile(sample, 0.5) == 3.0
+    with pytest.raises(ValueError):
+        percentile(sample, 1.5)
+    with pytest.raises(ValueError):
+        percentile([], 0.5)
+
+
+def test_leader_load_and_messages_per_transaction():
+    stats = MessageStats()
+    for _ in range(6):
+        stats.record_send("leader", object())
+    for _ in range(4):
+        stats.record_delivery("leader", object())
+    assert leader_load(stats, ["leader"], num_transactions=2) == pytest.approx(5.0)
+    assert leader_load(stats, [], num_transactions=2) == 0.0
+    assert messages_per_transaction(stats, 3) == pytest.approx(2.0)
+    assert messages_per_transaction(stats, 0) == 0.0
+
+
+def test_format_table_alignment():
+    table = format_table(["name", "value"], [["a", 1.23456], ["long-name", 7]])
+    lines = table.splitlines()
+    assert len(lines) == 4
+    assert "name" in lines[0] and "value" in lines[0]
+    assert "1.23" in table
+
+
+def test_experiment_report_render():
+    report = ExperimentReport(
+        experiment="E1", claim="latency", headers=["protocol", "delays"]
+    )
+    report.add_row("ours", 5.0)
+    report.add_row("baseline", 7.0)
+    text = report.render()
+    assert "E1" in text and "ours" in text and "7.00" in text
+
+
+# ----------------------------------------------------------------------
+# invariant checker
+# ----------------------------------------------------------------------
+def test_invariants_clean_cluster_has_no_violations():
+    cluster = Cluster(num_shards=2, replicas_per_shard=2, seed=81)
+    cluster.certify_many([rw_payload(f"k{i}", tiebreak=str(i)) for i in range(5)])
+    cluster.run()
+    assert check_invariants(cluster.member_replicas_by_shard(), cluster.history) == []
+
+
+def _tamper(cluster):
+    shard = "shard-0"
+    members = [cluster.replica(p) for p in cluster.members_of(shard)]
+    return shard, members
+
+
+def test_invariants_detect_vote_divergence():
+    cluster = Cluster(num_shards=2, replicas_per_shard=2, seed=82)
+    cluster.certify(rw_payload("x", tiebreak="a"))
+    cluster.run()
+    shard = cluster.scheme.sharding.shard_of("x")
+    follower = cluster.replica(cluster.followers_of(shard)[0])
+    slot = next(iter(follower.vote_arr))
+    follower.vote_arr[slot] = Decision.ABORT
+    violations = check_invariants(cluster.member_replicas_by_shard(), cluster.history)
+    assert any("vote-agreement" in v.invariant for v in violations)
+
+
+def test_invariants_detect_decision_divergence():
+    cluster = Cluster(num_shards=2, replicas_per_shard=2, seed=83)
+    cluster.certify(rw_payload("x", tiebreak="a"))
+    cluster.run()
+    shard = cluster.scheme.sharding.shard_of("x")
+    follower = cluster.replica(cluster.followers_of(shard)[0])
+    slot = next(iter(follower.dec_arr))
+    follower.dec_arr[slot] = Decision.ABORT
+    violations = check_invariants(cluster.member_replicas_by_shard(), cluster.history)
+    assert any("decision-agreement" in v.invariant for v in violations)
+
+
+def test_invariants_detect_duplicate_transaction_slots():
+    cluster = Cluster(num_shards=2, replicas_per_shard=2, seed=84)
+    cluster.certify(rw_payload("x", tiebreak="a"))
+    cluster.run()
+    shard = cluster.scheme.sharding.shard_of("x")
+    leader = cluster.replica(cluster.leader_of(shard))
+    slot = max(leader.txn_arr)
+    leader.txn_arr[slot + 1] = leader.txn_arr[slot]
+    violations = check_invariants(cluster.member_replicas_by_shard(), cluster.history)
+    assert any("unique-slots" in v.invariant for v in violations)
+
+
+def test_invariants_detect_log_divergence():
+    cluster = Cluster(num_shards=2, replicas_per_shard=2, seed=85)
+    cluster.certify(rw_payload("x", tiebreak="a"))
+    cluster.run()
+    shard = cluster.scheme.sharding.shard_of("x")
+    follower = cluster.replica(cluster.followers_of(shard)[0])
+    slot = next(iter(follower.txn_arr))
+    follower.txn_arr[slot] = "phantom-transaction"
+    violations = check_invariants(cluster.member_replicas_by_shard(), cluster.history)
+    assert any("log-agreement" in v.invariant for v in violations)
+
+
+def test_invariants_detect_commit_with_abort_vote():
+    cluster = Cluster(num_shards=2, replicas_per_shard=2, seed=86)
+    cluster.certify(rw_payload("x", tiebreak="a"))
+    cluster.run()
+    shard = cluster.scheme.sharding.shard_of("x")
+    leader = cluster.replica(cluster.leader_of(shard))
+    slot = next(iter(leader.dec_arr))
+    leader.vote_arr[slot] = Decision.ABORT
+    violations = check_invariants({shard: [leader]}, None)
+    assert any("commit-implies-commit-vote" in v.invariant for v in violations)
+
+
+def test_violation_string_rendering():
+    cluster = Cluster(num_shards=2, replicas_per_shard=2, seed=87)
+    cluster.certify(rw_payload("x", tiebreak="a"))
+    cluster.run()
+    shard = cluster.scheme.sharding.shard_of("x")
+    leader = cluster.replica(cluster.leader_of(shard))
+    slot = next(iter(leader.dec_arr))
+    leader.vote_arr[slot] = Decision.ABORT
+    violations = check_invariants({shard: [leader]}, None)
+    assert all(str(v) for v in violations)

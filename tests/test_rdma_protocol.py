@@ -1,0 +1,113 @@
+"""Tests specific to the RDMA-based protocol (Figures 7-8)."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core.types import Decision, Status
+
+from conftest import payload, rw_payload, shard_key
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(num_shards=2, replicas_per_shard=2, protocol="rdma", seed=41)
+
+
+def test_initial_members_have_open_connections(cluster):
+    all_members = [pid for shard in cluster.shards for pid in cluster.members_of(shard)]
+    for pid in all_members:
+        replica = cluster.replica(pid)
+        assert replica.rdma.connections == set(all_members) - {pid}
+
+
+def test_followers_persist_votes_without_accept_ack_messages(cluster):
+    txn = cluster.submit(rw_payload("x", tiebreak="a"))
+    cluster.run_until_decided([txn])
+    cluster.run()
+    stats = cluster.message_stats
+    # No ACCEPT_ACK messages exist in the RDMA protocol: followers are
+    # persisted by one-sided writes and NIC-level acks.
+    assert stats.sent_by_type.get("AcceptAck", 0) == 0
+    assert stats.sent_by_type.get("RdmaWrite", 0) > 0
+    assert stats.sent_by_type.get("RdmaAck", 0) > 0
+
+
+def test_global_reconfiguration_bumps_every_shard(cluster):
+    cluster.certify(rw_payload("x", tiebreak="a"))
+    crashed = cluster.crash_follower("shard-1")
+    assert cluster.reconfigure(initiator=cluster.leader_of("shard-0"), suspects=[crashed])
+    config = cluster.config_service.last_configuration()
+    assert config.epoch == 2
+    # Every live replica of every shard moved to the new system-wide epoch.
+    for shard in cluster.shards:
+        for pid in config.members[shard]:
+            assert cluster.replica(pid).epoch == 2
+    assert crashed not in config.members["shard-1"]
+
+
+def test_certification_continues_after_global_reconfiguration(cluster):
+    first = rw_payload("x", version=0, tiebreak="a")
+    assert cluster.certify(first) is Decision.COMMIT
+    crashed = cluster.crash_follower("shard-0")
+    assert cluster.reconfigure(initiator=cluster.leader_of("shard-1"), suspects=[crashed])
+    # Conflict detection survives: a stale rewrite of x aborts, a fresh one commits.
+    assert cluster.certify(rw_payload("x", version=0, tiebreak="stale")) is Decision.ABORT
+    fresh = payload(reads=[("x", first.commit_version)], writes=[("x", 2)], tiebreak="b")
+    assert cluster.certify(fresh) is Decision.COMMIT
+    result, violations = cluster.check()
+    assert result.ok and violations == []
+
+
+def test_leader_crash_recovered_by_global_reconfiguration(cluster):
+    assert cluster.certify(rw_payload("x", tiebreak="a")) is Decision.COMMIT
+    crashed = cluster.crash_leader("shard-0")
+    initiator = cluster.leader_of("shard-1")
+    assert cluster.reconfigure(initiator=initiator, suspects=[crashed])
+    config = cluster.config_service.last_configuration()
+    assert config.leaders["shard-0"] != crashed
+    assert cluster.certify(rw_payload("y", tiebreak="b")) is Decision.COMMIT
+    result, violations = cluster.check()
+    assert result.ok and violations == []
+
+
+def test_probed_processes_close_connections(cluster):
+    """Closing RDMA connections on PROBE is what restores safety (Section 5)."""
+    follower = cluster.followers_of("shard-0")[0]
+    replica = cluster.replica(follower)
+    assert replica.rdma.connections  # open initially
+    cluster.reconfigure(initiator=cluster.leader_of("shard-1"), run=False)
+    # Run just far enough for probes to arrive.
+    cluster.run(max_time=5.0)
+    assert replica.status in (Status.RECONFIGURING, Status.FOLLOWER, Status.LEADER)
+    # After the reconfiguration completes, connections are re-established to
+    # the members of the new configuration.
+    cluster.run()
+    config = cluster.config_service.last_configuration()
+    expected_peers = set(config.all_processes())
+    if follower in expected_peers:
+        assert replica.rdma.connections <= expected_peers
+        assert replica.rdma.connections  # reconnected
+
+
+def test_new_leader_flushes_before_state_transfer(cluster):
+    """The flush() call on NEW_CONFIG means every write acked before the
+    reconfiguration is reflected in the state the new leader transfers."""
+    txn = cluster.submit(rw_payload("x", tiebreak="a"))
+    cluster.run_until_decided([txn])
+    cluster.run()
+    crashed = cluster.crash_leader("shard-0")
+    cluster.reconfigure(initiator=cluster.leader_of("shard-1"), suspects=[crashed])
+    config = cluster.config_service.last_configuration()
+    for pid in config.members["shard-0"]:
+        replica = cluster.replica(pid)
+        assert txn in replica.certification_order()
+
+
+def test_rdma_history_correct_under_concurrent_conflicts(cluster):
+    conflicting = [rw_payload("hot", version=0, tiebreak=str(i)) for i in range(5)]
+    disjoint = [rw_payload(f"k{i}", tiebreak=f"d{i}") for i in range(5)]
+    decisions = cluster.certify_many(conflicting + disjoint)
+    commits = [d for d in decisions.values() if d is Decision.COMMIT]
+    assert len(commits) == 1 + 5
+    result, violations = cluster.check()
+    assert result.ok and violations == []

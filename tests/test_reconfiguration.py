@@ -1,0 +1,229 @@
+"""Integration tests for per-shard reconfiguration (Figure 1, lines 33-69)."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core.types import Decision, Status
+
+from conftest import payload, rw_payload, shard_key
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(num_shards=2, replicas_per_shard=2, spares_per_shard=2, seed=21)
+
+
+def commit_some(cluster, count=3, prefix="k"):
+    payloads = [rw_payload(f"{prefix}{i}", tiebreak=f"{prefix}{i}") for i in range(count)]
+    decisions = cluster.certify_many(payloads)
+    assert all(d is Decision.COMMIT for d in decisions.values())
+    return payloads
+
+
+def test_reconfiguration_replaces_crashed_follower(cluster):
+    commit_some(cluster)
+    crashed = cluster.crash_follower("shard-0")
+    assert cluster.reconfigure("shard-0", suspects=[crashed])
+    config = cluster.current_configuration("shard-0")
+    assert config.epoch == 2
+    assert crashed not in config.members
+    assert len(config.members) == 2
+    # A fresh spare has been drafted in and initialised.
+    new_member = [p for p in config.members if p.startswith("shard-0/spare")]
+    assert new_member
+    assert cluster.replica(new_member[0]).initialized
+
+
+def test_reconfiguration_after_leader_crash_promotes_follower(cluster):
+    commit_some(cluster)
+    old_leader = cluster.crash_leader("shard-0")
+    assert cluster.reconfigure("shard-0", suspects=[old_leader])
+    config = cluster.current_configuration("shard-0")
+    assert config.epoch == 2
+    assert old_leader not in config.members
+    new_leader = cluster.replica(config.leader)
+    assert new_leader.status is Status.LEADER
+    assert new_leader.initialized
+
+
+def test_certification_continues_after_follower_replacement(cluster):
+    committed = commit_some(cluster)
+    crashed = cluster.crash_follower("shard-0")
+    cluster.reconfigure("shard-0", suspects=[crashed])
+    post = rw_payload("post", tiebreak="post")
+    assert cluster.certify(post) is Decision.COMMIT
+    result, violations = cluster.check()
+    assert result.ok and violations == []
+
+
+def test_certification_continues_after_leader_replacement(cluster):
+    commit_some(cluster)
+    old_leader = cluster.crash_leader("shard-0")
+    cluster.reconfigure("shard-0", suspects=[old_leader])
+    assert cluster.certify(rw_payload("post", tiebreak="post")) is Decision.COMMIT
+    result, violations = cluster.check()
+    assert result.ok and violations == []
+
+
+def test_committed_transactions_survive_reconfiguration(cluster):
+    """Invariant 2: accepted transactions persist into higher epochs."""
+    committed = commit_some(cluster, count=4)
+    old_leader = cluster.crash_leader("shard-0")
+    cluster.reconfigure("shard-0", suspects=[old_leader])
+    new_config = cluster.current_configuration("shard-0")
+    decided_txns = set(cluster.history.committed())
+    for pid in new_config.members:
+        replica = cluster.replica(pid)
+        recorded = set(replica.txn_arr.values())
+        for txn in decided_txns:
+            if "shard-0" in cluster.directory.shards_of(txn):
+                assert txn in recorded
+
+
+def test_conflict_detection_preserved_across_reconfiguration(cluster):
+    first = rw_payload("x", version=0, tiebreak="a")
+    assert cluster.certify(first) is Decision.COMMIT
+    old_leader = cluster.crash_leader(cluster.scheme.sharding.shard_of("x"))
+    cluster.reconfigure(cluster.scheme.sharding.shard_of("x"), suspects=[old_leader])
+    stale = rw_payload("x", version=0, tiebreak="b")
+    assert cluster.certify(stale) is Decision.ABORT
+
+
+def test_other_shards_keep_processing_during_reconfiguration(cluster):
+    """Per-shard reconfiguration does not disturb unaffected shards."""
+    key1 = shard_key(cluster.scheme, "shard-1")
+    crashed = cluster.crash_follower("shard-0")
+    # Do not run the reconfiguration to completion yet: submit to shard-1
+    # while shard-0 is being probed.
+    cluster.reconfigure("shard-0", run=False, suspects=[crashed])
+    decision = cluster.certify(rw_payload(key1, tiebreak="other"))
+    assert decision is Decision.COMMIT
+
+
+def test_epoch_monotonically_increases_over_reconfigurations(cluster):
+    epochs = [cluster.current_configuration("shard-0").epoch]
+    for round_ in range(3):
+        crashed = cluster.crash_follower("shard-0")
+        assert cluster.reconfigure("shard-0", suspects=[crashed])
+        epochs.append(cluster.current_configuration("shard-0").epoch)
+        assert cluster.certify(rw_payload(f"r{round_}", tiebreak=f"r{round_}")) in (
+            Decision.COMMIT,
+            Decision.ABORT,
+        )
+    assert epochs == sorted(epochs) and len(set(epochs)) == len(epochs)
+
+
+def test_reconfiguration_requires_spares_or_survivors(cluster):
+    """With no spares left, the new configuration shrinks to the survivors."""
+    cluster.spare_pools["shard-0"]._available.clear()
+    crashed = cluster.crash_follower("shard-0")
+    cluster.reconfigure("shard-0", suspects=[crashed])
+    config = cluster.current_configuration("shard-0")
+    assert config.epoch == 2
+    assert len(config.members) == 1
+    assert cluster.certify(rw_payload("after", tiebreak="after")) is Decision.COMMIT
+
+
+def test_probing_traverses_past_non_operational_epoch():
+    """If a reconfiguration attempt installs a configuration whose only live
+    members are fresh (its new leader dies before transferring state), the
+    next reconfiguration probes *past* it, down to an older epoch that still
+    holds the data (Vertical-Paxos-style traversal; FaRM's single-epoch
+    lookback would get stuck here)."""
+    cluster = Cluster(num_shards=2, replicas_per_shard=3, spares_per_shard=3, seed=23)
+    shard = "shard-0"
+    r0, r1, r2 = cluster.members_of(shard)
+    first = rw_payload("k0", version=0, tiebreak="first")
+    assert cluster.certify(first) is Decision.COMMIT
+
+    # r2 crashes; r0 reconfigures, excluding r1 and r2 from the new
+    # membership, so epoch 2 = (r0, fresh, fresh).
+    cluster.crash(r2)
+    cluster.reconfigure(shard, initiator=r0, suspects=[r1, r2], run=False)
+
+    def kill_new_leader_once_epoch2_is_introduced() -> bool:
+        config = cluster.config_service.last_configuration(shard)
+        if config is not None and config.epoch == 2:
+            cluster.crash(config.leader)
+            return True
+        return False
+
+    cluster.scheduler.run_until(kill_new_leader_once_epoch2_is_introduced, max_events=100_000)
+    cluster.run()
+    epoch2 = cluster.config_service.last_configuration(shard)
+    assert epoch2.epoch == 2
+    # Epoch 2 never activated: its surviving members are uninitialised spares.
+    for pid in epoch2.members:
+        replica = cluster.replica(pid)
+        assert replica.crashed or not replica.initialized
+
+    # A further reconfiguration must traverse down to epoch 1 and find r1.
+    assert cluster.reconfigure(shard, initiator=r1)
+    config = cluster.current_configuration(shard)
+    assert config.epoch >= 3
+    assert config.leader == r1
+    assert cluster.replica(r1).initialized
+
+    # The shard is operational again and remembers its history: a stale
+    # re-write of k0 must still abort.
+    assert cluster.certify(rw_payload("k0", version=0, tiebreak="stale")) is Decision.ABORT
+    result, violations = cluster.check()
+    assert result.ok and violations == []
+
+
+def test_spurious_suspicion_reconfiguration_is_harmless(cluster):
+    """Reconfiguring a shard whose leader is only *suspected* (but alive)
+    bumps the epoch and keeps the system correct."""
+    commit_some(cluster)
+    shard = "shard-0"
+    old_leader_pid = cluster.leader_of(shard)
+    follower = cluster.followers_of(shard)[0]
+    cluster.reconfigure(shard, initiator=follower, suspects=[old_leader_pid])
+    config = cluster.current_configuration(shard)
+    assert config.epoch == 2
+    assert cluster.certify(rw_payload("fresh", tiebreak="fresh")) is Decision.COMMIT
+    result, violations = cluster.check()
+    assert result.ok and violations == []
+
+
+def test_losing_undecided_transaction_is_safe(cluster):
+    """Section 3, "Losing undecided transactions": a prepared-but-undecided
+    transaction may be lost by a reconfiguration; later transactions whose
+    votes depended on it remain correct."""
+    shard = cluster.scheme.sharding.shard_of("hot")
+    other_shard = "shard-1" if shard == "shard-0" else "shard-0"
+    leader_pid = cluster.leader_of(shard)
+    follower_pid = cluster.followers_of(shard)[0]
+    # Coordinate t1 from a follower of the other shard, so that crashing the
+    # coordinator later does not decapitate that shard.
+    coordinator = cluster.followers_of(other_shard)[0]
+
+    # t1 reads+writes "hot"; block the coordinator's ACCEPT from reaching the
+    # follower so t1 is prepared at the leader but never persisted.
+    cluster.network.block(coordinator, follower_pid)
+    t1 = cluster.submit(rw_payload("hot", version=0, tiebreak="t1"), coordinator=coordinator)
+    cluster.run()
+    assert cluster.history.decision_of(t1) is None
+
+    # t2 writes a different key on the same shard; its vote was computed in a
+    # context that included prepared-but-uncommitted t1.
+    key_other = shard_key(cluster.scheme, shard, hint="cold")
+    t2 = cluster.submit(
+        rw_payload(key_other, version=0, tiebreak="t2"),
+        coordinator=cluster.leader_of(other_shard),
+    )
+    cluster.run()
+    assert cluster.history.decision_of(t2) is Decision.COMMIT
+
+    # The leader and t1's coordinator now crash: t1 is lost forever.
+    cluster.crash(leader_pid)
+    cluster.crash(coordinator)
+    cluster.reconfigure(shard, initiator=follower_pid, suspects=[leader_pid])
+    post_key = shard_key(cluster.scheme, shard, hint="post")
+    assert cluster.certify(rw_payload(post_key, tiebreak="post")) is Decision.COMMIT
+
+    # t1 was never decided and the overall history is still correct.
+    assert cluster.history.decision_of(t1) is None
+    result, violations = cluster.check()
+    assert result.ok, result.reason
+    assert violations == []

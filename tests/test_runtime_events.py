@@ -1,0 +1,125 @@
+"""Unit tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.runtime.events import Scheduler
+
+
+def test_schedule_and_run_fires_in_time_order():
+    scheduler = Scheduler()
+    fired = []
+    scheduler.schedule(2.0, lambda: fired.append("b"))
+    scheduler.schedule(1.0, lambda: fired.append("a"))
+    scheduler.schedule(3.0, lambda: fired.append("c"))
+    scheduler.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_in_scheduling_order():
+    scheduler = Scheduler()
+    fired = []
+    for name in ["first", "second", "third"]:
+        scheduler.schedule(1.0, lambda n=name: fired.append(n))
+    scheduler.run()
+    assert fired == ["first", "second", "third"]
+
+
+def test_now_advances_to_event_time():
+    scheduler = Scheduler()
+    times = []
+    scheduler.schedule(5.0, lambda: times.append(scheduler.now))
+    scheduler.run()
+    assert times == [5.0]
+    assert scheduler.now == 5.0
+
+
+def test_negative_delay_rejected():
+    scheduler = Scheduler()
+    with pytest.raises(ValueError):
+        scheduler.schedule(-1.0, lambda: None)
+
+
+def test_schedule_in_past_rejected():
+    scheduler = Scheduler()
+    scheduler.schedule(5.0, lambda: None)
+    scheduler.run()
+    with pytest.raises(ValueError):
+        scheduler.schedule_at(1.0, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    scheduler = Scheduler()
+    fired = []
+    event = scheduler.schedule(1.0, lambda: fired.append("cancelled"))
+    scheduler.schedule(2.0, lambda: fired.append("kept"))
+    event.cancel()
+    scheduler.run()
+    assert fired == ["kept"]
+
+
+def test_run_respects_max_time():
+    scheduler = Scheduler()
+    fired = []
+    scheduler.schedule(1.0, lambda: fired.append(1))
+    scheduler.schedule(10.0, lambda: fired.append(10))
+    scheduler.run(max_time=5.0)
+    assert fired == [1]
+    # The late event is still pending and fires on the next unbounded run.
+    scheduler.run()
+    assert fired == [1, 10]
+
+
+def test_run_respects_max_events():
+    scheduler = Scheduler()
+    fired = []
+    for i in range(10):
+        scheduler.schedule(float(i + 1), lambda i=i: fired.append(i))
+    scheduler.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
+def test_events_can_schedule_more_events():
+    scheduler = Scheduler()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 5:
+            scheduler.schedule(1.0, chain, n + 1)
+
+    scheduler.schedule(1.0, chain, 1)
+    scheduler.run()
+    assert fired == [1, 2, 3, 4, 5]
+    assert scheduler.now == 5.0
+
+
+def test_run_until_predicate():
+    scheduler = Scheduler()
+    fired = []
+    for i in range(10):
+        scheduler.schedule(float(i + 1), lambda i=i: fired.append(i))
+    satisfied = scheduler.run_until(lambda: len(fired) >= 4)
+    assert satisfied
+    assert len(fired) == 4
+
+
+def test_run_until_returns_false_when_exhausted():
+    scheduler = Scheduler()
+    scheduler.schedule(1.0, lambda: None)
+    assert not scheduler.run_until(lambda: False)
+
+
+def test_idle_and_pending():
+    scheduler = Scheduler()
+    assert scheduler.idle
+    event = scheduler.schedule(1.0, lambda: None)
+    assert not scheduler.idle
+    event.cancel()
+    assert scheduler.idle
+    assert scheduler.pending == 1
+
+
+def test_run_advances_now_to_max_time_when_queue_empty():
+    scheduler = Scheduler()
+    scheduler.run(max_time=42.0)
+    assert scheduler.now == 42.0

@@ -1,0 +1,224 @@
+"""Unit tests for the simulated network and the process/actor model."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.runtime.events import Scheduler
+from repro.runtime.failures import CrashPlan, FailureInjector
+from repro.runtime.network import Network, UniformLatency, UnitLatency
+from repro.runtime.process import Process, handler_name
+
+
+@dataclass(frozen=True)
+class Ping:
+    value: int
+
+
+@dataclass(frozen=True)
+class Pong:
+    value: int
+
+
+class Echo(Process):
+    def __init__(self, pid):
+        super().__init__(pid)
+        self.received = []
+
+    def on_ping(self, msg, sender):
+        self.received.append((msg.value, sender, self.now))
+        self.send(sender, Pong(msg.value))
+
+    def on_pong(self, msg, sender):
+        self.received.append((msg.value, sender, self.now))
+
+
+def build(latency=None, seed=0):
+    scheduler = Scheduler()
+    network = Network(scheduler, latency=latency or UnitLatency(), seed=seed)
+    a, b = Echo("a"), Echo("b")
+    network.register(a)
+    network.register(b)
+    return scheduler, network, a, b
+
+
+def test_handler_name_derivation():
+    assert handler_name(Ping(1)) == "on_ping"
+    assert handler_name(Pong(1)) == "on_pong"
+
+
+def test_message_round_trip_takes_two_delays():
+    scheduler, network, a, b = build()
+    a.send("b", Ping(7))
+    scheduler.run()
+    assert b.received == [(7, "a", 1.0)]
+    assert a.received == [(7, "b", 2.0)]
+
+
+def test_fifo_order_per_channel():
+    scheduler, network, a, b = build(latency=UniformLatency(0.1, 2.0), seed=42)
+    for i in range(20):
+        a.send("b", Ping(i))
+    scheduler.run()
+    values = [v for v, _, _ in b.received]
+    assert values == list(range(20))
+
+
+def test_fifo_delivery_times_monotone():
+    scheduler, network, a, b = build(latency=UniformLatency(0.1, 2.0), seed=7)
+    for i in range(10):
+        a.send("b", Ping(i))
+    scheduler.run()
+    times = [t for _, _, t in b.received]
+    assert times == sorted(times)
+
+
+def test_messages_to_crashed_process_are_dropped():
+    scheduler, network, a, b = build()
+    network.crash("b")
+    a.send("b", Ping(1))
+    scheduler.run()
+    assert b.received == []
+    assert network.stats.dropped == 1
+
+
+def test_crashed_process_does_not_send():
+    scheduler, network, a, b = build()
+    network.crash("a")
+    a.send("b", Ping(1))
+    scheduler.run()
+    assert b.received == []
+
+
+def test_crash_mid_flight_drops_delivery():
+    scheduler, network, a, b = build()
+    a.send("b", Ping(1))
+    network.scheduler.schedule(0.5, lambda: network.crash("b"))
+    scheduler.run()
+    assert b.received == []
+
+
+def test_blocked_channel_drops_messages_one_direction():
+    scheduler, network, a, b = build()
+    network.block("a", "b")
+    a.send("b", Ping(1))
+    b.send("a", Ping(2))
+    scheduler.run()
+    assert b.received == []
+    assert any(v == 2 for v, _, _ in a.received)
+
+
+def test_partition_and_heal():
+    scheduler, network, a, b = build()
+    network.partition(["a"], ["b"])
+    a.send("b", Ping(1))
+    scheduler.run()
+    assert b.received == []
+    network.heal()
+    a.send("b", Ping(2))
+    scheduler.run()
+    assert [v for v, _, _ in b.received] == [2]
+
+
+def test_message_to_unknown_destination_is_counted_dropped():
+    scheduler, network, a, b = build()
+    a.send("nobody", Ping(1))
+    scheduler.run()
+    assert network.stats.dropped == 1
+
+
+def test_duplicate_registration_rejected():
+    scheduler = Scheduler()
+    network = Network(scheduler)
+    network.register(Echo("a"))
+    with pytest.raises(ValueError):
+        network.register(Echo("a"))
+
+
+def test_stats_count_sends_and_deliveries_by_type_and_process():
+    scheduler, network, a, b = build()
+    a.send("b", Ping(1))
+    scheduler.run()
+    stats = network.stats
+    assert stats.sent_by_process["a"] == 1
+    assert stats.sent_by_process["b"] == 1  # the Pong reply
+    assert stats.sent_by_type["Ping"] == 1
+    assert stats.sent_by_type["Pong"] == 1
+    assert stats.received_by_process["b"] == 1
+    assert stats.handled_by("a") == 2
+    assert stats.total_sent == 2
+    assert stats.total_delivered == 2
+
+
+def test_unhandled_message_type_raises():
+    @dataclass(frozen=True)
+    class Mystery:
+        pass
+
+    scheduler, network, a, b = build()
+    a.send("b", Mystery())
+    with pytest.raises(NotImplementedError):
+        scheduler.run()
+
+
+def test_timers_suppressed_after_crash():
+    scheduler, network, a, b = build()
+    fired = []
+    a.set_timer(1.0, lambda: fired.append("x"))
+    a.crash()
+    scheduler.run()
+    assert fired == []
+
+
+def test_uniform_latency_bounds_respected():
+    latency = UniformLatency(0.5, 1.5)
+    scheduler, network, a, b = build(latency=latency, seed=3)
+    a.send("b", Ping(1))
+    scheduler.run()
+    assert 0.5 <= b.received[0][2] <= 1.5
+
+
+def test_uniform_latency_validation():
+    with pytest.raises(ValueError):
+        UniformLatency(2.0, 1.0)
+    with pytest.raises(ValueError):
+        UniformLatency(-1.0, 1.0)
+
+
+def test_trace_records_deliveries_when_enabled():
+    scheduler, network, a, b = build()
+    network.trace_enabled = True
+    a.send("b", Ping(1))
+    scheduler.run()
+    assert len(network.trace) == 2
+    time, src, dst, message = network.trace[0]
+    assert (src, dst) == ("a", "b")
+    assert isinstance(message, Ping)
+
+
+def test_failure_injector_timed_crash():
+    scheduler, network, a, b = build()
+    injector = FailureInjector(network)
+    injector.arm(CrashPlan(pid="b", at_time=1.5))
+    a.send("b", Ping(1))  # delivered at 1.0, before the crash
+    scheduler.schedule(3.0, lambda: a.send("b", Ping(2)))  # after the crash
+    scheduler.run()
+    assert [v for v, _, _ in b.received] == [1]
+    assert injector.executed == ["b"]
+
+
+def test_failure_injector_conditional_crash():
+    scheduler, network, a, b = build()
+    injector = FailureInjector(network, poll_interval=0.25)
+    injector.arm(CrashPlan(pid="b", when=lambda: len(b.received) >= 1))
+    a.send("b", Ping(1))
+    scheduler.schedule(5.0, lambda: a.send("b", Ping(2)))
+    scheduler.run()
+    assert [v for v, _, _ in b.received] == [1]
+
+
+def test_crash_plan_requires_exactly_one_trigger():
+    with pytest.raises(ValueError):
+        CrashPlan(pid="a")
+    with pytest.raises(ValueError):
+        CrashPlan(pid="a", at_time=1.0, when=lambda: True)
