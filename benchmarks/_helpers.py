@@ -1,0 +1,12 @@
+"""Shared helpers for the benchmark harness.
+
+The module name is deliberately not ``conftest``: pytest inserts both
+``tests/`` and ``benchmarks/`` on ``sys.path`` and two modules named
+``conftest`` would shadow each other.
+"""
+
+from __future__ import annotations
+
+
+def key_on_shard(cluster, shard: str, hint: str = "key") -> str:
+    return cluster.scheme.sharding.key_for_shard(shard, hint=hint)

@@ -3,41 +3,33 @@
 Paper claim (Section 5): persisting votes with RDMA "minimizes the time
 during which the transaction is prepared at leaders, which requires them to
 vote abort on all transactions conflicting with t ...; this results in lower
-abort rates".  We drive identical Zipfian-skewed workloads at both protocols
+abort rates".  We drive identical Zipfian-skewed scenarios at both protocols
 and compare abort rates as skew grows.
 """
 
 import pytest
 
 from repro.analysis.metrics import ExperimentReport
-from repro.cluster import Cluster
-from repro.store.executor import TransactionalStore
-from repro.workload.generators import ReadWriteWorkload, ZipfianKeyGenerator
+from repro.scenarios import ScenarioSpec, WorkloadSpec, run_sweep, run_scenario
 
 
-ROUNDS = 6
-BATCH = 6
-NUM_KEYS = 24
-
-
-def _run(protocol: str, theta: float, seed: int = 4) -> float:
-    cluster = Cluster(num_shards=2, replicas_per_shard=2, protocol=protocol, seed=seed)
-    keys = ZipfianKeyGenerator(num_keys=NUM_KEYS, theta=theta, seed=seed)
-    workload = ReadWriteWorkload(keys, reads_per_txn=2, writes_per_txn=1, seed=seed)
-    initial = {f"key-{i}": 0 for i in range(NUM_KEYS)}
-    store = TransactionalStore(cluster, initial=initial)
-    for _ in range(ROUNDS):
-        specs = workload.batch(BATCH)
-        store.run_batch([spec.body() for spec in specs])
-    result, violations = cluster.check()
-    assert result.ok and violations == []
-    return store.aborted_count / max(1, len(store.outcomes))
+def _spec(theta: float) -> ScenarioSpec:
+    return ScenarioSpec(
+        name=f"e4-abort-rate-theta-{theta}",
+        protocol="message-passing",
+        num_shards=2,
+        seed=4,
+        workload=WorkloadSpec(
+            kind="zipfian", txns=36, batch=6, num_keys=24, theta=theta,
+            reads_per_txn=2, writes_per_txn=1,
+        ),
+    )
 
 
 @pytest.mark.parametrize("theta", [0.0, 0.8, 1.2])
 def test_e4_abort_rate_vs_contention(benchmark, theta):
-    rates = benchmark.pedantic(
-        lambda: {p: _run(p, theta) for p in ["message-passing", "rdma"]},
+    results = benchmark.pedantic(
+        lambda: run_sweep(_spec(theta), ("message-passing", "rdma")),
         rounds=1,
         iterations=1,
     )
@@ -47,9 +39,11 @@ def test_e4_abort_rate_vs_contention(benchmark, theta):
         "aborts grow with contention",
         headers=["protocol", "abort rate"],
     )
-    for protocol, rate in rates.items():
-        report.add_row(protocol, rate)
+    for protocol, result in results.items():
+        report.add_row(protocol, result.abort_rate)
+        assert result.passed
     report.print()
+    rates = {protocol: result.abort_rate for protocol, result in results.items()}
     assert 0.0 <= rates["rdma"] <= 1.0 and 0.0 <= rates["message-passing"] <= 1.0
     # Within the batched simulation both protocols see the same conflicts;
     # the RDMA variant must never be worse.
@@ -58,9 +52,13 @@ def test_e4_abort_rate_vs_contention(benchmark, theta):
 
 def test_e4_contention_monotonicity(benchmark):
     """Abort rate grows with key skew for both protocols."""
+
     def sweep():
         return {
-            protocol: [_run(protocol, theta) for theta in (0.0, 1.2)]
+            protocol: [
+                run_scenario(_spec(theta), protocol=protocol).abort_rate
+                for theta in (0.0, 1.2)
+            ]
             for protocol in ["message-passing", "rdma"]
         }
 

@@ -3,43 +3,39 @@
 Paper claim: the reconfigurable protocol lets a client learn the decision in
 5 message delays (4 if the client is co-located with the coordinator),
 versus 7 for the vanilla approach that uses Paxos as a black box.
+
+Both systems are driven through the scenario engine; the latency samples
+come from the coordinator-side entries the clusters record.
 """
 
 import pytest
 
 from repro.analysis.metrics import ExperimentReport, summarize
-from repro.baselines.cluster import BaselineCluster
-from repro.cluster import Cluster
-
-from conftest import multi_shard_payload, single_shard_payloads
+from repro.scenarios import ScenarioRunner, ScenarioSpec, WorkloadSpec
 
 
-TXNS = 12
+def _spec(protocol: str) -> ScenarioSpec:
+    return ScenarioSpec(
+        name=f"e1-latency-{protocol}",
+        protocol=protocol,
+        num_shards=3,
+        replicas_per_shard=3 if protocol == "2pc-paxos" else 2,
+        seed=1,
+        workload=WorkloadSpec(kind="uniform", txns=24, batch=8, num_keys=96),
+    )
 
 
-def _run_reconfigurable(protocol: str):
-    cluster = Cluster(num_shards=3, replicas_per_shard=2, protocol=protocol, seed=1)
-    payloads = single_shard_payloads(cluster, TXNS)
-    payloads.append(multi_shard_payload(cluster, ["shard-0", "shard-1"]))
-    cluster.certify_many(payloads)
-    cluster.run()
-    return cluster
-
-
-def _run_baseline():
-    cluster = BaselineCluster(num_shards=3, failures_tolerated=1, seed=1)
-    payloads = single_shard_payloads(cluster, TXNS)
-    payloads.append(multi_shard_payload(cluster, ["shard-0", "shard-1"]))
-    cluster.certify_many(payloads)
-    cluster.run()
-    return cluster
+def _run(protocol: str) -> ScenarioRunner:
+    runner = ScenarioRunner(_spec(protocol))
+    runner.run()
+    return runner
 
 
 @pytest.mark.parametrize("protocol", ["message-passing", "rdma"])
 def test_e1_latency_reconfigurable(benchmark, protocol):
-    cluster = benchmark.pedantic(lambda: _run_reconfigurable(protocol), rounds=3, iterations=1)
-    to_client = summarize(cluster.protocol_latencies())
-    colocated = summarize(cluster.colocated_latencies())
+    runner = benchmark.pedantic(lambda: _run(protocol), rounds=3, iterations=1)
+    to_client = summarize(runner.cluster.protocol_latencies())
+    colocated = summarize(runner.cluster.colocated_latencies())
     report = ExperimentReport(
         experiment=f"E1 — decision latency ({protocol})",
         claim="5 message delays to the client, 4 co-located (paper Section 3)",
@@ -53,9 +49,9 @@ def test_e1_latency_reconfigurable(benchmark, protocol):
 
 
 def test_e1_latency_baseline(benchmark):
-    cluster = benchmark.pedantic(_run_baseline, rounds=3, iterations=1)
-    durable = summarize(cluster.durable_decision_latencies())
-    votes = summarize(cluster.vote_latencies())
+    runner = benchmark.pedantic(lambda: _run("2pc-paxos"), rounds=3, iterations=1)
+    durable = summarize(runner.cluster.durable_decision_latencies())
+    votes = summarize(runner.cluster.vote_latencies())
     report = ExperimentReport(
         experiment="E1 — decision latency (2PC over Paxos baseline)",
         claim="vanilla Paxos-as-black-box needs 7 delays to learn a decision",

@@ -4,63 +4,75 @@ Paper claim (Section 3): the protocol "minimizes the load on Paxos leaders":
 per transaction, each involved leader only receives one PREPARE and one
 DECISION and sends one PREPARE_ACK (3 messages).  In the 2PC-over-Paxos
 baseline the leader additionally carries the whole replication fan-out.
+
+The workload is single-key transactions (each involves exactly one shard),
+driven through the scenario engine.
 """
 
 import pytest
 
 from repro.analysis.metrics import ExperimentReport, leader_load
-from repro.baselines.cluster import BaselineCluster
-from repro.cluster import Cluster
-
-from conftest import single_shard_payloads
+from repro.scenarios import ScenarioRunner, ScenarioSpec, WorkloadSpec
 
 
 TXNS = 20
 
 
-def _run(cluster):
-    cluster.certify_many(single_shard_payloads(cluster, TXNS))
-    cluster.run()
-    return cluster
+def _spec(protocol: str) -> ScenarioSpec:
+    return ScenarioSpec(
+        name=f"e2-leader-load-{protocol}",
+        protocol=protocol,
+        num_shards=2,
+        replicas_per_shard=3 if protocol == "2pc-paxos" else 2,
+        seed=2,
+        workload=WorkloadSpec(
+            kind="uniform", txns=TXNS, batch=10, num_keys=64,
+            reads_per_txn=1, writes_per_txn=1,
+        ),
+    )
 
 
-def _reconfigurable_leader_load(cluster):
+def _run(protocol: str) -> ScenarioRunner:
+    runner = ScenarioRunner(_spec(protocol))
+    runner.run()
+    return runner
+
+
+def _reconfigurable_leader_load(runner) -> float:
     """Messages handled by a shard leader *in its leader role* per transaction.
 
     Replicas also serve as transaction coordinators, so raw per-process
     counters would mix in coordinator traffic; the paper's claim is about the
     leader role only: one PREPARE in, one PREPARE_ACK out, one DECISION in.
+    Every transaction is single-key, so it involves exactly one leader.
     """
+    cluster = runner.cluster
     stats = cluster.message_stats
-    per_shard_txns = TXNS / len(cluster.shards)
     leader_role_types_in = ("Prepare", "SlotDecision", "RdmaWrite")
     leader_role_types_out = ("PrepareAck", "RdmaAck")
     total = 0
-    leaders = [cluster.leader_of(shard) for shard in cluster.shards]
-    for leader in leaders:
+    for leader in (cluster.leader_of(shard) for shard in cluster.shards):
         total += sum(
             stats.received_by_process_and_type[(leader, t)] for t in leader_role_types_in
         )
         total += sum(
             stats.sent_by_process_and_type[(leader, t)] for t in leader_role_types_out
         )
-    return total / (per_shard_txns * len(leaders))
+    return total / TXNS
 
 
-def _baseline_leader_load(cluster):
+def _baseline_leader_load(runner) -> float:
+    cluster = runner.cluster
     leaders = [cluster.leader_of(shard) for shard in cluster.shards]
-    per_shard_txns = TXNS / len(cluster.shards)
-    return leader_load(cluster.message_stats, leaders, num_transactions=int(per_shard_txns))
+    # leader_load normalises per leader; each single-key transaction involves
+    # one of the two leaders, so feed it the per-leader transaction count.
+    return leader_load(cluster.message_stats, leaders, num_transactions=TXNS // 2)
 
 
 @pytest.mark.parametrize("protocol", ["message-passing", "rdma"])
 def test_e2_leader_load_reconfigurable(benchmark, protocol):
-    cluster = benchmark.pedantic(
-        lambda: _run(Cluster(num_shards=2, replicas_per_shard=2, protocol=protocol, seed=2)),
-        rounds=3,
-        iterations=1,
-    )
-    load = _reconfigurable_leader_load(cluster)
+    runner = benchmark.pedantic(lambda: _run(protocol), rounds=3, iterations=1)
+    load = _reconfigurable_leader_load(runner)
     report = ExperimentReport(
         experiment=f"E2 — leader load ({protocol})",
         claim="leader handles ~3 messages per transaction (PREPARE in, PREPARE_ACK out, DECISION in)",
@@ -72,12 +84,8 @@ def test_e2_leader_load_reconfigurable(benchmark, protocol):
 
 
 def test_e2_leader_load_baseline(benchmark):
-    cluster = benchmark.pedantic(
-        lambda: _run(BaselineCluster(num_shards=2, failures_tolerated=1, seed=2)),
-        rounds=3,
-        iterations=1,
-    )
-    load = _baseline_leader_load(cluster)
+    runner = benchmark.pedantic(lambda: _run("2pc-paxos"), rounds=3, iterations=1)
+    load = _baseline_leader_load(runner)
     report = ExperimentReport(
         experiment="E2 — leader load (2PC over Paxos baseline)",
         claim="the baseline leader also carries the Paxos replication fan-out",
@@ -89,12 +97,9 @@ def test_e2_leader_load_baseline(benchmark):
 
 
 def test_e2_leader_load_comparison(benchmark):
-    def run_both():
-        ours = _run(Cluster(num_shards=2, replicas_per_shard=2, seed=2))
-        baseline = _run(BaselineCluster(num_shards=2, failures_tolerated=1, seed=2))
-        return ours, baseline
-
-    ours, baseline = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    ours, baseline = benchmark.pedantic(
+        lambda: (_run("message-passing"), _run("2pc-paxos")), rounds=1, iterations=1
+    )
     ours_load, baseline_load = _reconfigurable_leader_load(ours), _baseline_leader_load(baseline)
     report = ExperimentReport(
         experiment="E2 — leader load comparison",

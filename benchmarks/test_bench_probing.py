@@ -5,13 +5,30 @@ long as one member of each configuration survives its lifetime, and —
 unlike FaRM, which only consults the previous configuration — the probing
 phase traverses *down* the sequence of epochs, so it recovers even when the
 last k reconfiguration attempts never became operational.
+
+The cluster is built by the scenario engine; the adversarial schedule (crash
+each attempt's designated new leader before it activates) is interactive by
+nature — it reacts to the configuration service's state — so it drives the
+engine's scheduler and fault primitives directly.
 """
 
 import pytest
 
 from repro.analysis.metrics import ExperimentReport
-from repro.cluster import Cluster
 from repro.core.serializability import TransactionPayload
+from repro.scenarios import ScenarioRunner, ScenarioSpec, WorkloadSpec
+
+
+def _spec(failed_attempts: int) -> ScenarioSpec:
+    return ScenarioSpec(
+        name=f"e7-probing-{failed_attempts}-failed-attempts",
+        protocol="message-passing",
+        num_shards=1,
+        replicas_per_shard=failed_attempts + 2,
+        spares_per_shard=4 + 2 * failed_attempts,
+        seed=7 + failed_attempts,
+        workload=WorkloadSpec(kind="uniform", txns=1, batch=1, num_keys=8),
+    )
 
 
 def _run_with_failed_attempts(failed_attempts: int) -> dict:
@@ -23,12 +40,8 @@ def _run_with_failed_attempts(failed_attempts: int) -> dict:
     starts with ``failed_attempts + 2`` replicas and the last one is the
     survivor the final reconfiguration must rediscover by traversing epochs.
     """
-    cluster = Cluster(
-        num_shards=1,
-        replicas_per_shard=failed_attempts + 2,
-        spares_per_shard=4 + 2 * failed_attempts,
-        seed=7 + failed_attempts,
-    )
+    runner = ScenarioRunner(_spec(failed_attempts))
+    cluster = runner.build()
     shard = "shard-0"
     survivor = cluster.members_of(shard)[-1]
     payload = TransactionPayload.make(

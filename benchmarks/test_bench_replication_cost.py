@@ -4,39 +4,42 @@ Paper claim (Sections 1 and 6): the reconfigurable protocols store
 transaction data on only ``f + 1`` replicas per shard, using ``2f + 1``
 processes only for the small configuration service, whereas the standard
 approach needs ``2f + 1`` data replicas.  We sweep ``f`` and report the data
-replica count and the total data messages per committed transaction.
+replica count and the total data messages per committed transaction, driving
+both systems through the scenario engine.
 """
 
 import pytest
 
-from repro.analysis.metrics import ExperimentReport, messages_per_transaction
-from repro.baselines.cluster import BaselineCluster
-from repro.cluster import Cluster
-
-from conftest import single_shard_payloads
+from repro.analysis.metrics import ExperimentReport
+from repro.scenarios import ScenarioRunner, ScenarioSpec, WorkloadSpec
 
 
 TXNS = 12
 
 
-def _run_ours(f: int):
-    cluster = Cluster(num_shards=2, replicas_per_shard=f + 1, seed=3)
-    cluster.certify_many(single_shard_payloads(cluster, TXNS))
-    cluster.run()
-    return cluster
-
-
-def _run_baseline(f: int):
-    cluster = BaselineCluster(num_shards=2, failures_tolerated=f, seed=3)
-    cluster.certify_many(single_shard_payloads(cluster, TXNS))
-    cluster.run()
-    return cluster
+def _spec(protocol: str, replicas_per_shard: int) -> ScenarioSpec:
+    return ScenarioSpec(
+        name=f"e3-replication-{protocol}-{replicas_per_shard}",
+        protocol=protocol,
+        num_shards=2,
+        replicas_per_shard=replicas_per_shard,
+        seed=3,
+        workload=WorkloadSpec(
+            kind="uniform", txns=TXNS, batch=6, num_keys=64,
+            reads_per_txn=1, writes_per_txn=1,
+        ),
+    )
 
 
 @pytest.mark.parametrize("f", [1, 2, 3])
 def test_e3_replication_cost(benchmark, f):
-    ours, baseline = benchmark.pedantic(
-        lambda: (_run_ours(f), _run_baseline(f)), rounds=1, iterations=1
+    def run_both():
+        ours = ScenarioRunner(_spec("message-passing", f + 1))
+        baseline = ScenarioRunner(_spec("2pc-paxos", 2 * f + 1))
+        return ours.run(), baseline.run(), ours, baseline
+
+    ours_result, baseline_result, ours, baseline = benchmark.pedantic(
+        run_both, rounds=1, iterations=1
     )
     report = ExperimentReport(
         experiment=f"E3 — replication cost (f = {f})",
@@ -45,15 +48,15 @@ def test_e3_replication_cost(benchmark, f):
     )
     report.add_row(
         "reconfigurable TCS",
-        ours.replicas_per_shard,
-        messages_per_transaction(ours.message_stats, TXNS),
+        ours.cluster.replicas_per_shard,
+        ours_result.messages_sent / TXNS,
     )
     report.add_row(
         "2PC over Paxos",
-        baseline.replicas_per_shard,
-        messages_per_transaction(baseline.message_stats, TXNS),
+        baseline.cluster.replicas_per_shard,
+        baseline_result.messages_sent / TXNS,
     )
     report.print()
-    assert ours.replicas_per_shard == f + 1
-    assert baseline.replicas_per_shard == 2 * f + 1
-    assert ours.replicas_per_shard < baseline.replicas_per_shard
+    assert ours.cluster.replicas_per_shard == f + 1
+    assert baseline.cluster.replicas_per_shard == 2 * f + 1
+    assert ours.cluster.replicas_per_shard < baseline.cluster.replicas_per_shard

@@ -3,60 +3,28 @@
 Paper claim (Section 5, Figure 4): combining the RDMA data path with
 per-shard reconfiguration is unsafe — two contradictory decisions can be
 externalised for the same transaction; the redesigned global reconfiguration
-restores safety.  The benchmark drives the exact Figure 4a schedule at the
-broken variant and at both correct protocols and reports what the TCS
-checker finds.
+restores safety.  The ``ablation-safety-demo`` scenario encodes the exact
+Figure 4a schedule; the benchmark sweeps it across the broken variant and
+both correct protocols and reports what the TCS checker finds.
 """
 
 import pytest
 
 from repro.analysis.metrics import ExperimentReport
-from repro.cluster import Cluster
-from repro.core.serializability import TransactionPayload
-
-from conftest import key_on_shard
+from repro.scenarios import get_scenario, run_scenario
 
 
-def _figure_4a(protocol: str) -> dict:
-    cluster = Cluster(num_shards=3, replicas_per_shard=2, protocol=protocol, seed=51)
-    key0 = key_on_shard(cluster, "shard-0")
-    key1 = key_on_shard(cluster, "shard-1")
-    spanning = TransactionPayload.make(
-        reads=[(key0, (0, "")), (key1, (0, ""))],
-        writes=[(key0, 1), (key1, 1)],
-        tiebreak="t",
-    )
-    coordinator = cluster.members_of("shard-2")[0]
-    s2_leader = cluster.leader_of("shard-1")
-    s2_follower = cluster.followers_of("shard-1")[0]
-    cluster.network.add_extra_delay(coordinator, s2_follower, 60.0)
-    cluster.network.add_extra_delay(cluster.config_service.pid, coordinator, 500.0)
+PROTOCOLS = ["broken-rdma", "message-passing", "rdma"]
 
-    txn = cluster.submit(spanning, coordinator=coordinator)
-    cluster.run(max_time=10.0)
-    cluster.crash(s2_leader)
-    if protocol == "rdma":
-        cluster.reconfigure(initiator=s2_follower, suspects=[s2_leader], run=False)
-    else:
-        cluster.reconfigure("shard-1", initiator=s2_follower, suspects=[s2_leader], run=False)
-    cluster.run(max_time=40.0)
-    s1_leader = cluster.replica(cluster.leader_of("shard-0"))
-    if txn in s1_leader.slot_of:
-        s1_leader.retry(s1_leader.slot_of[txn])
-    cluster.run(max_time=600.0)
 
-    result, _ = cluster.check(include_invariants=False)
-    return {
-        "contradictions": len(cluster.history.contradictions),
-        "correct": result.ok,
-    }
+def _figure_4a(protocol: str):
+    spec = get_scenario("ablation-safety-demo")
+    return run_scenario(spec, protocol=protocol, expect_safe=(protocol != "broken-rdma"))
 
 
 def test_e6_safety_ablation(benchmark):
     outcomes = benchmark.pedantic(
-        lambda: {p: _figure_4a(p) for p in ["broken-rdma", "message-passing", "rdma"]},
-        rounds=1,
-        iterations=1,
+        lambda: {p: _figure_4a(p) for p in PROTOCOLS}, rounds=1, iterations=1
     )
     report = ExperimentReport(
         experiment="E6 — Figure 4a safety ablation",
@@ -64,12 +32,13 @@ def test_e6_safety_ablation(benchmark):
         "the paper's protocols do not",
         headers=["protocol", "contradictory decisions", "history correct"],
     )
-    for protocol, outcome in outcomes.items():
-        report.add_row(protocol, outcome["contradictions"], outcome["correct"])
+    for protocol, result in outcomes.items():
+        report.add_row(protocol, result.contradictions, result.check_ok)
     report.print()
-    assert outcomes["broken-rdma"]["contradictions"] > 0
-    assert not outcomes["broken-rdma"]["correct"]
-    assert outcomes["message-passing"]["contradictions"] == 0
-    assert outcomes["message-passing"]["correct"]
-    assert outcomes["rdma"]["contradictions"] == 0
-    assert outcomes["rdma"]["correct"]
+    assert outcomes["broken-rdma"].contradictions > 0
+    assert not outcomes["broken-rdma"].check_ok
+    assert outcomes["message-passing"].contradictions == 0
+    assert outcomes["message-passing"].check_ok
+    assert outcomes["rdma"].contradictions == 0
+    assert outcomes["rdma"].check_ok
+    assert all(result.passed for result in outcomes.values())

@@ -1,62 +1,55 @@
-"""E8 — Throughput scaling with shards and multi-shard transaction fraction.
+"""E8 — Throughput scaling with shards and multi-shard transactions.
 
 Paper motivation (Section 1): sharding is what provides scalability, and the
 TCS must coordinate across shards only for the transactions that span them.
 We measure committed transactions per 1000 virtual time units as the number
-of shards grows, and how throughput degrades as the fraction of multi-shard
-transactions rises.
+of shards grows (single-key transactions), and compare against an all-
+multi-shard workload on the same cluster, all through the scenario engine.
 """
 
 import pytest
 
 from repro.analysis.metrics import ExperimentReport
-from repro.cluster import Cluster
-from repro.core.serializability import TransactionPayload
-
-from conftest import key_on_shard
+from repro.scenarios import ScenarioSpec, WorkloadSpec, run_scenario
 
 
-TXNS_PER_ROUND = 24
+TXNS = 24
 
 
-def _payloads(cluster, multi_shard_fraction: float):
-    payloads = []
-    shards = cluster.shards
-    multi_every = int(1 / multi_shard_fraction) if multi_shard_fraction > 0 else 0
-    for i in range(TXNS_PER_ROUND):
-        if multi_every and i % multi_every == 0 and len(shards) > 1:
-            first, second = shards[i % len(shards)], shards[(i + 1) % len(shards)]
-            keys = [
-                key_on_shard(cluster, first, hint=f"m{i}a"),
-                key_on_shard(cluster, second, hint=f"m{i}b"),
-            ]
-        else:
-            keys = [key_on_shard(cluster, shards[i % len(shards)], hint=f"s{i}")]
-        payloads.append(
-            TransactionPayload.make(
-                reads=[(key, (0, "")) for key in keys],
-                writes=[(key, i) for key in keys],
-                tiebreak=f"t{i}",
-            )
-        )
-    return payloads
+def _single_shard_spec(num_shards: int) -> ScenarioSpec:
+    return ScenarioSpec(
+        name=f"e8-throughput-{num_shards}-shards",
+        protocol="message-passing",
+        num_shards=num_shards,
+        seed=8,
+        workload=WorkloadSpec(
+            kind="uniform", txns=TXNS, batch=TXNS, num_keys=512,
+            reads_per_txn=1, writes_per_txn=1,
+        ),
+    )
 
 
-def _throughput(num_shards: int, multi_shard_fraction: float) -> float:
-    cluster = Cluster(num_shards=num_shards, replicas_per_shard=2, seed=8)
-    payloads = _payloads(cluster, multi_shard_fraction)
-    start = cluster.scheduler.now
-    decisions = cluster.certify_many(payloads)
-    elapsed = max(cluster.scheduler.now - start, 1e-9)
-    committed = sum(1 for d in decisions.values() if d.value == "commit")
-    result, violations = cluster.check()
-    assert result.ok and violations == []
-    return committed / elapsed * 1000.0
+def _spanning_spec(num_shards: int) -> ScenarioSpec:
+    return ScenarioSpec(
+        name=f"e8-throughput-spanning-{num_shards}-shards",
+        protocol="message-passing",
+        num_shards=num_shards,
+        seed=8,
+        workload=WorkloadSpec(kind="spanning", txns=TXNS, batch=TXNS),
+    )
+
+
+def _throughput(spec: ScenarioSpec) -> float:
+    result = run_scenario(spec)
+    assert result.passed
+    return result.throughput
 
 
 @pytest.mark.parametrize("num_shards", [1, 2, 4, 8])
 def test_e8_throughput_vs_shards(benchmark, num_shards):
-    throughput = benchmark.pedantic(lambda: _throughput(num_shards, 0.0), rounds=1, iterations=1)
+    throughput = benchmark.pedantic(
+        lambda: _throughput(_single_shard_spec(num_shards)), rounds=1, iterations=1
+    )
     report = ExperimentReport(
         experiment=f"E8 — throughput with {num_shards} shard(s)",
         claim="independent shards process disjoint transactions in parallel",
@@ -67,29 +60,29 @@ def test_e8_throughput_vs_shards(benchmark, num_shards):
     assert throughput > 0
 
 
-def test_e8_throughput_vs_multi_shard_fraction(benchmark):
-    fractions = [0.0, 0.25, 0.5, 1.0]
-    results = benchmark.pedantic(
-        lambda: {fraction: _throughput(4, fraction) for fraction in fractions},
+def test_e8_throughput_single_vs_multi_shard(benchmark):
+    single, spanning = benchmark.pedantic(
+        lambda: (_throughput(_single_shard_spec(4)), _throughput(_spanning_spec(4))),
         rounds=1,
         iterations=1,
     )
     report = ExperimentReport(
-        experiment="E8 — throughput vs multi-shard transaction fraction (4 shards)",
+        experiment="E8 — single-shard vs all-multi-shard workload (4 shards)",
         claim="cross-shard transactions add coordination and reduce throughput",
-        headers=["multi-shard fraction", "committed txns / 1000 delays"],
+        headers=["workload", "committed txns / 1000 delays"],
     )
-    for fraction, throughput in results.items():
-        report.add_row(fraction, throughput)
+    report.add_row("single-shard only", single)
+    report.add_row("every txn spans two shards", spanning)
     report.print()
-    assert results[0.0] >= results[1.0] * 0.8  # same or better without cross-shard txns
+    assert single >= spanning * 0.8  # same or better without cross-shard txns
 
 
 def test_e8_scalability_shape(benchmark):
-    def sweep():
-        return {n: _throughput(n, 0.0) for n in (1, 4)}
-
-    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    results = benchmark.pedantic(
+        lambda: {n: _throughput(_single_shard_spec(n)) for n in (1, 4)},
+        rounds=1,
+        iterations=1,
+    )
     report = ExperimentReport(
         experiment="E8 — scalability shape",
         claim="more shards -> more parallel certification",

@@ -2,41 +2,44 @@
 
 A classic exercise for a transaction certification service: concurrent
 balance transfers between accounts must never create or destroy money, and
-conflicting transfers must be aborted by certification.  The example runs
-the same workload against the message-passing protocol, the RDMA protocol
-and the 2PC-over-Paxos baseline and compares abort rates and latencies.
+conflicting transfers must be aborted by certification.  The same bank
+scenario runs against the message-passing protocol, the RDMA protocol and
+the 2PC-over-Paxos baseline through the scenario engine.
 
 Run with:  python examples/bank_transfer.py
 """
 
-from repro import BankWorkload, BaselineCluster, Cluster, TransactionalStore
-from repro.analysis.metrics import summarize
+from repro import ScenarioRunner, get_scenario
 
 
-def run_bank(cluster, label: str, rounds: int = 8, batch_size: int = 4) -> None:
-    bank = BankWorkload(num_accounts=10, initial_balance=100, seed=7)
-    store = TransactionalStore(cluster, initial=bank.initial_state())
-    expected_total = bank.total_balance(store.store)
+def run_bank(protocol: str, replicas_per_shard: int) -> None:
+    spec = get_scenario("bank-transfers").with_overrides(
+        protocol=protocol, replicas_per_shard=replicas_per_shard, seed=11
+    )
+    runner = ScenarioRunner(spec)
+    result = runner.run()
 
-    for _ in range(rounds):
-        store.run_batch(bank.batch(batch_size))
-
-    total = bank.total_balance(store.store)
-    result, _ = cluster.check()
-    latencies = summarize(cluster.client_latencies())
-    print(f"== {label} ==")
-    print(f"  transactions: {len(store.outcomes)}  committed: {store.committed_count}  "
-          f"aborted: {store.aborted_count}")
-    print(f"  total balance: {total} (expected {expected_total}, conserved: {total == expected_total})")
-    print(f"  client latency (delays): mean {latencies.mean:.2f}  p99 {latencies.p99:.2f}")
-    print(f"  history correct: {result.ok}")
+    accounts = spec.workload.num_accounts
+    expected = accounts * spec.workload.initial_balance
+    total = sum(
+        runner.store.read(f"account-{i}") or 0 for i in range(accounts)
+    )
+    print(f"== {protocol} ({replicas_per_shard} replicas/shard) ==")
+    print(f"  transactions: {result.txns_submitted}  committed: {result.committed}  "
+          f"aborted: {result.aborted}")
+    print(f"  total balance: {total} (expected {expected}, conserved: {total == expected})")
+    if result.latency is not None:
+        print(f"  client latency (delays): mean {result.latency.mean:.2f}  "
+              f"p99 {result.latency.p99:.2f}")
+    print(f"  history correct: {result.safety_ok}")
     print()
+    assert total == expected, "money conservation violated"
 
 
 def main() -> None:
-    run_bank(Cluster(num_shards=2, replicas_per_shard=2, seed=11), "reconfigurable TCS (message passing)")
-    run_bank(Cluster(num_shards=2, replicas_per_shard=2, protocol="rdma", seed=11), "reconfigurable TCS (RDMA)")
-    run_bank(BaselineCluster(num_shards=2, failures_tolerated=1, seed=11), "baseline: 2PC over Paxos (2f+1)")
+    run_bank("message-passing", replicas_per_shard=2)
+    run_bank("rdma", replicas_per_shard=2)
+    run_bank("2pc-paxos", replicas_per_shard=3)
 
 
 if __name__ == "__main__":

@@ -1,46 +1,40 @@
-"""Quickstart: certify transactions with the reconfigurable TCS.
+"""Quickstart: run scenarios against the reconfigurable TCS.
 
-Builds a two-shard cluster with f + 1 = 2 replicas per shard, runs a few
-transactions through a transactional key-value store, crashes a replica,
-reconfigures the affected shard and keeps going — then validates the whole
-history against the TCS specification.
+Everything is driven through the scenario engine (`repro.scenarios`): a
+spec describes the cluster, workload and fault schedule; the runner builds
+the system, executes it deterministically and returns structured metrics.
 
 Run with:  python examples/quickstart.py
 """
 
-from repro import Cluster, TransactionalStore
+from repro import FaultStep, ScenarioSpec, WorkloadSpec, get_scenario, run_scenario
 
 
 def main() -> None:
-    cluster = Cluster(num_shards=2, replicas_per_shard=2, seed=1)
-    store = TransactionalStore(cluster, initial={"x": 0, "y": 0})
+    print("== a library scenario: failure-free steady state ==")
+    result = run_scenario(get_scenario("steady-state"))
+    print(result.render())
 
-    print("== failure-free operation ==")
-    for i in range(3):
-        outcome = store.transact(lambda ctx: ctx.increment("x"))
-        print(f"  txn {outcome.txn}: {outcome.decision.value}, x = {store.read('x')}")
-
-    print("\n== two conflicting transactions: exactly one commits ==")
-    outcomes = store.run_batch(
-        [lambda ctx: ctx.write("y", "from-first"), lambda ctx: ctx.write("y", "from-second")]
+    print("\n== an ad-hoc scenario: crash the leader mid-run, reconfigure, recover ==")
+    spec = ScenarioSpec(
+        name="quickstart-leader-crash",
+        protocol="message-passing",
+        num_shards=2,
+        replicas_per_shard=2,
+        seed=1,
+        workload=WorkloadSpec(kind="uniform", txns=60, batch=6, num_keys=64),
+        faults=(
+            FaultStep(at=30.5, action="crash-leader", shard="shard-0"),
+            FaultStep(at=31.5, action="reconfigure", shard="shard-0"),
+            FaultStep(at=80.5, action="retry-stalled"),
+        ),
     )
-    for outcome in outcomes:
-        print(f"  txn {outcome.txn}: {outcome.decision.value}")
-    print(f"  y = {store.read('y')!r}")
+    result = run_scenario(spec)
+    print(result.render())
 
-    print("\n== crash a follower and reconfigure (f + 1 replicas, external CS) ==")
-    crashed = cluster.crash_follower("shard-0")
-    cluster.reconfigure("shard-0", suspects=[crashed])
-    config = cluster.current_configuration("shard-0")
-    print(f"  crashed {crashed}; shard-0 now at epoch {config.epoch} with members {config.members}")
-
-    outcome = store.transact(lambda ctx: ctx.increment("x"))
-    print(f"  post-reconfiguration txn: {outcome.decision.value}, x = {store.read('x')}")
-
-    print("\n== validate the execution against the TCS specification ==")
-    result, violations = cluster.check()
-    print(f"  history correct: {result.ok}; invariant violations: {len(violations)}")
-    print(f"  decision latency (message delays): {sorted(set(cluster.protocol_latencies()))}")
+    print("\n== every scenario validates its history against the TCS spec ==")
+    print(f"  safety verdict: {'SAFE' if result.safety_ok else 'UNSAFE'}; "
+          f"all {result.txns_submitted} transactions decided: {result.undecided == 0}")
 
 
 if __name__ == "__main__":

@@ -1,80 +1,46 @@
 """RDMA versus message passing — and why RDMA needs global reconfiguration.
 
-Part 1 compares the two correct protocols on the same workload: both decide
-in 5 message delays (4 co-located), but the RDMA variant sends no
-ACCEPT_ACK messages (followers are persisted by one-sided writes) and its
-reconfiguration involves the whole system instead of one shard.
+Part 1 sweeps the same steady-state scenario across the two correct
+protocols: both decide in 5 message delays (4 co-located), but the RDMA
+variant sends no ACCEPT_ACK messages (followers are persisted by one-sided
+writes) and its reconfiguration involves the whole system instead of one
+shard.
 
-Part 2 reproduces the Figure 4a counter-example: the *naive* combination of
-the RDMA data path with per-shard reconfiguration externalises two
-contradictory decisions for the same transaction, which the TCS checker
-detects; the fixed protocols survive the same adversarial schedule.
+Part 2 sweeps the Figure 4a counter-example scenario: the *naive*
+combination of the RDMA data path with per-shard reconfiguration
+externalises two contradictory decisions for the same transaction, which
+the TCS checker detects; the fixed protocols survive the same adversarial
+schedule.
 
 Run with:  python examples/rdma_vs_message_passing.py
 """
 
-from repro import Cluster, TransactionPayload
+from repro import ScenarioRunner, get_scenario
 from repro.analysis.metrics import summarize
-
-
-def key_for(cluster, shard, hint="key"):
-    for i in range(10_000):
-        candidate = f"{hint}-{i}"
-        if cluster.scheme.sharding.shard_of(candidate) == shard:
-            return candidate
-    raise RuntimeError("no key found")
 
 
 def compare_failure_free() -> None:
     print("== part 1: failure-free comparison ==")
+    spec = get_scenario("steady-state").with_overrides(seed=3)
     for protocol in ["message-passing", "rdma"]:
-        cluster = Cluster(num_shards=2, replicas_per_shard=2, protocol=protocol, seed=3)
-        payloads = [
-            TransactionPayload.make(reads=[(f"k{i}", (0, ""))], writes=[(f"k{i}", i)], tiebreak=str(i))
-            for i in range(10)
-        ]
-        cluster.certify_many(payloads)
-        cluster.run()
-        latency = summarize(cluster.protocol_latencies())
-        stats = cluster.message_stats
+        runner = ScenarioRunner(spec.with_overrides(protocol=protocol))
+        runner.run()
+        latency = summarize(runner.cluster.protocol_latencies())
+        stats = runner.cluster.message_stats
         print(f"  {protocol:16s} latency mean {latency.mean:.1f} delays | "
-              f"ACCEPT_ACK msgs: {stats.sent_by_type.get('AcceptAck', 0):3d} | "
-              f"RDMA writes: {stats.sent_by_type.get('RdmaWrite', 0):3d}")
+              f"ACCEPT_ACK msgs: {stats.sent_by_type.get('AcceptAck', 0):4d} | "
+              f"RDMA writes: {stats.sent_by_type.get('RdmaWrite', 0):4d}")
     print()
 
 
 def figure_4a(protocol: str) -> None:
-    cluster = Cluster(num_shards=3, replicas_per_shard=2, protocol=protocol, seed=51)
-    key0, key1 = key_for(cluster, "shard-0"), key_for(cluster, "shard-1")
-    spanning = TransactionPayload.make(
-        reads=[(key0, (0, "")), (key1, (0, ""))], writes=[(key0, 1), (key1, 1)], tiebreak="t"
-    )
-    coordinator = cluster.members_of("shard-2")[0]
-    s2_leader = cluster.leader_of("shard-1")
-    s2_follower = cluster.followers_of("shard-1")[0]
-
-    # Delay the coordinator's ACCEPT to s2's follower and its configuration
-    # updates, so it finishes processing with a stale view.
-    cluster.network.add_extra_delay(coordinator, s2_follower, 60.0)
-    cluster.network.add_extra_delay(cluster.config_service.pid, coordinator, 500.0)
-
-    txn = cluster.submit(spanning, coordinator=coordinator)
-    cluster.run(max_time=10.0)
-    cluster.crash(s2_leader)
-    if protocol == "rdma":
-        cluster.reconfigure(initiator=s2_follower, suspects=[s2_leader], run=False)
-    else:
-        cluster.reconfigure("shard-1", initiator=s2_follower, suspects=[s2_leader], run=False)
-    cluster.run(max_time=40.0)
-    s1_leader = cluster.replica(cluster.leader_of("shard-0"))
-    if txn in s1_leader.slot_of:
-        s1_leader.retry(s1_leader.slot_of[txn])
-    cluster.run(max_time=600.0)
-
-    result, _ = cluster.check(include_invariants=False)
-    contradiction = bool(cluster.history.contradictions)
+    spec = get_scenario("ablation-safety-demo")
+    result = ScenarioRunner(
+        spec.with_overrides(protocol=protocol, expect_safe=(protocol != "broken-rdma"))
+    ).run()
+    contradiction = result.contradictions > 0
     print(f"  {protocol:16s} contradictory decisions: {contradiction!s:5s} | "
-          f"history correct: {result.ok}")
+          f"history correct: {result.check_ok} | expectation met: {result.passed}")
 
 
 def main() -> None:

@@ -1,81 +1,47 @@
-"""Reconfiguration walk-through: failures, probing and state transfer.
+"""Reconfiguration under load: crashes, epoch churn and recovery.
 
-Shows the vertical-Paxos-style reconfiguration of Section 3 in action:
+Shows the vertical-Paxos-style reconfiguration of Section 3 through the
+scenario engine:
 
-1. a follower crash is repaired by drafting in a spare replica;
-2. a leader crash is repaired by promoting an initialized survivor;
-3. a failed reconfiguration attempt (its new leader dies before activating
-   the configuration) is traversed past by the next reconfiguration, which
-   finds the data in an older epoch — the scenario where FaRM-style
-   single-epoch lookback would get stuck.
+1. ``leader-crash-under-load`` — a leader dies mid-workload; the shard is
+   reconfigured past it and coordinator recovery re-drives every stalled
+   transaction (no transaction is left undecided);
+2. ``rolling-reconfiguration`` — every shard changes epoch in turn while
+   the workload keeps running.
 
 Run with:  python examples/reconfiguration_demo.py
 """
 
-from repro import Cluster, TransactionPayload
-from repro.core.types import Decision
+from repro import ScenarioRunner, get_scenario
 
 
-def show(cluster, shard: str, note: str) -> None:
-    config = cluster.current_configuration(shard)
-    print(f"  [{note}] {shard}: epoch {config.epoch}, leader {config.leader}, "
-          f"members {config.members}")
+def show_configs(runner) -> None:
+    for shard in runner.cluster.shards:
+        config = runner.cluster.current_configuration(shard)
+        print(f"    {shard}: epoch {config.epoch}, leader {config.leader}, "
+              f"members {config.members}")
 
 
-def payload_for(key: str, version=(0, ""), value=1, tiebreak="t") -> TransactionPayload:
-    return TransactionPayload.make(reads=[(key, version)], writes=[(key, value)], tiebreak=tiebreak)
+def run(name: str) -> None:
+    spec = get_scenario(name)
+    print(f"== {name} ==")
+    print(f"  {spec.description}")
+    runner = ScenarioRunner(spec)
+    result = runner.run()
+    print(f"  transactions: {result.committed} committed / {result.aborted} aborted"
+          f" / {result.undecided} undecided")
+    print("  fault schedule as executed:")
+    for note in result.faults_executed:
+        print(f"    {note}")
+    print("  final configurations:")
+    show_configs(runner)
+    print(f"  history correct: {result.safety_ok}")
+    print()
 
 
 def main() -> None:
-    cluster = Cluster(num_shards=2, replicas_per_shard=3, spares_per_shard=6, seed=5)
-    shard = "shard-0"
-
-    print("== initial configuration ==")
-    show(cluster, shard, "bootstrap")
-    first = payload_for("ledger", tiebreak="first")
-    print(f"  certify(first write): {cluster.certify(first).value}")
-
-    print("\n== 1. follower crash -> replace with a spare ==")
-    crashed = cluster.crash_follower(shard)
-    cluster.reconfigure(shard, suspects=[crashed])
-    show(cluster, shard, f"after replacing {crashed}")
-    print(f"  certification still live: {cluster.certify(payload_for('a', tiebreak='a')).value}")
-
-    print("\n== 2. leader crash -> promote an initialized survivor ==")
-    old_leader = cluster.crash_leader(shard)
-    cluster.reconfigure(shard, suspects=[old_leader])
-    show(cluster, shard, f"after losing leader {old_leader}")
-    stale = payload_for("ledger", tiebreak="stale")  # conflicts with `first`
-    print(f"  stale re-write of 'ledger' correctly aborts: {cluster.certify(stale).value}")
-
-    print("\n== 3. probing traverses a never-activated epoch ==")
-    config = cluster.current_configuration(shard)
-    survivor = config.followers[0]
-    # Start a reconfiguration that excludes every other member, then crash the
-    # designated new leader before it can transfer state.
-    others = [m for m in config.members if m != config.leader]
-    cluster.reconfigure(shard, initiator=config.leader, suspects=others, run=False)
-
-    def kill_new_leader() -> bool:
-        latest = cluster.config_service.last_configuration(shard)
-        if latest is not None and latest.epoch == config.epoch + 1:
-            cluster.crash(latest.leader)
-            return True
-        return False
-
-    cluster.scheduler.run_until(kill_new_leader, max_events=100_000)
-    cluster.run()
-    dead_epoch = cluster.config_service.last_configuration(shard)
-    print(f"  epoch {dead_epoch.epoch} was introduced but never activated "
-          f"(leader {dead_epoch.leader} died)")
-
-    cluster.reconfigure(shard, initiator=survivor)
-    show(cluster, shard, "after traversing past the dead epoch")
-    print(f"  history still intact: stale write aborts again -> "
-          f"{cluster.certify(payload_for('ledger', tiebreak='stale2')).value}")
-
-    result, violations = cluster.check()
-    print(f"\n== specification check: correct={result.ok}, violations={len(violations)} ==")
+    run("leader-crash-under-load")
+    run("rolling-reconfiguration")
 
 
 if __name__ == "__main__":

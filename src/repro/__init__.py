@@ -37,6 +37,17 @@ from repro.core import (
     TransactionPayload,
 )
 from repro.rdma import BrokenRdmaShardReplica, RdmaShardReplica
+from repro.scenarios import (
+    FaultStep,
+    ScenarioResult,
+    ScenarioRunner,
+    ScenarioSpec,
+    WorkloadSpec,
+    get_scenario,
+    run_scenario,
+    run_sweep,
+    scenario_names,
+)
 from repro.spec import History, TCSChecker, check_invariants
 from repro.store import TransactionalStore, VersionedKVStore
 from repro.workload import (
@@ -67,6 +78,15 @@ __all__ = [
     "TransactionPayload",
     "RdmaShardReplica",
     "BrokenRdmaShardReplica",
+    "FaultStep",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "ScenarioSpec",
+    "WorkloadSpec",
+    "get_scenario",
+    "run_scenario",
+    "run_sweep",
+    "scenario_names",
     "History",
     "TCSChecker",
     "check_invariants",

@@ -107,11 +107,10 @@ class BaselineCluster:
     def run_until_decided(
         self, txns: Optional[Sequence[TxnId]] = None, max_events: int = 1_000_000
     ) -> bool:
-        def all_decided() -> bool:
-            targets = txns if txns is not None else list(self.history.certified())
-            return all(self.history.decision_of(t) is not None for t in targets)
-
-        return self.scheduler.run_until(all_decided, max_events=max_events)
+        with self.history.watch(txns) as watcher:
+            if watcher.done:
+                return True
+            return self.scheduler.run_until(watcher.is_done, max_events=max_events)
 
     def certify(self, payload: Any, client_index: int = 0) -> Decision:
         txn = self.submit(payload, client_index=client_index)

@@ -39,6 +39,11 @@ class Client(Process):
         self.decide_times: Dict[TxnId, float] = {}
         self.coordinator_of: Dict[TxnId, str] = {}
         self._txn_counter = 0
+        # Completion callbacks, fired once per transaction when its decision
+        # first reaches this client.  (History-wide waiting uses
+        # History.add_decide_listener; these per-client hooks are for
+        # closed-loop drivers that react to their own completions.)
+        self._decision_callbacks: list = []
 
     # ------------------------------------------------------------------
     # submission
@@ -61,11 +66,21 @@ class Client(Process):
     # ------------------------------------------------------------------
     # decisions
     # ------------------------------------------------------------------
+    def add_decision_callback(self, fn) -> None:
+        """Call ``fn(txn, decision)`` when a transaction of this client is
+        first decided."""
+        self._decision_callbacks.append(fn)
+
+    def remove_decision_callback(self, fn) -> None:
+        self._decision_callbacks.remove(fn)
+
     def on_txn_decision(self, msg: TxnDecision, sender: str) -> None:
         self.history.record_decide(msg.txn, msg.decision, self.now)
         if msg.txn not in self.outcomes:
             self.outcomes[msg.txn] = msg.decision
             self.decide_times[msg.txn] = self.now
+            for callback in self._decision_callbacks:
+                callback(msg.txn, msg.decision)
 
     # ------------------------------------------------------------------
     # queries

@@ -20,7 +20,8 @@ The vanilla 2PC-over-Paxos baseline offers the same driver API through
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.client import Client
 from repro.configservice.service import ConfigurationService, GlobalConfigurationService
@@ -47,12 +48,95 @@ PROTOCOL_MESSAGE_PASSING = "message-passing"
 PROTOCOL_RDMA = "rdma"
 PROTOCOL_BROKEN_RDMA = "broken-rdma"
 
-_PROTOCOLS = (PROTOCOL_MESSAGE_PASSING, PROTOCOL_RDMA, PROTOCOL_BROKEN_RDMA)
-
 _ISOLATION_SCHEMES = {
     "serializability": SerializabilityScheme,
     "snapshot-isolation": SnapshotIsolationScheme,
 }
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """How to assemble one protocol variant of the certification service.
+
+    New variants register themselves with :func:`register_protocol` instead
+    of growing branches inside ``Cluster.__init__``:
+
+    * ``replica_cls`` — the shard-replica process class;
+    * ``config_service_cls`` — the configuration-service process class;
+    * ``global_config`` — True when the variant keeps a single system-wide
+      configuration and epoch (the RDMA protocol of Section 5) rather than
+      one configuration per shard;
+    * ``post_build`` — optional hook ``post_build(cluster)`` run after all
+      processes exist (the broken ablation uses it to leave RDMA access
+      open between every pair of processes, which is exactly its bug).
+    """
+
+    name: str
+    replica_cls: type
+    config_service_cls: type
+    global_config: bool = False
+    post_build: Optional[Callable[["Cluster"], None]] = None
+    description: str = ""
+
+
+_PROTOCOL_REGISTRY: Dict[str, ProtocolSpec] = {}
+
+
+def register_protocol(spec: ProtocolSpec) -> ProtocolSpec:
+    """Add a protocol variant to the registry used by :class:`Cluster`."""
+    if spec.name in _PROTOCOL_REGISTRY:
+        raise ValueError(f"protocol {spec.name!r} is already registered")
+    _PROTOCOL_REGISTRY[spec.name] = spec
+    return spec
+
+
+def protocol_names() -> Tuple[str, ...]:
+    return tuple(_PROTOCOL_REGISTRY)
+
+
+def protocol_spec(name: str) -> ProtocolSpec:
+    try:
+        return _PROTOCOL_REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown protocol {name!r}; expected one of {protocol_names()}"
+        ) from None
+
+
+def _open_rdma_everywhere(cluster: "Cluster") -> None:
+    # The broken RDMA ablation keeps RDMA access open between every pair
+    # of processes forever (that omission is exactly what makes it unsafe).
+    all_pids = list(cluster.replicas)
+    for replica in cluster.replicas.values():
+        replica.open_to_all(all_pids)
+
+
+register_protocol(
+    ProtocolSpec(
+        name=PROTOCOL_MESSAGE_PASSING,
+        replica_cls=ShardReplica,
+        config_service_cls=ConfigurationService,
+        description="Figure 1: asynchronous message passing, per-shard reconfiguration",
+    )
+)
+register_protocol(
+    ProtocolSpec(
+        name=PROTOCOL_RDMA,
+        replica_cls=RdmaShardReplica,
+        config_service_cls=GlobalConfigurationService,
+        global_config=True,
+        description="Figures 7-8: RDMA data path, global reconfiguration",
+    )
+)
+register_protocol(
+    ProtocolSpec(
+        name=PROTOCOL_BROKEN_RDMA,
+        replica_cls=BrokenRdmaShardReplica,
+        config_service_cls=ConfigurationService,
+        post_build=_open_rdma_everywhere,
+        description="Figure 4a ablation: RDMA data path + per-shard reconfiguration (unsafe)",
+    )
+)
 
 
 class Cluster:
@@ -71,11 +155,11 @@ class Cluster:
         spares_per_shard: int = 2,
         membership_policy: Optional[MembershipPolicy] = None,
     ) -> None:
-        if protocol not in _PROTOCOLS:
-            raise ValueError(f"unknown protocol {protocol!r}; expected one of {_PROTOCOLS}")
+        spec = protocol_spec(protocol)
         if num_shards < 1 or replicas_per_shard < 1 or num_clients < 1:
             raise ValueError("num_shards, replicas_per_shard and num_clients must be >= 1")
-        self.protocol = protocol
+        self.protocol = spec.name
+        self.protocol_spec = spec
         self.num_shards = num_shards
         self.replicas_per_shard = replicas_per_shard
         self.shards: List[ShardId] = [f"shard-{i}" for i in range(num_shards)]
@@ -103,26 +187,18 @@ class Cluster:
         self._build_replicas(spares_per_shard)
         self._build_clients(num_clients)
         self._round_robin = 0
+        if spec.post_build is not None:
+            spec.post_build(self)
 
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
     def _build_config_service(self) -> None:
-        if self.protocol == PROTOCOL_RDMA:
-            self.config_service = GlobalConfigurationService("config-service")
-        else:
-            self.config_service = ConfigurationService("config-service")
+        self.config_service = self.protocol_spec.config_service_cls("config-service")
         self.network.register(self.config_service)
 
-    def _replica_class(self):
-        return {
-            PROTOCOL_MESSAGE_PASSING: ShardReplica,
-            PROTOCOL_RDMA: RdmaShardReplica,
-            PROTOCOL_BROKEN_RDMA: BrokenRdmaShardReplica,
-        }[self.protocol]
-
     def _build_replicas(self, spares_per_shard: int) -> None:
-        replica_cls = self._replica_class()
+        replica_cls = self.protocol_spec.replica_cls
         members_by_shard: Dict[ShardId, Tuple[str, ...]] = {}
         for shard in self.shards:
             members_by_shard[shard] = tuple(
@@ -139,7 +215,7 @@ class Cluster:
         )
 
         # Install initial configurations in the configuration service.
-        if self.protocol == PROTOCOL_RDMA:
+        if self.protocol_spec.global_config:
             self.config_service.install_initial(global_config)
         else:
             for shard, config in initial_configs.items():
@@ -170,18 +246,11 @@ class Cluster:
 
         # Bootstrap configuration knowledge.
         for replica in self.replicas.values():
-            if self.protocol == PROTOCOL_RDMA:
+            if self.protocol_spec.global_config:
                 replica.spare_pools = self.spare_pools
                 replica.bootstrap(global_config)
             else:
                 replica.bootstrap(initial_configs)
-
-        # The broken RDMA ablation keeps RDMA access open between every pair
-        # of processes forever (that omission is exactly what makes it unsafe).
-        if self.protocol == PROTOCOL_BROKEN_RDMA:
-            all_pids = list(self.replicas)
-            for replica in self.replicas.values():
-                replica.open_to_all(all_pids)
 
         self.initial_configs = initial_configs
         self.initial_global_config = global_config
@@ -207,7 +276,7 @@ class Cluster:
         return [r for r in self.replicas_by_shard[shard] if not r.crashed]
 
     def current_configuration(self, shard: ShardId):
-        if self.protocol == PROTOCOL_RDMA:
+        if self.protocol_spec.global_config:
             config = self.config_service.last_configuration()
             return Configuration(
                 epoch=config.epoch,
@@ -266,13 +335,16 @@ class Cluster:
     def run_until_decided(
         self, txns: Optional[Sequence[TxnId]] = None, max_events: int = 1_000_000
     ) -> bool:
-        """Run until every given (default: every submitted) transaction is decided."""
+        """Run until every given (default: every submitted) transaction is decided.
 
-        def all_decided() -> bool:
-            targets = txns if txns is not None else list(self.history.certified())
-            return all(self.history.decision_of(t) is not None for t in targets)
-
-        return self.scheduler.run_until(all_decided, max_events=max_events)
+        Decision *watchers* subscribe to the history's completion callbacks,
+        so each fired event costs an O(1) counter check instead of a full
+        history rescan.
+        """
+        with self.history.watch(txns) as watcher:
+            if watcher.done:
+                return True
+            return self.scheduler.run_until(watcher.is_done, max_events=max_events)
 
     def certify(
         self,
@@ -325,7 +397,7 @@ class Cluster:
         replica = self.replicas[initiator_pid]
         for suspect in suspects:
             replica.suspect(suspect)
-        if self.protocol == PROTOCOL_RDMA:
+        if self.protocol_spec.global_config:
             started = replica.reconfigure()
         else:
             started = replica.reconfigure(shard)

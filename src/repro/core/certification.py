@@ -28,6 +28,35 @@ from repro.core.types import Decision, ShardId
 PayloadT = TypeVar("PayloadT")
 
 
+class VoteIndex(Generic[PayloadT]):
+    """Incremental equivalent of :meth:`CertificationScheme.vote`.
+
+    A shard leader certifies every new transaction against (a) the payloads
+    of transactions *committed* in its certification order and (b) the
+    payloads of transactions *prepared to commit*.  Recomputing those sets
+    per ``PREPARE`` is O(slots); an index maintains per-object conflict
+    state so each membership change and each vote is proportional to the
+    payload size only.
+
+    Implementations must be exactly equivalent to
+    ``scheme.vote(shard, committed, prepared, payload)`` evaluated over the
+    same sets — the simulation's determinism (and the Figure 3 invariants)
+    depend on it.
+    """
+
+    def add_committed(self, payload: PayloadT) -> None:
+        raise NotImplementedError
+
+    def add_prepared(self, payload: PayloadT) -> None:
+        raise NotImplementedError
+
+    def remove_prepared(self, payload: PayloadT) -> None:
+        raise NotImplementedError
+
+    def vote(self, payload: PayloadT) -> Decision:
+        raise NotImplementedError
+
+
 class CertificationScheme(Generic[PayloadT]):
     """Abstract interface for an isolation level's certification functions.
 
@@ -74,6 +103,17 @@ class CertificationScheme(Generic[PayloadT]):
     ) -> Decision:
         """The shard-local function ``g_s(L, l)`` (conflicts with prepared txns)."""
         raise NotImplementedError
+
+    def make_vote_index(self, shard: ShardId) -> "VoteIndex | None":
+        """An incremental :class:`VoteIndex` for this scheme, or None.
+
+        Returning None makes shard leaders fall back to recomputing the
+        vote from a full scan of their certification order on every
+        ``PREPARE`` (O(slots) per transaction); schemes that can maintain
+        per-object conflict state incrementally should return an index so
+        voting costs O(|payload|) instead.
+        """
+        return None
 
     # ------------------------------------------------------------------
     # derived helpers

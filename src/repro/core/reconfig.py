@@ -260,6 +260,9 @@ class ReconfigMixin:
         self.epoch[self.shard] = msg.epoch
         self.members[self.shard] = tuple(msg.members)
         self.leader[self.shard] = self.pid
+        # Slots may have been filled by ACCEPTs while we were a follower;
+        # rebuild the vote index before voting in the new epoch.
+        self._votes.invalidate()
         self.next = max((k for k, ph in self.phase_arr.items() if ph is not Phase.START), default=0)
         state = NewState(
             epoch=msg.epoch,
@@ -291,6 +294,7 @@ class ReconfigMixin:
         self.dec_arr = dict(msg.dec)
         self.phase_arr = dict(msg.phase)
         self.slot_of = {txn: slot for slot, txn in self.txn_arr.items()}
+        self._votes.invalidate()
         self.next = max(
             (k for k, ph in self.phase_arr.items() if ph is not Phase.START), default=0
         )

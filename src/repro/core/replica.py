@@ -21,6 +21,7 @@ from repro.core.coordinator import CoordinatorMixin
 from repro.core.directory import TransactionDirectory
 from repro.core.messages import Accept, AcceptAck, Prepare, PrepareAck, SlotDecision
 from repro.core.reconfig import MembershipPolicy, ReconfigMixin, SparePool
+from repro.core.votecache import LeaderVoteCache
 from repro.core.types import (
     BOTTOM,
     Configuration,
@@ -82,6 +83,10 @@ class ShardReplica(CoordinatorMixin, ReconfigMixin, Process):
         # Observers notified when a slot reaches the decided phase (used by
         # the store layer and by metrics).
         self.decision_listeners: List[Callable[[int, Optional[TxnId], Decision], None]] = []
+
+        # Incremental conflict index for leader-side voting; replaces the
+        # per-PREPARE scan of the whole certification order.
+        self._votes = LeaderVoteCache(self)
 
         self._init_coordinator()
         self._init_reconfig()
@@ -184,22 +189,9 @@ class ShardReplica(CoordinatorMixin, ReconfigMixin, Process):
         self.phase_arr[slot] = Phase.PREPARED
         self.slot_of[msg.txn] = slot
         if msg.payload is not BOTTOM:
-            committed = [
-                self.payload_arr[k]
-                for k in self.payload_arr
-                if k < slot
-                and self.phase_arr.get(k) is Phase.DECIDED
-                and self.dec_arr.get(k) is Decision.COMMIT
-            ]
-            prepared = [
-                self.payload_arr[k]
-                for k in self.payload_arr
-                if k < slot
-                and self.phase_arr.get(k) is Phase.PREPARED
-                and self.vote_arr.get(k) is Decision.COMMIT
-            ]
-            self.vote_arr[slot] = self.scheme.vote(self.shard, committed, prepared, msg.payload)
+            self.vote_arr[slot] = self._votes.vote(slot, msg.payload)
             self.payload_arr[slot] = msg.payload
+            self._votes.note_prepared(slot)
         else:
             # Coordinator recovery with an unknown payload (lines 14-16).
             self.vote_arr[slot] = Decision.ABORT
@@ -231,6 +223,7 @@ class ShardReplica(CoordinatorMixin, ReconfigMixin, Process):
             self.vote_arr[msg.slot] = msg.vote
             self.phase_arr[msg.slot] = Phase.PREPARED
             self.slot_of[msg.txn] = msg.slot
+            self._votes.invalidate()
         self.send(
             sender,
             AcceptAck(
@@ -251,6 +244,7 @@ class ShardReplica(CoordinatorMixin, ReconfigMixin, Process):
             return
         self.dec_arr[msg.slot] = msg.decision
         self.phase_arr[msg.slot] = Phase.DECIDED
+        self._votes.note_decided(msg.slot)
         txn = self.txn_arr.get(msg.slot)
         for listener in self.decision_listeners:
             listener(msg.slot, txn, msg.decision)

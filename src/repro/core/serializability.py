@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, Iterable, Optional, Sequence, Set, Tuple
 
-from repro.core.certification import CertificationScheme
+from repro.core.certification import CertificationScheme, VoteIndex
 from repro.core.types import Decision, ShardId
 
 
@@ -124,6 +124,18 @@ class ShardingFunction:
     def shard_of(self, obj: ObjectId) -> ShardId:
         raise NotImplementedError
 
+    def key_for_shard(self, shard: ShardId, hint: str = "key", attempts: int = 10_000) -> ObjectId:
+        """Find a key this function maps to ``shard`` (probing ``hint-N``).
+
+        Shared by the test helpers, the benchmark harness and the scenario
+        runner for building shard-targeted payloads.
+        """
+        for i in range(attempts):
+            candidate = f"{hint}-{i}"
+            if self.shard_of(candidate) == shard:
+                return candidate
+        raise ValueError(f"no key found for shard {shard!r} after {attempts} attempts")
+
 
 class KeyHashSharding(ShardingFunction):
     """Deterministic hash partitioning of objects across a fixed shard list."""
@@ -201,6 +213,96 @@ class _ReadWriteScheme(CertificationScheme[TransactionPayload]):
         return payload.is_empty()
 
 
+class _ReadWriteVoteIndex(VoteIndex[TransactionPayload]):
+    """Per-object conflict state shared by both concrete schemes.
+
+    * ``committed_version[obj]`` — the highest commit version installed on
+      ``obj`` by a committed transaction ("exists a committed writer with
+      version > v" collapses to one max-version comparison);
+    * ``prepared_readers`` / ``prepared_writers`` — reference counts of
+      prepared-to-commit transactions reading / writing each object.
+
+    Payloads arriving at a shard leader are already projected to the shard,
+    but ``vote`` still filters the candidate's objects through the sharding
+    function, mirroring the scan-based ``f_s`` / ``g_s`` exactly.
+    """
+
+    def __init__(self, sharding: ShardingFunction, shard: ShardId) -> None:
+        self.sharding = sharding
+        self.shard = shard
+        self.committed_version: Dict[ObjectId, Version] = {}
+        self.prepared_readers: Dict[ObjectId, int] = {}
+        self.prepared_writers: Dict[ObjectId, int] = {}
+
+    def add_committed(self, payload: TransactionPayload) -> None:
+        version = payload.commit_version
+        for obj, _ in payload.write_set:
+            current = self.committed_version.get(obj)
+            if current is None or version > current:
+                self.committed_version[obj] = version
+
+    def add_prepared(self, payload: TransactionPayload) -> None:
+        for obj, _ in payload.read_set:
+            self.prepared_readers[obj] = self.prepared_readers.get(obj, 0) + 1
+        for obj, _ in payload.write_set:
+            self.prepared_writers[obj] = self.prepared_writers.get(obj, 0) + 1
+
+    def remove_prepared(self, payload: TransactionPayload) -> None:
+        for obj, _ in payload.read_set:
+            remaining = self.prepared_readers[obj] - 1
+            if remaining:
+                self.prepared_readers[obj] = remaining
+            else:
+                del self.prepared_readers[obj]
+        for obj, _ in payload.write_set:
+            remaining = self.prepared_writers[obj] - 1
+            if remaining:
+                self.prepared_writers[obj] = remaining
+            else:
+                del self.prepared_writers[obj]
+
+
+class _SerializabilityVoteIndex(_ReadWriteVoteIndex):
+    def vote(self, payload: TransactionPayload) -> Decision:
+        shard_of = self.sharding.shard_of
+        # f_s: no committed transaction overwrote a version we read;
+        # g_s (read side): no prepared transaction writes an object we read.
+        for obj, version in payload.read_set:
+            if shard_of(obj) != self.shard:
+                continue
+            committed = self.committed_version.get(obj)
+            if committed is not None and committed > version:
+                return Decision.ABORT
+            if obj in self.prepared_writers:
+                return Decision.ABORT
+        # g_s (write side): no prepared transaction read an object we write.
+        for obj, _ in payload.write_set:
+            if shard_of(obj) != self.shard:
+                continue
+            if obj in self.prepared_readers:
+                return Decision.ABORT
+        return Decision.COMMIT
+
+
+class _SnapshotIsolationVoteIndex(_ReadWriteVoteIndex):
+    def vote(self, payload: TransactionPayload) -> Decision:
+        shard_of = self.sharding.shard_of
+        # Write-write conflicts only: f_s compares the version read for each
+        # written object against committed writers, g_s checks prepared writers.
+        for obj, _ in payload.write_set:
+            if shard_of(obj) != self.shard:
+                continue
+            if obj in self.prepared_writers:
+                return Decision.ABORT
+            version = payload.read_version(obj)
+            if version is None:
+                continue
+            committed = self.committed_version.get(obj)
+            if committed is not None and committed > version:
+                return Decision.ABORT
+        return Decision.COMMIT
+
+
 class SerializabilityScheme(_ReadWriteScheme):
     """The serializability certification functions of Section 2.
 
@@ -211,6 +313,9 @@ class SerializabilityScheme(_ReadWriteScheme):
       transaction, or writes an object read by a prepared transaction
       (lock-acquisition semantics).
     """
+
+    def make_vote_index(self, shard: ShardId) -> _SerializabilityVoteIndex:
+        return _SerializabilityVoteIndex(self.sharding, shard)
 
     def global_certify(
         self, committed: Iterable[TransactionPayload], payload: TransactionPayload
@@ -267,6 +372,9 @@ class SnapshotIsolationScheme(_ReadWriteScheme):
     was read (first-committer-wins), and ``g_s`` aborts only on write-write
     conflicts with prepared transactions.
     """
+
+    def make_vote_index(self, shard: ShardId) -> _SnapshotIsolationVoteIndex:
+        return _SnapshotIsolationVoteIndex(self.sharding, shard)
 
     def global_certify(
         self, committed: Iterable[TransactionPayload], payload: TransactionPayload

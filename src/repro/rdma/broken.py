@@ -107,5 +107,7 @@ class BrokenRdmaShardReplica(ShardReplica):
             if self.phase_arr.get(msg.slot) is not Phase.DECIDED:
                 self.phase_arr[msg.slot] = Phase.PREPARED
             self.slot_of[msg.txn] = msg.slot
+            # The write bypassed every leader-side check; resync the index.
+            self._votes.invalidate()
             return
         super().on_accept(msg, sender)

@@ -44,6 +44,7 @@ from repro.core.messages import (
     TxnDecision,
 )
 from repro.core.reconfig import MembershipPolicy, SparePool
+from repro.core.votecache import LeaderVoteCache
 from repro.core.types import (
     BOTTOM,
     Decision,
@@ -158,6 +159,7 @@ class RdmaShardReplica(Process):
         self._cs_request_id = 0
         self._cs_callbacks: Dict[int, Callable[[CsReply], None]] = {}
         self.decision_listeners: List[Callable[[int, Optional[TxnId], Decision], None]] = []
+        self._votes = LeaderVoteCache(self)
 
     # ------------------------------------------------------------------
     # bootstrap
@@ -269,22 +271,9 @@ class RdmaShardReplica(Process):
         self.phase_arr[slot] = Phase.PREPARED
         self.slot_of[msg.txn] = slot
         if msg.payload is not BOTTOM:
-            committed = [
-                self.payload_arr[k]
-                for k in self.payload_arr
-                if k < slot
-                and self.phase_arr.get(k) is Phase.DECIDED
-                and self.dec_arr.get(k) is Decision.COMMIT
-            ]
-            prepared = [
-                self.payload_arr[k]
-                for k in self.payload_arr
-                if k < slot
-                and self.phase_arr.get(k) is Phase.PREPARED
-                and self.vote_arr.get(k) is Decision.COMMIT
-            ]
-            self.vote_arr[slot] = self.scheme.vote(self.shard, committed, prepared, msg.payload)
+            self.vote_arr[slot] = self._votes.vote(slot, msg.payload)
             self.payload_arr[slot] = msg.payload
+            self._votes.note_prepared(slot)
         else:
             self.vote_arr[slot] = Decision.ABORT
             self.payload_arr[slot] = self.scheme.empty_payload()
@@ -377,6 +366,8 @@ class RdmaShardReplica(Process):
         if self.phase_arr.get(msg.slot) is not Phase.DECIDED:
             self.phase_arr[msg.slot] = Phase.PREPARED
         self.slot_of[msg.txn] = msg.slot
+        # One-sided writes land in the arrays behind the vote index's back.
+        self._votes.invalidate()
 
     def on_slot_decision(self, msg: SlotDecision, sender: str) -> None:
         self._apply_decision(msg.slot, msg.decision)
@@ -384,6 +375,7 @@ class RdmaShardReplica(Process):
     def _apply_decision(self, slot: int, decision: Decision) -> None:
         self.dec_arr[slot] = decision
         self.phase_arr[slot] = Phase.DECIDED
+        self._votes.note_decided(slot)
         txn = self.txn_arr.get(slot)
         for listener in self.decision_listeners:
             listener(slot, txn, decision)
@@ -544,6 +536,7 @@ class RdmaShardReplica(Process):
         self.rdma.flush()
         self.status = Status.LEADER
         self.epoch = msg.epoch
+        self._votes.invalidate()
         self.next = max(
             (k for k, ph in self.phase_arr.items() if ph is not Phase.START), default=0
         )
@@ -575,6 +568,7 @@ class RdmaShardReplica(Process):
         self.dec_arr = dict(msg.dec)
         self.phase_arr = dict(msg.phase)
         self.slot_of = {txn: slot for slot, txn in self.txn_arr.items()}
+        self._votes.invalidate()
         self.next = max(
             (k for k, ph in self.phase_arr.items() if ph is not Phase.START), default=0
         )

@@ -174,17 +174,20 @@ class Network:
     # ------------------------------------------------------------------
     # message transport
     # ------------------------------------------------------------------
-    def send(self, src: str, dst: str, message: Any) -> None:
-        """Send ``message`` from ``src`` to ``dst`` over the FIFO channel."""
-        if src in self.processes and self.processes[src].crashed:
-            return
+    def _enqueue(self, src: str, dst: str, message: Any) -> Optional[float]:
+        """Account for one send and compute its delivery time.
+
+        Returns None when the message is dropped (unknown destination or
+        blocked channel); the caller is responsible for scheduling the
+        delivery event(s).
+        """
         self.stats.record_send(src, message)
         if dst not in self.processes:
             self.stats.dropped += 1
-            return
+            return None
         if (src, dst) in self._blocked:
             self.stats.dropped += 1
-            return
+            return None
         delay = self.latency.delay(src, dst, message, self.rng)
         delay += self._extra_delay.get((src, dst), 0.0)
         deliver_at = self.scheduler.now + delay
@@ -194,7 +197,48 @@ class Network:
         last = self._channel_clock.get((src, dst), 0.0)
         deliver_at = max(deliver_at, last)
         self._channel_clock[(src, dst)] = deliver_at
-        self.scheduler.schedule_at(deliver_at, self._deliver, src, dst, message)
+        return deliver_at
+
+    def send(self, src: str, dst: str, message: Any) -> None:
+        """Send ``message`` from ``src`` to ``dst`` over the FIFO channel."""
+        if src in self.processes and self.processes[src].crashed:
+            return
+        deliver_at = self._enqueue(src, dst, message)
+        if deliver_at is not None:
+            self.scheduler.schedule_at(deliver_at, self._deliver, src, dst, message)
+
+    def send_many(self, src: str, dsts: Iterable[str], message: Any) -> None:
+        """Multicast ``message`` to every destination, batching deliveries.
+
+        Destinations whose messages arrive at the same virtual time share a
+        single scheduler event instead of one heap entry each, which cuts
+        heap churn substantially for fan-out-heavy protocols (with the
+        deterministic unit-latency model, almost every fan-out batches).
+
+        The observable delivery order is identical to calling :meth:`send`
+        in a loop: within one ``send_many`` call no other event can be
+        scheduled between the individual sends, so deliveries sharing a
+        timestamp would have fired back-to-back in send order anyway.
+        """
+        if src in self.processes and self.processes[src].crashed:
+            return
+        batches: Dict[float, list] = {}
+        for dst in dsts:
+            deliver_at = self._enqueue(src, dst, message)
+            if deliver_at is None:
+                continue
+            group = batches.get(deliver_at)
+            if group is None:
+                group = batches[deliver_at] = []
+                # dict preserves insertion order; schedule one event per
+                # distinct delivery time, carrying the (mutable) group so
+                # destinations found later in this call still join it.
+                self.scheduler.schedule_at(deliver_at, self._deliver_batch, src, group, message)
+            group.append(dst)
+
+    def _deliver_batch(self, src: str, dsts: list, message: Any) -> None:
+        for dst in dsts:
+            self._deliver(src, dst, message)
 
     def _deliver(self, src: str, dst: str, message: Any) -> None:
         process = self.processes.get(dst)

@@ -74,9 +74,16 @@ class Process:
         self.network.send(self.pid, dst, message)
 
     def send_all(self, dsts: Iterable[str], message: Any) -> None:
-        """Send the same message to every destination (excluding none)."""
-        for dst in dsts:
-            self.send(dst, message)
+        """Send the same message to every destination (excluding none).
+
+        Deliveries that land at the same virtual time share one scheduler
+        event (see :meth:`Network.send_many`), so prefer this over a manual
+        send loop for fan-outs.
+        """
+        if self.crashed:
+            return
+        assert self.network is not None
+        self.network.send_many(self.pid, dsts, message)
 
     def set_timer(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule a local callback; it is suppressed if the process crashed."""

@@ -1,0 +1,49 @@
+"""Declarative scenario engine: one driving loop for every consumer.
+
+``repro.scenarios`` turns "build a cluster, inject faults, run a workload,
+collect metrics" into data: a :class:`ScenarioSpec` describes the
+experiment, :class:`ScenarioRunner` executes it deterministically, and a
+:class:`ScenarioResult` carries throughput, latency, abort-rate, message
+and safety metrics.  The examples, the benchmark harness, the tests and
+the ``python -m repro.scenarios`` CLI all run on this engine.
+"""
+
+from repro.scenarios.library import (
+    SCENARIOS,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
+from repro.scenarios.runner import (
+    ScenarioResult,
+    ScenarioRunner,
+    run_scenario,
+    run_sweep,
+)
+from repro.scenarios.spec import (
+    FAULT_ACTIONS,
+    PROTOCOL_BASELINE,
+    WORKLOAD_KINDS,
+    FaultStep,
+    ScenarioError,
+    ScenarioSpec,
+    WorkloadSpec,
+)
+
+__all__ = [
+    "SCENARIOS",
+    "get_scenario",
+    "register_scenario",
+    "scenario_names",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "run_scenario",
+    "run_sweep",
+    "FAULT_ACTIONS",
+    "PROTOCOL_BASELINE",
+    "WORKLOAD_KINDS",
+    "FaultStep",
+    "ScenarioError",
+    "ScenarioSpec",
+    "WorkloadSpec",
+]

@@ -1,0 +1,125 @@
+"""Command-line entry point: run scenarios without writing code.
+
+Usage::
+
+    python -m repro.scenarios list
+    python -m repro.scenarios run steady-state [--seed 7] [--txns 40] [--json]
+    python -m repro.scenarios sweep steady-state --protocols message-passing,rdma
+    python -m repro.scenarios steady-state          # shorthand for `run`
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import replace
+from typing import List, Optional
+
+from repro.scenarios.library import SCENARIOS, get_scenario, scenario_names
+from repro.scenarios.runner import run_scenario, run_sweep
+from repro.scenarios.spec import ScenarioError, ScenarioSpec
+
+
+def _apply_overrides(spec: ScenarioSpec, args: argparse.Namespace) -> ScenarioSpec:
+    overrides = {}
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if getattr(args, "protocol", None):
+        overrides["protocol"] = args.protocol
+    if args.shards is not None:
+        overrides["num_shards"] = args.shards
+    if args.txns is not None:
+        overrides["workload"] = replace(spec.workload, txns=args.txns)
+    return spec.with_overrides(**overrides) if overrides else spec
+
+
+def _cmd_list() -> int:
+    width = max(len(name) for name in scenario_names())
+    for name, spec in SCENARIOS.items():
+        safety = "" if spec.expect_safe else "  [expected-unsafe]"
+        print(f"{name.ljust(width)}  {spec.protocol:16s}  {spec.description}{safety}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = _apply_overrides(get_scenario(args.name), args)
+    result = run_scenario(spec)
+    if args.json:
+        print(json.dumps(result.as_dict(), indent=2))
+    else:
+        print(result.render())
+    return 0 if result.passed else 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    spec = _apply_overrides(get_scenario(args.name), args)
+    protocols = tuple(p.strip() for p in args.protocols.split(",") if p.strip())
+    results = run_sweep(spec, protocols)
+    if args.json:
+        print(json.dumps({p: r.as_dict() for p, r in results.items()}, indent=2))
+    else:
+        for result in results.values():
+            print(result.render())
+            print()
+    return 0 if all(result.passed for result in results.values()) else 1
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=None, help="override the spec seed")
+    parser.add_argument("--shards", type=int, default=None, help="override the shard count")
+    parser.add_argument("--txns", type=int, default=None, help="override the transaction count")
+    parser.add_argument("--json", action="store_true", help="emit the result as JSON")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Shorthand: `python -m repro.scenarios <scenario>` means `run <scenario>`.
+    if argv and argv[0] not in ("list", "run", "sweep", "-h", "--help"):
+        argv.insert(0, "run")
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scenarios",
+        description="Run named simulation scenarios of the TCS reproduction.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list the scenario library")
+
+    run_parser = commands.add_parser("run", help="run one scenario")
+    run_parser.add_argument("name", choices=scenario_names())
+    run_parser.add_argument("--protocol", default=None, help="override the protocol")
+    _add_common(run_parser)
+
+    sweep_parser = commands.add_parser(
+        "sweep", help="run one scenario under several protocols"
+    )
+    sweep_parser.add_argument("name", choices=scenario_names())
+    sweep_parser.add_argument(
+        "--protocols",
+        default="message-passing,rdma",
+        help="comma-separated protocol list (default: message-passing,rdma)",
+    )
+    _add_common(sweep_parser)
+
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "run":
+            return _cmd_run(args)
+        return _cmd_sweep(args)
+    except ScenarioError as error:
+        parser.exit(2, f"error: {error}\n")
+
+
+if __name__ == "__main__":
+    try:
+        # Die quietly when the output is piped into `head` and the pipe
+        # closes early, instead of dumping a BrokenPipeError traceback.
+        import signal
+
+        signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+    except (ImportError, AttributeError, ValueError):  # pragma: no cover
+        pass  # no SIGPIPE on this platform
+    raise SystemExit(main())

@@ -1,0 +1,407 @@
+"""The scenario engine: build a cluster, inject faults, drive a workload.
+
+``ScenarioRunner`` is the single driving loop shared by the examples, the
+benchmark harness, the CLI and the tests.  It
+
+1. builds the cluster described by a :class:`ScenarioSpec` (any registered
+   protocol variant, or the 2PC-over-Paxos baseline);
+2. applies setup fault steps (``at <= 0``) and schedules the timed ones on
+   the simulation clock, resolving role targets (``"leader:shard-0"``)
+   against the live cluster at execution time;
+3. drives the workload in closed-loop batches through the transactional
+   store (or submits explicit spanning payloads), waiting on decision
+   watchers rather than polling the history;
+4. drains the simulation and distils a structured :class:`ScenarioResult`
+   (throughput, latency, abort rate, message and event counts, safety
+   verdict).
+
+Everything is deterministic in the spec's seed: two runs of the same spec
+produce identical results (modulo wall-clock time).
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analysis.metrics import LatencySummary, format_table, summarize
+from repro.baselines.cluster import BaselineCluster
+from repro.cluster import Cluster
+from repro.core.serializability import TransactionPayload
+from repro.core.types import Decision, Phase
+from repro.scenarios.spec import (
+    PROTOCOL_BASELINE,
+    FaultStep,
+    ScenarioError,
+    ScenarioSpec,
+)
+from repro.store.executor import TransactionalStore
+from repro.workload.generators import (
+    BankWorkload,
+    ReadWriteWorkload,
+    UniformKeyGenerator,
+    ZipfianKeyGenerator,
+)
+
+
+@dataclass
+class ScenarioResult:
+    """Structured outcome of one scenario run."""
+
+    scenario: str
+    protocol: str
+    seed: int
+    txns_submitted: int
+    committed: int
+    aborted: int
+    undecided: int
+    abort_rate: float
+    throughput: float  # committed transactions per 1000 message delays
+    duration: float  # virtual time elapsed
+    events_fired: int
+    messages_sent: int
+    messages_delivered: int
+    latency: Optional[LatencySummary]
+    check_ok: bool
+    invariant_violations: int
+    contradictions: int
+    expect_safe: bool
+    faults_executed: List[str] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def safety_ok(self) -> bool:
+        """True when the run produced a correct history (checker passed, no
+        invariant violations, no contradictory decisions)."""
+        return self.check_ok and self.invariant_violations == 0 and self.contradictions == 0
+
+    @property
+    def passed(self) -> bool:
+        """The run matched the scenario's safety expectation: correct
+        protocols must be safe, ablation scenarios must expose their bug."""
+        return self.safety_ok == self.expect_safe
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "protocol": self.protocol,
+            "seed": self.seed,
+            "txns_submitted": self.txns_submitted,
+            "committed": self.committed,
+            "aborted": self.aborted,
+            "undecided": self.undecided,
+            "abort_rate": self.abort_rate,
+            "throughput": self.throughput,
+            "duration": self.duration,
+            "events_fired": self.events_fired,
+            "messages_sent": self.messages_sent,
+            "messages_delivered": self.messages_delivered,
+            "latency": self.latency.as_dict() if self.latency else None,
+            "check_ok": self.check_ok,
+            "invariant_violations": self.invariant_violations,
+            "contradictions": self.contradictions,
+            "safety_ok": self.safety_ok,
+            "expect_safe": self.expect_safe,
+            "passed": self.passed,
+            "faults_executed": list(self.faults_executed),
+        }
+
+    def render(self) -> str:
+        rows = [
+            ("protocol", self.protocol),
+            ("transactions", f"{self.committed} committed / {self.aborted} aborted"
+                             + (f" / {self.undecided} undecided" if self.undecided else "")),
+            ("abort rate", f"{self.abort_rate:.3f}"),
+            ("throughput", f"{self.throughput:.1f} committed txns / 1000 delays"),
+            ("virtual duration", f"{self.duration:.1f} delays"),
+            ("events fired", self.events_fired),
+            ("messages", f"{self.messages_sent} sent / {self.messages_delivered} delivered"),
+        ]
+        if self.latency is not None:
+            rows.append(
+                ("client latency", f"mean {self.latency.mean:.2f} / p99 {self.latency.p99:.2f} delays")
+            )
+        verdict = "SAFE" if self.safety_ok else "UNSAFE"
+        expectation = "as expected" if self.passed else "UNEXPECTED"
+        rows.append(("safety", f"{verdict} ({expectation})"))
+        for note in self.faults_executed:
+            rows.append(("fault", note))
+        body = format_table(["metric", "value"], rows)
+        return f"=== scenario: {self.scenario} ===\n{body}"
+
+
+class ScenarioRunner:
+    """Builds and drives one scenario; see the module docstring."""
+
+    def __init__(self, spec: ScenarioSpec) -> None:
+        spec.validate()
+        self.spec = spec
+        self.cluster: Any = None
+        self.store: Optional[TransactionalStore] = None
+        self.faults_executed: List[str] = []
+        self._crashed: List[str] = []
+
+    # ------------------------------------------------------------------
+    # construction and fault wiring
+    # ------------------------------------------------------------------
+    def build(self) -> Any:
+        """Construct the cluster and arm the fault schedule (idempotent)."""
+        if self.cluster is not None:
+            return self.cluster
+        spec = self.spec
+        if spec.protocol == PROTOCOL_BASELINE:
+            self.cluster = BaselineCluster(
+                num_shards=spec.num_shards,
+                failures_tolerated=(spec.replicas_per_shard - 1) // 2,
+                num_clients=spec.num_clients,
+                seed=spec.seed,
+            )
+        else:
+            self.cluster = Cluster(
+                num_shards=spec.num_shards,
+                replicas_per_shard=spec.replicas_per_shard,
+                num_clients=spec.num_clients,
+                protocol=spec.protocol,
+                isolation=spec.isolation,
+                seed=spec.seed,
+                spares_per_shard=spec.spares_per_shard,
+            )
+        for step in spec.fault_schedule:
+            if step.at <= 0:
+                self._execute_fault(step)
+            else:
+                self.cluster.scheduler.schedule_at(step.at, self._execute_fault, step)
+        return self.cluster
+
+    def resolve(self, role: Optional[str]) -> Optional[str]:
+        """Resolve a role description to a process id (see spec module)."""
+        if role is None:
+            return None
+        cluster = self.cluster
+        if role == "config-service":
+            return cluster.config_service.pid
+        kind, _, rest = role.partition(":")
+        if kind in ("leader", "follower", "member") and rest:
+            shard, _, index_text = rest.partition(":")
+            index = int(index_text) if index_text else 0
+            if kind == "leader":
+                return cluster.leader_of(shard)
+            if kind == "follower":
+                followers = cluster.followers_of(shard)
+                if not followers:
+                    raise ScenarioError(
+                        f"role {role!r}: shard {shard!r} has no followers"
+                    )
+                return followers[index % len(followers)]
+            members = cluster.members_of(shard)
+            if not members:
+                raise ScenarioError(f"role {role!r}: shard {shard!r} has no members")
+            return members[index % len(members)]
+        return role
+
+    def _note_fault(self, text: str) -> None:
+        self.faults_executed.append(f"t={self.cluster.scheduler.now:g}: {text}")
+
+    def _execute_fault(self, step: FaultStep) -> None:
+        cluster = self.cluster
+        if step.action == "crash":
+            pid = self.resolve(step.target)
+            cluster.crash(pid)
+            self._crashed.append(pid)
+            self._note_fault(f"crash {pid}")
+        elif step.action == "crash-leader":
+            pid = cluster.crash_leader(step.shard)
+            self._crashed.append(pid)
+            self._note_fault(f"crash leader {pid} of {step.shard}")
+        elif step.action == "crash-follower":
+            pid = cluster.crash_follower(step.shard)
+            self._crashed.append(pid)
+            self._note_fault(f"crash follower {pid} of {step.shard}")
+        elif step.action == "reconfigure":
+            initiator = self.resolve(step.target)
+            suspects = [self.resolve(role) for role in step.suspects]
+            if not suspects:
+                # Default suspicion: everything this runner crashed so far.
+                suspects = list(self._crashed)
+            cluster.reconfigure(
+                step.shard, initiator=initiator, run=False, suspects=suspects
+            )
+            self._note_fault(f"reconfigure {step.shard} (suspects: {suspects or 'none'})")
+        elif step.action == "retry-stalled":
+            retried = self._retry_stalled(self.resolve(step.target))
+            self._note_fault(f"retry {retried} stalled slot(s)")
+        elif step.action == "delay-channel":
+            src, dst = self.resolve(step.src), self.resolve(step.dst)
+            cluster.network.add_extra_delay(src, dst, step.delay)
+            self._note_fault(f"delay {src} -> {dst} by {step.delay:g}")
+        elif step.action == "heal":
+            cluster.network.heal()
+            cluster.network.clear_extra_delays()
+            self._note_fault("heal all channels")
+        else:  # pragma: no cover - spec.validate() rejects unknown actions
+            raise ScenarioError(f"unknown fault action {step.action!r}")
+
+    def _retry_stalled(self, target: Optional[str]) -> int:
+        """Re-drive prepared-but-undecided slots through their leaders (the
+        paper's coordinator-recovery path, lines 70-73)."""
+        if target is not None:
+            replicas = [self.cluster.replicas[target]]
+        else:
+            replicas = [
+                replica
+                for replica in self.cluster.replicas.values()
+                if replica.is_leader and not replica.crashed
+            ]
+        retried = 0
+        for replica in replicas:
+            for slot, phase in sorted(replica.phase_arr.items()):
+                if phase is Phase.PREPARED:
+                    if replica.retry(slot) is not None:
+                        retried += 1
+        return retried
+
+    # ------------------------------------------------------------------
+    # workload driving
+    # ------------------------------------------------------------------
+    def run(self) -> ScenarioResult:
+        """Build (if needed), drive the workload, drain, and summarise."""
+        spec = self.spec
+        cluster = self.build()
+        wall_start = _time.perf_counter()
+        start_time = cluster.scheduler.now
+        if spec.workload.kind == "spanning":
+            self._drive_spanning()
+        else:
+            self._drive_store()
+        # Drain everything still in flight: trailing decision deliveries,
+        # scheduled faults, reconfigurations and their recovery traffic.
+        cluster.run(max_events=spec.max_events)
+        wall = _time.perf_counter() - wall_start
+        return self._collect(start_time, wall)
+
+    def _drive_store(self) -> None:
+        spec = self.spec
+        workload = spec.workload
+        if workload.kind == "bank":
+            bank = BankWorkload(
+                num_accounts=workload.num_accounts,
+                initial_balance=workload.initial_balance,
+                seed=spec.seed,
+                hot_fraction=workload.hot_fraction,
+            )
+            self.store = TransactionalStore(self.cluster, initial=bank.initial_state())
+            bodies = bank.batch(workload.txns)
+        else:
+            if workload.kind == "zipfian":
+                keys = ZipfianKeyGenerator(
+                    num_keys=workload.num_keys, theta=workload.theta, seed=spec.seed
+                )
+            else:
+                keys = UniformKeyGenerator(num_keys=workload.num_keys, seed=spec.seed)
+            generator = ReadWriteWorkload(
+                keys,
+                reads_per_txn=workload.reads_per_txn,
+                writes_per_txn=workload.writes_per_txn,
+                seed=spec.seed,
+            )
+            initial = {f"key-{i}": 0 for i in range(workload.num_keys)}
+            self.store = TransactionalStore(self.cluster, initial=initial)
+            bodies = [spec_.body() for spec_ in generator.batch(workload.txns)]
+        for offset in range(0, len(bodies), workload.batch):
+            self.store.run_batch(bodies[offset : offset + workload.batch])
+
+    def _drive_spanning(self) -> None:
+        spec = self.spec
+        workload = spec.workload
+        coordinator = self.resolve(workload.coordinator)
+        payloads = [
+            self._spanning_payload(index) for index in range(workload.txns)
+        ]
+        for offset in range(0, len(payloads), workload.batch):
+            txns = [
+                self.cluster.submit(payload, coordinator=coordinator)
+                for payload in payloads[offset : offset + workload.batch]
+            ]
+            self.cluster.run_until_decided(txns, max_events=spec.max_events)
+
+    def _spanning_payload(self, index: int) -> TransactionPayload:
+        """A payload touching one key on each of two adjacent shards."""
+        shards = self.cluster.shards
+        first = shards[index % len(shards)]
+        second = shards[(index + 1) % len(shards)]
+        keys = [
+            self._key_on_shard(first, f"span{index}a"),
+            self._key_on_shard(second, f"span{index}b"),
+        ]
+        return TransactionPayload.make(
+            reads=[(key, (0, "")) for key in keys],
+            writes=[(key, index) for key in keys],
+            tiebreak=f"span{index}",
+        )
+
+    def _key_on_shard(self, shard: str, hint: str) -> str:
+        return self.cluster.scheme.sharding.key_for_shard(shard, hint=hint)
+
+    # ------------------------------------------------------------------
+    # result collection
+    # ------------------------------------------------------------------
+    def _collect(self, start_time: float, wall: float) -> ScenarioResult:
+        spec = self.spec
+        cluster = self.cluster
+        history = cluster.history
+        decided = history.decided()
+        submitted = len(history.certified())
+        committed = sum(1 for d in decided.values() if d is Decision.COMMIT)
+        aborted = sum(1 for d in decided.values() if d is Decision.ABORT)
+        undecided = submitted - len(decided)
+        duration = max(cluster.scheduler.now - start_time, 1e-9)
+        latencies = cluster.client_latencies()
+        if not spec.check_history:
+            check_ok, violations = True, []
+        elif spec.protocol == PROTOCOL_BASELINE:
+            check, violations = cluster.check()
+            check_ok = check.ok
+        else:
+            check, violations = cluster.check(include_invariants=spec.check_invariants)
+            check_ok = check.ok
+        stats = cluster.message_stats
+        return ScenarioResult(
+            scenario=spec.name,
+            protocol=spec.protocol,
+            seed=spec.seed,
+            txns_submitted=submitted,
+            committed=committed,
+            aborted=aborted,
+            undecided=undecided,
+            abort_rate=(aborted / len(decided)) if decided else 0.0,
+            throughput=committed / duration * 1000.0,
+            duration=cluster.scheduler.now - start_time,
+            events_fired=cluster.scheduler.events_fired,
+            messages_sent=stats.total_sent,
+            messages_delivered=stats.total_delivered,
+            latency=summarize(latencies) if latencies else None,
+            check_ok=check_ok,
+            invariant_violations=len(violations),
+            contradictions=len(history.contradictions),
+            expect_safe=spec.expect_safe,
+            faults_executed=list(self.faults_executed),
+            wall_seconds=wall,
+        )
+
+
+def run_scenario(spec: ScenarioSpec, **overrides) -> ScenarioResult:
+    """Run one scenario (optionally overriding spec fields first)."""
+    if overrides:
+        spec = spec.with_overrides(**overrides)
+    return ScenarioRunner(spec).run()
+
+
+def run_sweep(
+    spec: ScenarioSpec, protocols: Tuple[str, ...]
+) -> Dict[str, ScenarioResult]:
+    """Run the same scenario under several protocols (same seed/workload)."""
+    results = {}
+    for protocol in protocols:
+        results[protocol] = run_scenario(spec, protocol=protocol)
+    return results

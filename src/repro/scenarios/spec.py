@@ -1,0 +1,209 @@
+"""Declarative scenario descriptions.
+
+A :class:`ScenarioSpec` fully determines one simulated experiment: which
+protocol to deploy, how large the cluster is, which workload the clients
+generate, and which faults strike at which virtual times.  Specs are plain
+frozen dataclasses, so a scenario is a value — it can be registered in the
+library, tweaked with :meth:`ScenarioSpec.with_overrides`, swept across
+protocols, or constructed ad hoc by a benchmark.
+
+Fault targets are *roles* resolved against the live cluster when the step
+executes (or at build time for setup steps), not hard-coded process ids:
+
+* ``"leader:shard-1"`` — current leader of ``shard-1``;
+* ``"follower:shard-1"`` / ``"follower:shard-1:2"`` — a current follower
+  (by index, default 0);
+* ``"member:shard-2:0"`` — a configuration member by index;
+* ``"config-service"`` — the configuration service process;
+* anything else — a literal process id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+
+class ScenarioError(ValueError):
+    """An invalid scenario description."""
+
+
+FAULT_ACTIONS = (
+    "crash",  # crash the resolved target
+    "crash-leader",  # crash the current leader of `shard`
+    "crash-follower",  # crash a live follower of `shard`
+    "reconfigure",  # initiate reconfiguration of `shard` (global for RDMA)
+    "retry-stalled",  # leaders re-drive their prepared-but-undecided slots
+    "delay-channel",  # add `delay` extra latency on the channel src -> dst
+    "heal",  # remove all partitions/blocks and extra channel delays
+)
+
+WORKLOAD_KINDS = (
+    "uniform",  # read/write transactions over uniformly random keys
+    "zipfian",  # read/write transactions over Zipf-skewed keys
+    "bank",  # balance transfers (money-conservation workload)
+    "spanning",  # explicit multi-shard payloads, optionally pinned coordinator
+)
+
+
+@dataclass(frozen=True)
+class FaultStep:
+    """One fault-injection action at virtual time ``at``.
+
+    Steps with ``at <= 0`` are *setup* steps: they are applied while the
+    cluster is being built, before any transaction is submitted (the place
+    for ``delay-channel`` steps shaping an adversarial schedule).  Steps
+    with ``at > 0`` are scheduled on the simulation clock and fire between
+    events like any other activity in the system.
+    """
+
+    at: float
+    action: str
+    shard: Optional[str] = None
+    target: Optional[str] = None
+    src: Optional[str] = None
+    dst: Optional[str] = None
+    delay: float = 0.0
+    suspects: Tuple[str, ...] = ()
+
+    def validate(self) -> None:
+        if self.action not in FAULT_ACTIONS:
+            raise ScenarioError(
+                f"unknown fault action {self.action!r}; expected one of {FAULT_ACTIONS}"
+            )
+        if self.action in ("crash-leader", "crash-follower", "reconfigure") and not self.shard:
+            raise ScenarioError(f"fault action {self.action!r} requires a shard")
+        if self.action == "crash" and not self.target:
+            raise ScenarioError("fault action 'crash' requires a target")
+        if self.action == "delay-channel":
+            if not self.src or not self.dst:
+                raise ScenarioError("fault action 'delay-channel' requires src and dst")
+            if self.delay <= 0:
+                raise ScenarioError("fault action 'delay-channel' requires a positive delay")
+            if self.at > 0:
+                raise ScenarioError(
+                    "'delay-channel' must be a setup step (at <= 0): extra latency "
+                    "cannot be installed retroactively for in-flight messages"
+                )
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """What the clients do.
+
+    ``txns`` transactions are driven in closed-loop batches of ``batch``;
+    each batch executes speculatively against the committed store state and
+    is certified concurrently (which is where conflicts and aborts arise).
+    """
+
+    kind: str = "uniform"
+    txns: int = 100
+    batch: int = 10
+    num_keys: int = 128
+    theta: float = 0.9
+    reads_per_txn: int = 2
+    writes_per_txn: int = 1
+    num_accounts: int = 16
+    initial_balance: int = 100
+    hot_fraction: float = 0.0
+    coordinator: Optional[str] = None  # role, only for kind="spanning"
+
+    def validate(self) -> None:
+        if self.kind not in WORKLOAD_KINDS:
+            raise ScenarioError(
+                f"unknown workload kind {self.kind!r}; expected one of {WORKLOAD_KINDS}"
+            )
+        if self.txns < 1:
+            raise ScenarioError("workload needs at least one transaction")
+        if self.batch < 1:
+            raise ScenarioError("workload batch size must be >= 1")
+        if self.kind in ("uniform", "zipfian"):
+            if self.num_keys < 1:
+                raise ScenarioError("num_keys must be >= 1")
+            if self.writes_per_txn > self.reads_per_txn:
+                raise ScenarioError("writes_per_txn must not exceed reads_per_txn")
+        if self.kind == "zipfian" and self.theta < 0:
+            raise ScenarioError("zipfian theta must be >= 0")
+        if self.kind == "bank" and self.num_accounts < 2:
+            raise ScenarioError("bank workload needs at least two accounts")
+        if not 0.0 <= self.hot_fraction <= 1.0:
+            raise ScenarioError("hot_fraction must be within [0, 1]")
+        if self.coordinator is not None and self.kind != "spanning":
+            raise ScenarioError("a pinned coordinator requires kind='spanning'")
+
+
+PROTOCOL_BASELINE = "2pc-paxos"
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete, reproducible experiment description."""
+
+    name: str
+    description: str = ""
+    protocol: str = "message-passing"
+    num_shards: int = 2
+    replicas_per_shard: int = 2
+    num_clients: int = 1
+    spares_per_shard: int = 2
+    isolation: str = "serializability"
+    seed: int = 0
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    faults: Tuple[FaultStep, ...] = ()
+    max_events: int = 5_000_000
+    # The TCS checker's real-time-order analysis is quadratic in the number
+    # of transactions; very large perf scenarios can opt out of the full
+    # history check (contradiction detection stays on — it is O(1)).
+    check_history: bool = True
+    check_invariants: bool = True
+    # Correct protocols must produce a safe history; ablation scenarios
+    # document the expected violation by setting this to False.
+    expect_safe: bool = True
+
+    def validate(self) -> None:
+        from repro.cluster import protocol_names  # late: avoid import cycle
+
+        known = protocol_names() + (PROTOCOL_BASELINE,)
+        if self.protocol not in known:
+            raise ScenarioError(
+                f"unknown protocol {self.protocol!r}; expected one of {known}"
+            )
+        if self.num_shards < 1 or self.replicas_per_shard < 1 or self.num_clients < 1:
+            raise ScenarioError(
+                "num_shards, replicas_per_shard and num_clients must be >= 1"
+            )
+        if self.spares_per_shard < 0:
+            raise ScenarioError("spares_per_shard must be >= 0")
+        if self.max_events < 1:
+            raise ScenarioError("max_events must be >= 1")
+        self.workload.validate()
+        for step in self.faults:
+            step.validate()
+        if self.protocol == PROTOCOL_BASELINE:
+            if self.faults:
+                raise ScenarioError(
+                    "the 2pc-paxos baseline has no reconfiguration path; "
+                    "fault schedules require one of the reconfigurable protocols"
+                )
+            if self.isolation != "serializability":
+                raise ScenarioError("the 2pc-paxos baseline only runs serializability")
+            if self.replicas_per_shard % 2 == 0:
+                raise ScenarioError(
+                    "the 2pc-paxos baseline needs 2f+1 (odd) replicas per shard"
+                )
+
+    def with_overrides(self, **overrides) -> "ScenarioSpec":
+        """A copy of the spec with the given fields replaced (re-validated)."""
+        spec = replace(self, **overrides)
+        spec.validate()
+        return spec
+
+    @property
+    def fault_schedule(self) -> Tuple[FaultStep, ...]:
+        """Fault steps in execution order (setup steps first, then by time;
+        ties broken by declaration order)."""
+        indexed = list(enumerate(self.faults))
+        return tuple(
+            step
+            for _, step in sorted(indexed, key=lambda pair: (pair[1].at, pair[0]))
+        )

@@ -10,7 +10,7 @@ checker and the metrics layer consume.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.types import Decision, TxnId
 
@@ -39,6 +39,33 @@ class History:
         # RDMA variant used for the Figure 4a ablation does, and the checker
         # reports them rather than the recorder raising mid-simulation.
         self.contradictions: List[Tuple[TxnId, Decision, Decision]] = []
+        # Completion callbacks; the cluster drivers' decision watchers hook
+        # in here so that waiting for decisions is O(1) per event instead of
+        # a full-history rescan.
+        self._certify_listeners: List[Callable[[TxnId], None]] = []
+        self._decide_listeners: List[Callable[[TxnId, Decision], None]] = []
+
+    # ------------------------------------------------------------------
+    # listeners
+    # ------------------------------------------------------------------
+    def add_certify_listener(self, fn: Callable[[TxnId], None]) -> None:
+        """Call ``fn(txn)`` whenever a new transaction is certified."""
+        self._certify_listeners.append(fn)
+
+    def remove_certify_listener(self, fn: Callable[[TxnId], None]) -> None:
+        self._certify_listeners.remove(fn)
+
+    def add_decide_listener(self, fn: Callable[[TxnId, Decision], None]) -> None:
+        """Call ``fn(txn, decision)`` on each transaction's *first* decide."""
+        self._decide_listeners.append(fn)
+
+    def remove_decide_listener(self, fn: Callable[[TxnId, Decision], None]) -> None:
+        self._decide_listeners.remove(fn)
+
+    def watch(self, txns: Optional[Sequence[TxnId]] = None) -> "DecisionWatcher":
+        """A :class:`DecisionWatcher` over ``txns`` (default: every certified
+        transaction, including ones certified after the watcher is created)."""
+        return DecisionWatcher(self, txns)
 
     # ------------------------------------------------------------------
     # recording
@@ -49,6 +76,8 @@ class History:
         event = Event(kind="certify", txn=txn, time=time, seq=len(self.events), payload=payload)
         self.events.append(event)
         self._certified[txn] = event
+        for listener in self._certify_listeners:
+            listener(txn)
         return event
 
     def record_decide(self, txn: TxnId, decision: Decision, time: float) -> Event:
@@ -62,6 +91,8 @@ class History:
         event = Event(kind="decide", txn=txn, time=time, seq=len(self.events), decision=decision)
         self.events.append(event)
         self._decided[txn] = event
+        for listener in self._decide_listeners:
+            listener(txn, decision)
         return event
 
     # ------------------------------------------------------------------
@@ -115,3 +146,67 @@ class History:
 
     def __len__(self) -> int:
         return len(self.events)
+
+
+class DecisionWatcher:
+    """O(1)-per-event completion tracking for a set of transactions.
+
+    Instead of rescanning the whole history after every fired event (the
+    old ``run_until_decided`` predicate, O(events x txns) overall), a
+    watcher subscribes to the history's decide events and keeps a counter
+    of outstanding transactions, turning the wait into O(events).
+
+    With ``txns=None`` the watcher tracks *every* certified transaction,
+    including transactions certified while the watcher is open (it also
+    subscribes to certify events), which matches the semantics of waiting
+    for the full history to become complete.
+
+    Watchers are context managers; always close them (or use ``with``) so
+    the listener subscriptions do not accumulate on long-lived histories.
+    """
+
+    def __init__(self, history: History, txns: Optional[Sequence[TxnId]] = None) -> None:
+        self._history = history
+        self._track_all = txns is None
+        self._waiting: Set[TxnId] = set()
+        self._closed = False
+        if self._track_all:
+            self._waiting.update(history.pending())
+            history.add_certify_listener(self._on_certify)
+        else:
+            for txn in txns:
+                if history.decision_of(txn) is None:
+                    self._waiting.add(txn)
+        history.add_decide_listener(self._on_decide)
+
+    def _on_certify(self, txn: TxnId) -> None:
+        self._waiting.add(txn)
+
+    def _on_decide(self, txn: TxnId, decision: Decision) -> None:
+        self._waiting.discard(txn)
+
+    @property
+    def outstanding(self) -> int:
+        """Number of tracked transactions still awaiting a decision."""
+        return len(self._waiting)
+
+    def is_done(self) -> bool:
+        return not self._waiting
+
+    @property
+    def done(self) -> bool:
+        return not self._waiting
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._track_all:
+            self._history.remove_certify_listener(self._on_certify)
+        self._history.remove_decide_listener(self._on_decide)
+
+    def __enter__(self) -> "DecisionWatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

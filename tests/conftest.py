@@ -1,52 +1,14 @@
-"""Shared test helpers."""
+"""Shared pytest fixtures.  Plain helper functions live in ``helpers.py``
+(an importable module name; ``conftest`` would collide with
+``benchmarks/conftest.py`` when pytest runs both directories)."""
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Tuple
-
 import pytest
 
-from repro.core.serializability import (
-    KeyHashSharding,
-    SerializabilityScheme,
-    TransactionPayload,
-    Version,
-    VERSION_ZERO,
-)
-
-
-def payload(
-    reads: Iterable[Tuple[str, Version]] = (),
-    writes: Iterable[Tuple[str, object]] = (),
-    commit_version: Optional[Version] = None,
-    tiebreak: str = "t",
-) -> TransactionPayload:
-    """Shorthand for building well-formed payloads in tests."""
-    return TransactionPayload.make(
-        reads=reads, writes=writes, commit_version=commit_version, tiebreak=tiebreak
-    )
-
-
-def rw_payload(key: str, version: int = 0, value: object = 1, tiebreak: str = "t") -> TransactionPayload:
-    """A payload that reads ``key`` at ``version`` and writes it."""
-    return payload(
-        reads=[(key, (version, ""))], writes=[(key, value)], tiebreak=tiebreak
-    )
-
-
-def read_payload(key: str, version: int = 0) -> TransactionPayload:
-    return payload(reads=[(key, (version, ""))])
+from repro.core.serializability import KeyHashSharding, SerializabilityScheme
 
 
 @pytest.fixture
 def two_shard_scheme() -> SerializabilityScheme:
     return SerializabilityScheme(KeyHashSharding(["shard-0", "shard-1"]))
-
-
-def shard_key(scheme: SerializabilityScheme, shard: str, hint: str = "key") -> str:
-    """Find a key that the scheme maps to the given shard."""
-    for i in range(10_000):
-        candidate = f"{hint}-{i}"
-        if scheme.sharding.shard_of(candidate) == shard:
-            return candidate
-    raise RuntimeError(f"could not find a key for shard {shard}")

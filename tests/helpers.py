@@ -1,0 +1,44 @@
+"""Shared test helpers (importable, unlike ``conftest``).
+
+Living in a module with a unique name avoids the classic pytest pitfall
+where ``tests/conftest.py`` and ``benchmarks/conftest.py`` both shadow the
+module name ``conftest`` and whichever directory pytest touches first wins.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from repro.core.serializability import (
+    SerializabilityScheme,
+    TransactionPayload,
+    Version,
+)
+
+
+def payload(
+    reads: Iterable[Tuple[str, Version]] = (),
+    writes: Iterable[Tuple[str, object]] = (),
+    commit_version: Optional[Version] = None,
+    tiebreak: str = "t",
+) -> TransactionPayload:
+    """Shorthand for building well-formed payloads in tests."""
+    return TransactionPayload.make(
+        reads=reads, writes=writes, commit_version=commit_version, tiebreak=tiebreak
+    )
+
+
+def rw_payload(key: str, version: int = 0, value: object = 1, tiebreak: str = "t") -> TransactionPayload:
+    """A payload that reads ``key`` at ``version`` and writes it."""
+    return payload(
+        reads=[(key, (version, ""))], writes=[(key, value)], tiebreak=tiebreak
+    )
+
+
+def read_payload(key: str, version: int = 0) -> TransactionPayload:
+    return payload(reads=[(key, (version, ""))])
+
+
+def shard_key(scheme: SerializabilityScheme, shard: str, hint: str = "key") -> str:
+    """Find a key that the scheme maps to the given shard."""
+    return scheme.sharding.key_for_shard(shard, hint=hint)

@@ -5,7 +5,7 @@ import pytest
 from repro.baselines.cluster import BaselineCluster
 from repro.core.types import Decision
 
-from conftest import payload, rw_payload, shard_key
+from helpers import payload, rw_payload, shard_key
 
 
 @pytest.fixture

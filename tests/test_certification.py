@@ -14,7 +14,7 @@ from repro.core.serializability import (
 )
 from repro.core.types import Decision
 
-from conftest import payload, rw_payload, read_payload, shard_key
+from helpers import payload, rw_payload, read_payload, shard_key
 
 
 # ----------------------------------------------------------------------

@@ -5,7 +5,7 @@ import pytest
 from repro.cluster import Cluster
 from repro.core.types import BOTTOM, Decision, Phase
 
-from conftest import payload, rw_payload, shard_key
+from helpers import payload, rw_payload, shard_key
 
 
 @pytest.fixture

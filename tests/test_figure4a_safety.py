@@ -26,7 +26,7 @@ import pytest
 from repro.cluster import Cluster
 from repro.core.types import Decision
 
-from conftest import payload, shard_key
+from helpers import payload, shard_key
 
 
 LATE_ACCEPT_DELAY = 60.0

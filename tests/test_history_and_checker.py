@@ -7,7 +7,7 @@ from repro.core.types import Decision
 from repro.spec.checker import TCSChecker
 from repro.spec.history import History
 
-from conftest import payload, read_payload, rw_payload
+from helpers import payload, read_payload, rw_payload
 
 
 @pytest.fixture

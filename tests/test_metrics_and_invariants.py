@@ -16,7 +16,7 @@ from repro.core.types import Decision, Phase
 from repro.runtime.network import MessageStats
 from repro.spec.invariants import check_invariants
 
-from conftest import rw_payload
+from helpers import rw_payload
 
 
 # ----------------------------------------------------------------------

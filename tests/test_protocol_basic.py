@@ -5,7 +5,7 @@ import pytest
 from repro.cluster import Cluster
 from repro.core.types import Decision, Phase, Status
 
-from conftest import payload, read_payload, rw_payload, shard_key
+from helpers import payload, read_payload, rw_payload, shard_key
 
 
 PROTOCOLS = ["message-passing", "rdma"]

@@ -114,9 +114,84 @@ def test_idle_and_pending():
     assert scheduler.idle
     event = scheduler.schedule(1.0, lambda: None)
     assert not scheduler.idle
+    assert scheduler.pending == 1
     event.cancel()
     assert scheduler.idle
+    # Cancelled events no longer count as pending work.
+    assert scheduler.pending == 0
+
+
+def test_pending_tracks_live_events_only():
+    scheduler = Scheduler()
+    events = [scheduler.schedule(float(i + 1), lambda: None) for i in range(10)]
+    assert scheduler.pending == 10
+    for event in events[:4]:
+        event.cancel()
+    assert scheduler.pending == 6
+    scheduler.run(max_events=2)
+    assert scheduler.pending == 4
+
+
+def test_cancel_after_fire_does_not_corrupt_live_count():
+    scheduler = Scheduler()
+    fired = scheduler.schedule(1.0, lambda: None)
+    keeper = scheduler.schedule(2.0, lambda: None)
+    assert scheduler.step()
+    # Cancelling an event that already fired must be a no-op.
+    fired.cancel()
     assert scheduler.pending == 1
+    assert not scheduler.idle
+    scheduler.run()
+    assert scheduler.pending == 0
+
+
+def test_double_cancel_counts_once():
+    scheduler = Scheduler()
+    event = scheduler.schedule(1.0, lambda: None)
+    other = scheduler.schedule(2.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    assert scheduler.pending == 1
+    scheduler.run()
+    assert scheduler.pending == 0
+
+
+def test_heap_compaction_drops_cancelled_events():
+    scheduler = Scheduler()
+    keeper_fired = []
+    keeper = scheduler.schedule(1000.0, lambda: keeper_fired.append(True))
+    events = [scheduler.schedule(float(i + 1), lambda: None) for i in range(500)]
+    for event in events:
+        event.cancel()
+    # Far more cancelled than live events: the heap must have been compacted.
+    assert len(scheduler._queue) < 100
+    assert scheduler.pending == 1
+    scheduler.run()
+    assert keeper_fired == [True]
+
+
+def test_run_until_periodic_check_interval():
+    scheduler = Scheduler()
+    fired = []
+    for i in range(20):
+        scheduler.schedule(float(i + 1), lambda i=i: fired.append(i))
+    checks = []
+
+    def predicate():
+        checks.append(len(fired))
+        return len(fired) >= 10
+
+    assert scheduler.run_until(predicate, check_interval=4)
+    # The predicate is only evaluated every 4 events, so we overshoot to the
+    # next multiple of 4 instead of stopping at exactly 10.
+    assert len(fired) == 12
+    assert len(checks) <= 5
+
+
+def test_run_until_check_interval_validation():
+    scheduler = Scheduler()
+    with pytest.raises(ValueError):
+        scheduler.run_until(lambda: True, check_interval=0)
 
 
 def test_run_advances_now_to_max_time_when_queue_empty():

@@ -15,7 +15,7 @@ from repro.workload.generators import (
     ZipfianKeyGenerator,
 )
 
-from conftest import rw_payload
+from helpers import rw_payload
 
 
 # ----------------------------------------------------------------------
