@@ -1,0 +1,67 @@
+"""Perf guard for the online TCS checker (``check_mode="online"``).
+
+Before the incremental checker, full history validation was O(txns^2)
+(all-pairs conflict edges plus the ``real_time_pairs`` sweep) — on this
+10k-transaction steady state the batch ``TCSChecker`` alone takes minutes,
+which is why large scenarios used to opt out of validation entirely.  The
+online checker maintains the same linearization graph incrementally
+(per-object conflict indexes, a decided-frontier chain for real-time edges,
+Pearce–Kelly cycle detection), so the fully *validated* run must stay within
+a modest factor of the unvalidated engine floor guarded by
+``test_bench_scheduler.py``.
+
+Floor provenance: on the development container this workload measures
+~4,500 txns/sec with ``check_mode="off"`` and ~3,500 txns/sec with
+``check_mode="online"`` (validation overhead ~20%).  The guard asserts the
+same 2x-pre-refactor engine floor as the scheduler guard — i.e. a validated
+run may not be slower than the *unvalidated* pre-refactor engine was — which
+keeps headroom for slow CI machines while failing loudly if checker updates
+ever reintroduce a quadratic path.
+"""
+
+import time
+
+from repro.scenarios import ScenarioRunner, ScenarioSpec, WorkloadSpec
+
+from _helpers import PRE_REFACTOR_TXNS_PER_SEC
+
+
+TXNS = 10_000
+
+
+def _spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="checker-guard-steady-state",
+        protocol="message-passing",
+        num_shards=4,
+        seed=0,
+        workload=WorkloadSpec(kind="uniform", txns=TXNS, batch=50, num_keys=2000),
+        check_mode="online",
+    )
+
+
+def test_online_checker_throughput_guard(benchmark):
+    def run():
+        runner = ScenarioRunner(_spec())
+        start = time.perf_counter()
+        result = runner.run()
+        wall = time.perf_counter() - start
+        return runner, result, wall
+
+    runner, result, wall = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.passed
+    assert result.check_mode == "online"
+    assert result.txns_submitted == TXNS
+    # The checker actually ran: it processed every certify and decide and
+    # produced a full witness linearization.
+    stats = runner.checker.stats
+    assert stats["events_processed"] == 2 * TXNS
+    assert len(runner.checker.linearization()) == result.committed
+    txns_per_sec = TXNS / wall
+    print(
+        f"\nonline checker guard: {TXNS} txns validated in {wall:.2f}s -> "
+        f"{txns_per_sec:,.0f} txns/sec "
+        f"({stats['nodes']:,} graph nodes, {stats['edges']:,} edges; "
+        f"pre-refactor unvalidated engine floor: {PRE_REFACTOR_TXNS_PER_SEC:,.0f})"
+    )
+    assert txns_per_sec >= 2 * PRE_REFACTOR_TXNS_PER_SEC

@@ -22,7 +22,7 @@ from __future__ import annotations
 import itertools
 from typing import Generic, Iterable, Sequence, Set, TypeVar
 
-from repro.core.types import Decision, ShardId
+from repro.core.types import Decision, ShardId, TxnId
 
 
 PayloadT = TypeVar("PayloadT")
@@ -55,6 +55,60 @@ class VoteIndex(Generic[PayloadT]):
 
     def vote(self, payload: PayloadT) -> Decision:
         raise NotImplementedError
+
+
+class ConflictIndex(Generic[PayloadT]):
+    """Incremental pairwise-conflict queries for the online TCS checker.
+
+    The spec checker's linearization graph needs, for every transaction
+    entering the committed projection, the conflict edges between its payload
+    and every payload already in the projection: ``f({l_a}, l) = abort``
+    means the new transaction must *precede* ``a``, and ``f({l}, l_b) =
+    abort`` means ``b`` must precede the new transaction.  Computing those
+    sets by scanning all prior payloads is the O(txns^2) sweep that forced
+    large scenarios to opt out of validation; an index maintains per-object
+    conflict state so each registration costs time proportional to the
+    payload size plus the number of edges actually reported.
+
+    Implementations must be exactly equivalent to evaluating
+    ``scheme.global_certify([l'], l)`` pairwise over the registered payloads.
+    """
+
+    def register(self, txn: TxnId, payload: PayloadT) -> "tuple[list, list]":
+        """Add ``(txn, payload)``; return ``(successors, predecessors)``.
+
+        ``successors`` are registered transactions the new one must precede
+        (their payload aborts the new one); ``predecessors`` must precede the
+        new one (its payload aborts theirs).
+        """
+        raise NotImplementedError
+
+
+class PairwiseConflictIndex(ConflictIndex[PayloadT]):
+    """Fallback :class:`ConflictIndex` for schemes without an incremental one.
+
+    Scans every registered payload per registration (O(n) per transaction,
+    matching the batch checker's total O(n^2) edge construction) so that any
+    :class:`CertificationScheme` works with the online checker unchanged.
+    """
+
+    def __init__(self, scheme: "CertificationScheme[PayloadT]") -> None:
+        self.scheme = scheme
+        self._entries: list = []
+
+    def register(self, txn, payload):
+        successors = [
+            other
+            for other, existing in self._entries
+            if self.scheme.global_certify([existing], payload) is Decision.ABORT
+        ]
+        predecessors = [
+            other
+            for other, existing in self._entries
+            if self.scheme.global_certify([payload], existing) is Decision.ABORT
+        ]
+        self._entries.append((txn, payload))
+        return successors, predecessors
 
 
 class CertificationScheme(Generic[PayloadT]):
@@ -112,6 +166,16 @@ class CertificationScheme(Generic[PayloadT]):
         ``PREPARE`` (O(slots) per transaction); schemes that can maintain
         per-object conflict state incrementally should return an index so
         voting costs O(|payload|) instead.
+        """
+        return None
+
+    def make_conflict_index(self) -> "ConflictIndex | None":
+        """An incremental :class:`ConflictIndex` for this scheme, or None.
+
+        Used by the online spec checker to discover linearization-graph
+        conflict edges without the all-pairs ``global_certify`` sweep.
+        Returning None makes the checker fall back to
+        :class:`PairwiseConflictIndex` (O(n) per committed transaction).
         """
         return None
 

@@ -16,11 +16,12 @@ with the transaction domain of paper Section 2: a payload is a triple
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, Iterable, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.core.certification import CertificationScheme, VoteIndex
-from repro.core.types import Decision, ShardId
+from repro.core.certification import CertificationScheme, ConflictIndex, VoteIndex
+from repro.core.types import Decision, ShardId, TxnId
 
 
 ObjectId = str
@@ -303,6 +304,101 @@ class _SnapshotIsolationVoteIndex(_ReadWriteVoteIndex):
         return Decision.COMMIT
 
 
+class _VersionedTxnLists:
+    """Per-object sorted ``(version, txn)`` entries with range queries.
+
+    The conflict-index building block: ``below(obj, v)`` / ``above(obj, v)``
+    answer "which registered transactions touched ``obj`` at a version
+    strictly below/above ``v``" in O(log n + answer) via bisection.
+    Entries are kept sorted on version only (insertion order breaks version
+    ties), so queries are strict on the version component.
+
+    ``add`` bisects and then ``list.insert``s: O(n) worst case per entry
+    when a version lands mid-list (a committed transaction may legally carry
+    a read version older than already-indexed ones), but versions mostly
+    arrive increasing, so inserts are append-like in practice and the
+    memmove constant is tiny compared to a pointer-based ordered map.
+    """
+
+    def __init__(self) -> None:
+        self._versions: Dict[ObjectId, List[Version]] = {}
+        self._txns: Dict[ObjectId, List[TxnId]] = {}
+
+    def add(self, obj: ObjectId, version: Version, txn: TxnId) -> None:
+        versions = self._versions.setdefault(obj, [])
+        txns = self._txns.setdefault(obj, [])
+        at = bisect_right(versions, version)
+        versions.insert(at, version)
+        txns.insert(at, txn)
+
+    def below(self, obj: ObjectId, version: Version) -> List[TxnId]:
+        versions = self._versions.get(obj)
+        if not versions:
+            return []
+        return self._txns[obj][: bisect_left(versions, version)]
+
+    def above(self, obj: ObjectId, version: Version) -> List[TxnId]:
+        versions = self._versions.get(obj)
+        if not versions:
+            return []
+        return self._txns[obj][bisect_right(versions, version) :]
+
+
+class _SerializabilityConflictIndex(ConflictIndex[TransactionPayload]):
+    """Conflict edges for the serializability ``f`` of equation (2).
+
+    ``f({l_a}, l_b) = abort`` iff ``a`` wrote an object ``b`` read, at a
+    commit version above ``b``'s read version.  Indexing committed writers
+    by commit version and readers by read version turns the all-pairs sweep
+    into per-object version-range lookups.
+    """
+
+    def __init__(self) -> None:
+        self._writers = _VersionedTxnLists()  # commit version of each write
+        self._readers = _VersionedTxnLists()  # version at which each read saw the object
+
+    def register(self, txn, payload):
+        successors: List[TxnId] = []
+        predecessors: List[TxnId] = []
+        for obj, version in payload.read_set:
+            successors.extend(self._writers.above(obj, version))
+        for obj, _ in payload.write_set:
+            predecessors.extend(self._readers.below(obj, payload.commit_version))
+        for obj, version in payload.read_set:
+            self._readers.add(obj, version, txn)
+        for obj, _ in payload.write_set:
+            self._writers.add(obj, payload.commit_version, txn)
+        return successors, predecessors
+
+
+class _SnapshotIsolationConflictIndex(ConflictIndex[TransactionPayload]):
+    """Conflict edges for the write-write-only snapshot-isolation ``f``.
+
+    Only written objects matter: ``f({l_a}, l_b) = abort`` iff both write
+    ``obj`` and ``a``'s commit version is above the version ``b`` read for
+    ``obj``.  Writers that did not read the object they write never abort.
+    """
+
+    def __init__(self) -> None:
+        self._writers = _VersionedTxnLists()  # commit version of each write
+        self._writer_reads = _VersionedTxnLists()  # read version of each written object
+
+    def register(self, txn, payload):
+        successors: List[TxnId] = []
+        predecessors: List[TxnId] = []
+        for obj, _ in payload.write_set:
+            version = payload.read_version(obj)
+            if version is not None:
+                successors.extend(self._writers.above(obj, version))
+            predecessors.extend(self._writer_reads.below(obj, payload.commit_version))
+        for obj, _ in payload.write_set:
+            self._writers.add(obj, payload.commit_version, txn)
+            version = payload.read_version(obj)
+            if version is not None:
+                self._writer_reads.add(obj, version, txn)
+        return successors, predecessors
+
+
 class SerializabilityScheme(_ReadWriteScheme):
     """The serializability certification functions of Section 2.
 
@@ -316,6 +412,9 @@ class SerializabilityScheme(_ReadWriteScheme):
 
     def make_vote_index(self, shard: ShardId) -> _SerializabilityVoteIndex:
         return _SerializabilityVoteIndex(self.sharding, shard)
+
+    def make_conflict_index(self) -> _SerializabilityConflictIndex:
+        return _SerializabilityConflictIndex()
 
     def global_certify(
         self, committed: Iterable[TransactionPayload], payload: TransactionPayload
@@ -375,6 +474,9 @@ class SnapshotIsolationScheme(_ReadWriteScheme):
 
     def make_vote_index(self, shard: ShardId) -> _SnapshotIsolationVoteIndex:
         return _SnapshotIsolationVoteIndex(self.sharding, shard)
+
+    def make_conflict_index(self) -> _SnapshotIsolationConflictIndex:
+        return _SnapshotIsolationConflictIndex()
 
     def global_certify(
         self, committed: Iterable[TransactionPayload], payload: TransactionPayload

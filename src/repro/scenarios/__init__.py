@@ -21,6 +21,7 @@ from repro.scenarios.runner import (
     run_sweep,
 )
 from repro.scenarios.spec import (
+    CHECK_MODES,
     FAULT_ACTIONS,
     PROTOCOL_BASELINE,
     WORKLOAD_KINDS,
@@ -31,6 +32,7 @@ from repro.scenarios.spec import (
 )
 
 __all__ = [
+    "CHECK_MODES",
     "SCENARIOS",
     "get_scenario",
     "register_scenario",

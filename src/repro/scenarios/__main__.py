@@ -18,7 +18,7 @@ from typing import List, Optional
 
 from repro.scenarios.library import SCENARIOS, get_scenario, scenario_names
 from repro.scenarios.runner import run_scenario, run_sweep
-from repro.scenarios.spec import ScenarioError, ScenarioSpec
+from repro.scenarios.spec import CHECK_MODES, ScenarioError, ScenarioSpec
 
 
 def _apply_overrides(spec: ScenarioSpec, args: argparse.Namespace) -> ScenarioSpec:
@@ -29,8 +29,15 @@ def _apply_overrides(spec: ScenarioSpec, args: argparse.Namespace) -> ScenarioSp
         overrides["protocol"] = args.protocol
     if args.shards is not None:
         overrides["num_shards"] = args.shards
+    if args.check_mode is not None:
+        overrides["check_mode"] = args.check_mode
+    workload_overrides = {}
     if args.txns is not None:
-        overrides["workload"] = replace(spec.workload, txns=args.txns)
+        workload_overrides["txns"] = args.txns
+    if args.think_time is not None:
+        workload_overrides["think_time"] = args.think_time
+    if workload_overrides:
+        overrides["workload"] = replace(spec.workload, **workload_overrides)
     return spec.with_overrides(**overrides) if overrides else spec
 
 
@@ -69,6 +76,18 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=None, help="override the spec seed")
     parser.add_argument("--shards", type=int, default=None, help="override the shard count")
     parser.add_argument("--txns", type=int, default=None, help="override the transaction count")
+    parser.add_argument(
+        "--check-mode",
+        choices=CHECK_MODES,
+        default=None,
+        help="override how the history is validated (off / final / online)",
+    )
+    parser.add_argument(
+        "--think-time",
+        type=float,
+        default=None,
+        help="closed-loop client think time in delays (0 = batch-driven)",
+    )
     parser.add_argument("--json", action="store_true", help="emit the result as JSON")
 
 

@@ -151,6 +151,84 @@ register_scenario(
 
 register_scenario(
     ScenarioSpec(
+        name="follower-partition",
+        description="A follower is partitioned away mid-run (messages dropped, "
+        "process alive); the shard reconfigures past it, the partition heals, "
+        "and stalled transactions are re-driven.",
+        protocol="message-passing",
+        num_shards=2,
+        workload=WorkloadSpec(kind="uniform", txns=120, batch=8, num_keys=128),
+        faults=(
+            FaultStep(at=30.5, action="partition", target="follower:shard-0"),
+            FaultStep(at=32.5, action="reconfigure", shard="shard-0",
+                      suspects=("follower:shard-0",)),
+            FaultStep(at=90.5, action="heal"),
+            FaultStep(at=110.5, action="retry-stalled"),
+            FaultStep(at=160.5, action="retry-stalled"),
+        ),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="cascading-crashes",
+        description="Failures pile up: a follower dies, then its shard's new "
+        "leader, then a second shard's leader — each followed by a "
+        "reconfiguration pulling in a spare, with recovery retries at the end.",
+        protocol="message-passing",
+        num_shards=2,
+        workload=WorkloadSpec(kind="uniform", txns=140, batch=8, num_keys=160),
+        faults=(
+            FaultStep(at=25.5, action="crash-follower", shard="shard-0"),
+            FaultStep(at=27.5, action="reconfigure", shard="shard-0"),
+            FaultStep(at=55.5, action="crash-leader", shard="shard-0"),
+            FaultStep(at=57.5, action="reconfigure", shard="shard-0"),
+            FaultStep(at=85.5, action="crash-leader", shard="shard-1"),
+            FaultStep(at=87.5, action="reconfigure", shard="shard-1"),
+            FaultStep(at=140.5, action="retry-stalled"),
+            FaultStep(at=200.5, action="retry-stalled"),
+        ),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="config-service-outage",
+        description="The configuration service is partitioned away while a "
+        "leader crashes: the reconfiguration attempted during the outage is "
+        "lost, the one after the heal succeeds, and recovery re-drives the "
+        "transactions stalled in between.",
+        protocol="message-passing",
+        num_shards=2,
+        workload=WorkloadSpec(kind="uniform", txns=120, batch=8, num_keys=128),
+        faults=(
+            FaultStep(at=20.5, action="partition", target="config-service"),
+            FaultStep(at=50.5, action="crash-leader", shard="shard-0"),
+            FaultStep(at=52.5, action="reconfigure", shard="shard-0"),
+            FaultStep(at=70.5, action="heal"),
+            FaultStep(at=80.5, action="reconfigure", shard="shard-0"),
+            FaultStep(at=130.5, action="retry-stalled"),
+            FaultStep(at=180.5, action="retry-stalled"),
+        ),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="closed-loop-think",
+        description="Interactive clients: eight closed-loop sessions each keep "
+        "one transaction in flight and think (mean 4 delays) between requests "
+        "— low concurrency, few conflicts, latency-bound throughput.",
+        protocol="message-passing",
+        num_shards=2,
+        workload=WorkloadSpec(
+            kind="uniform", txns=120, num_keys=128, think_time=4.0, sessions=8
+        ),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
         name="baseline-steady-state",
         description="The vanilla 2PC-over-Paxos baseline (2f+1 replicas) on the "
         "steady-state workload, for cost comparisons.",

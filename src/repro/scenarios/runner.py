@@ -36,9 +36,12 @@ from repro.scenarios.spec import (
     ScenarioError,
     ScenarioSpec,
 )
+from repro.spec.incremental import IncrementalTCSChecker
+from repro.spec.invariants import InvariantMonitor, check_invariants
 from repro.store.executor import TransactionalStore
 from repro.workload.generators import (
     BankWorkload,
+    ClosedLoopDriver,
     ReadWriteWorkload,
     UniformKeyGenerator,
     ZipfianKeyGenerator,
@@ -67,6 +70,8 @@ class ScenarioResult:
     invariant_violations: int
     contradictions: int
     expect_safe: bool
+    check_mode: str = "online"
+    check_reason: str = ""  # why the checker failed ("" when it passed)
     faults_executed: List[str] = field(default_factory=list)
     wall_seconds: float = 0.0
 
@@ -99,6 +104,8 @@ class ScenarioResult:
             "messages_delivered": self.messages_delivered,
             "latency": self.latency.as_dict() if self.latency else None,
             "check_ok": self.check_ok,
+            "check_mode": self.check_mode,
+            "check_reason": self.check_reason,
             "invariant_violations": self.invariant_violations,
             "contradictions": self.contradictions,
             "safety_ok": self.safety_ok,
@@ -124,7 +131,9 @@ class ScenarioResult:
             )
         verdict = "SAFE" if self.safety_ok else "UNSAFE"
         expectation = "as expected" if self.passed else "UNEXPECTED"
-        rows.append(("safety", f"{verdict} ({expectation})"))
+        rows.append(("safety", f"{verdict} ({expectation}, check_mode={self.check_mode})"))
+        if self.check_reason:
+            rows.append(("violation", self.check_reason))
         for note in self.faults_executed:
             rows.append(("fault", note))
         body = format_table(["metric", "value"], rows)
@@ -141,6 +150,9 @@ class ScenarioRunner:
         self.store: Optional[TransactionalStore] = None
         self.faults_executed: List[str] = []
         self._crashed: List[str] = []
+        # Online validation: attached to the history while the run executes.
+        self.checker: Optional[IncrementalTCSChecker] = None
+        self.monitor: Optional[InvariantMonitor] = None
 
     # ------------------------------------------------------------------
     # construction and fault wiring
@@ -167,6 +179,10 @@ class ScenarioRunner:
                 seed=spec.seed,
                 spares_per_shard=spec.spares_per_shard,
             )
+        if spec.check_mode == "online":
+            self.checker = IncrementalTCSChecker(self.cluster.scheme, self.cluster.history)
+            if spec.check_invariants and spec.protocol != PROTOCOL_BASELINE:
+                self.monitor = InvariantMonitor(self.cluster.history)
         for step in spec.fault_schedule:
             if step.at <= 0:
                 self._execute_fault(step)
@@ -235,6 +251,15 @@ class ScenarioRunner:
             src, dst = self.resolve(step.src), self.resolve(step.dst)
             cluster.network.add_extra_delay(src, dst, step.delay)
             self._note_fault(f"delay {src} -> {dst} by {step.delay:g}")
+        elif step.action == "block-channel":
+            src, dst = self.resolve(step.src), self.resolve(step.dst)
+            cluster.network.block(src, dst)
+            self._note_fault(f"block {src} -> {dst}")
+        elif step.action == "partition":
+            pid = self.resolve(step.target)
+            others = [p for p in cluster.network.processes if p != pid]
+            cluster.network.partition([pid], others)
+            self._note_fault(f"partition {pid}")
         elif step.action == "heal":
             cluster.network.heal()
             cluster.network.clear_extra_delays()
@@ -308,8 +333,17 @@ class ScenarioRunner:
             initial = {f"key-{i}": 0 for i in range(workload.num_keys)}
             self.store = TransactionalStore(self.cluster, initial=initial)
             bodies = [spec_.body() for spec_ in generator.batch(workload.txns)]
-        for offset in range(0, len(bodies), workload.batch):
-            self.store.run_batch(bodies[offset : offset + workload.batch])
+        if workload.think_time > 0:
+            ClosedLoopDriver(
+                self.store,
+                bodies,
+                sessions=workload.sessions or workload.batch,
+                think_time=workload.think_time,
+                seed=spec.seed,
+            ).run(max_events=spec.max_events)
+        else:
+            for offset in range(0, len(bodies), workload.batch):
+                self.store.run_batch(bodies[offset : offset + workload.batch])
 
     def _drive_spanning(self) -> None:
         spec = self.spec
@@ -357,14 +391,7 @@ class ScenarioRunner:
         undecided = submitted - len(decided)
         duration = max(cluster.scheduler.now - start_time, 1e-9)
         latencies = cluster.client_latencies()
-        if not spec.check_history:
-            check_ok, violations = True, []
-        elif spec.protocol == PROTOCOL_BASELINE:
-            check, violations = cluster.check()
-            check_ok = check.ok
-        else:
-            check, violations = cluster.check(include_invariants=spec.check_invariants)
-            check_ok = check.ok
+        check_ok, check_reason, violations = self._verdict()
         stats = cluster.message_stats
         return ScenarioResult(
             scenario=spec.name,
@@ -385,9 +412,31 @@ class ScenarioRunner:
             invariant_violations=len(violations),
             contradictions=len(history.contradictions),
             expect_safe=spec.expect_safe,
+            check_mode=spec.check_mode,
+            check_reason=check_reason,
             faults_executed=list(self.faults_executed),
             wall_seconds=wall,
         )
+
+    def _verdict(self) -> Tuple[bool, str, List[Any]]:
+        """The safety verdict under the spec's ``check_mode``."""
+        spec = self.spec
+        cluster = self.cluster
+        if spec.check_mode == "off":
+            return True, "", []
+        if spec.check_mode == "online":
+            check = self.checker.result()
+            violations: List[Any] = []
+            if spec.protocol != PROTOCOL_BASELINE and spec.check_invariants:
+                violations = check_invariants(
+                    cluster.member_replicas_by_shard(), monitor=self.monitor
+                )
+            return check.ok, check.reason, violations
+        if spec.protocol == PROTOCOL_BASELINE:
+            check, violations = cluster.check()
+        else:
+            check, violations = cluster.check(include_invariants=spec.check_invariants)
+        return check.ok, check.reason, violations
 
 
 def run_scenario(spec: ScenarioSpec, **overrides) -> ScenarioResult:

@@ -35,7 +35,15 @@ FAULT_ACTIONS = (
     "reconfigure",  # initiate reconfiguration of `shard` (global for RDMA)
     "retry-stalled",  # leaders re-drive their prepared-but-undecided slots
     "delay-channel",  # add `delay` extra latency on the channel src -> dst
+    "block-channel",  # drop all future messages on the channel src -> dst
+    "partition",  # cut the resolved target off from every other process
     "heal",  # remove all partitions/blocks and extra channel delays
+)
+
+CHECK_MODES = (
+    "off",  # no history validation (contradiction detection stays on)
+    "final",  # batch TCSChecker over the full history at quiescence
+    "online",  # IncrementalTCSChecker subscribed to the history during the run
 )
 
 WORKLOAD_KINDS = (
@@ -73,8 +81,10 @@ class FaultStep:
             )
         if self.action in ("crash-leader", "crash-follower", "reconfigure") and not self.shard:
             raise ScenarioError(f"fault action {self.action!r} requires a shard")
-        if self.action == "crash" and not self.target:
-            raise ScenarioError("fault action 'crash' requires a target")
+        if self.action in ("crash", "partition") and not self.target:
+            raise ScenarioError(f"fault action {self.action!r} requires a target")
+        if self.action == "block-channel" and (not self.src or not self.dst):
+            raise ScenarioError("fault action 'block-channel' requires src and dst")
         if self.action == "delay-channel":
             if not self.src or not self.dst:
                 raise ScenarioError("fault action 'delay-channel' requires src and dst")
@@ -94,6 +104,13 @@ class WorkloadSpec:
     ``txns`` transactions are driven in closed-loop batches of ``batch``;
     each batch executes speculatively against the committed store state and
     is certified concurrently (which is where conflicts and aborts arise).
+
+    With ``think_time > 0`` the driver switches to *closed-loop client
+    sessions*: ``sessions`` concurrent logical clients (default: ``batch``)
+    each keep one transaction in flight and pause for an exponentially
+    distributed think time (mean ``think_time``, in message delays) between
+    a decision and the next submission — the classic interactive-client
+    model, as opposed to the default batch-driven open pressure.
     """
 
     kind: str = "uniform"
@@ -106,6 +123,8 @@ class WorkloadSpec:
     num_accounts: int = 16
     initial_balance: int = 100
     hot_fraction: float = 0.0
+    think_time: float = 0.0
+    sessions: int = 0  # closed-loop sessions; 0 means `batch`
     coordinator: Optional[str] = None  # role, only for kind="spanning"
 
     def validate(self) -> None:
@@ -128,6 +147,15 @@ class WorkloadSpec:
             raise ScenarioError("bank workload needs at least two accounts")
         if not 0.0 <= self.hot_fraction <= 1.0:
             raise ScenarioError("hot_fraction must be within [0, 1]")
+        if self.think_time < 0:
+            raise ScenarioError("think_time must be >= 0")
+        if self.sessions < 0:
+            raise ScenarioError("sessions must be >= 0")
+        if self.kind == "spanning" and (self.think_time > 0 or self.sessions):
+            raise ScenarioError(
+                "closed-loop think times drive the transactional store; "
+                "kind='spanning' submits explicit payloads and does not support them"
+            )
         if self.coordinator is not None and self.kind != "spanning":
             raise ScenarioError("a pinned coordinator requires kind='spanning'")
 
@@ -151,10 +179,12 @@ class ScenarioSpec:
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
     faults: Tuple[FaultStep, ...] = ()
     max_events: int = 5_000_000
-    # The TCS checker's real-time-order analysis is quadratic in the number
-    # of transactions; very large perf scenarios can opt out of the full
-    # history check (contradiction detection stays on — it is O(1)).
-    check_history: bool = True
+    # How the recorded history is validated: "online" (default) attaches the
+    # incremental checker during the run and flags a violation at the event
+    # introducing it; "final" runs the batch TCSChecker at quiescence (its
+    # graph construction is quadratic in the transaction count); "off" skips
+    # history validation (contradiction detection stays on — it is O(1)).
+    check_mode: str = "online"
     check_invariants: bool = True
     # Correct protocols must produce a safe history; ablation scenarios
     # document the expected violation by setting this to False.
@@ -176,6 +206,10 @@ class ScenarioSpec:
             raise ScenarioError("spares_per_shard must be >= 0")
         if self.max_events < 1:
             raise ScenarioError("max_events must be >= 1")
+        if self.check_mode not in CHECK_MODES:
+            raise ScenarioError(
+                f"unknown check_mode {self.check_mode!r}; expected one of {CHECK_MODES}"
+            )
         self.workload.validate()
         for step in self.faults:
             step.validate()

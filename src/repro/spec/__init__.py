@@ -4,19 +4,27 @@
 * :mod:`repro.spec.checker` — decides whether a history is *correct with
   respect to a certification function f*, i.e. whether its committed
   projection has a legal linearization;
+* :mod:`repro.spec.incremental` — the same verdict maintained *online*:
+  an event-subscribing checker that reports a violation at the event that
+  introduces it, in amortized near-constant time per event;
 * :mod:`repro.spec.invariants` — checks the key protocol invariants of
-  Figure 3 against a snapshot of replica states (used heavily in tests).
+  Figure 3 against a snapshot of replica states (used heavily in tests),
+  with an :class:`InvariantMonitor` streaming the history-derived part.
 """
 
-from repro.spec.history import Event, History
+from repro.spec.history import Event, History, HistorySubscription
 from repro.spec.checker import CheckResult, TCSChecker
-from repro.spec.invariants import InvariantViolation, check_invariants
+from repro.spec.incremental import IncrementalTCSChecker
+from repro.spec.invariants import InvariantMonitor, InvariantViolation, check_invariants
 
 __all__ = [
     "Event",
     "History",
+    "HistorySubscription",
     "CheckResult",
     "TCSChecker",
+    "IncrementalTCSChecker",
+    "InvariantMonitor",
     "InvariantViolation",
     "check_invariants",
 ]

@@ -24,6 +24,7 @@ the graph construction itself).
 
 from __future__ import annotations
 
+import heapq
 import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
@@ -152,22 +153,27 @@ class TCSChecker:
 def _topological_order(
     nodes: Sequence[TxnId], edges: Dict[TxnId, Set[TxnId]]
 ) -> Tuple[List[TxnId], List[TxnId]]:
-    """Kahn's algorithm; returns (order, []) or ([], cycle_witness)."""
+    """Kahn's algorithm; returns (order, []) or ([], cycle_witness).
+
+    Ties are broken by smallest transaction id (a min-heap of the ready set),
+    which keeps the witness linearization deterministic at O(E + V log V)
+    instead of the former re-sort-per-step O(V^2 log V).
+    """
     indegree: Dict[TxnId, int] = {node: 0 for node in nodes}
     for src, dsts in edges.items():
         for dst in dsts:
             if dst in indegree:
                 indegree[dst] += 1
-    ready = sorted([node for node, deg in indegree.items() if deg == 0])
+    ready = [node for node, deg in indegree.items() if deg == 0]
+    heapq.heapify(ready)
     order: List[TxnId] = []
     while ready:
-        node = ready.pop(0)
+        node = heapq.heappop(ready)
         order.append(node)
-        for dst in sorted(edges.get(node, ())):
+        for dst in edges.get(node, ()):
             indegree[dst] -= 1
             if indegree[dst] == 0:
-                ready.append(dst)
-        ready.sort()
+                heapq.heappush(ready, dst)
     if len(order) == len(nodes):
         return order, []
     cycle = [node for node in nodes if node not in set(order)]

@@ -44,6 +44,9 @@ class History:
         # a full-history rescan.
         self._certify_listeners: List[Callable[[TxnId], None]] = []
         self._decide_listeners: List[Callable[[TxnId, Decision], None]] = []
+        self._contradiction_listeners: List[
+            Callable[[TxnId, Decision, Decision], None]
+        ] = []
 
     # ------------------------------------------------------------------
     # listeners
@@ -61,6 +64,33 @@ class History:
 
     def remove_decide_listener(self, fn: Callable[[TxnId, Decision], None]) -> None:
         self._decide_listeners.remove(fn)
+
+    def add_contradiction_listener(
+        self, fn: Callable[[TxnId, Decision, Decision], None]
+    ) -> None:
+        """Call ``fn(txn, first, second)`` when a *contradictory* decide is
+        recorded for an already-decided transaction (Invariant 4b violations;
+        only the broken ablation protocol produces these)."""
+        self._contradiction_listeners.append(fn)
+
+    def remove_contradiction_listener(
+        self, fn: Callable[[TxnId, Decision, Decision], None]
+    ) -> None:
+        self._contradiction_listeners.remove(fn)
+
+    def subscribe(
+        self,
+        on_certify: Optional[Callable[[TxnId], None]] = None,
+        on_decide: Optional[Callable[[TxnId, Decision], None]] = None,
+        on_contradiction: Optional[Callable[[TxnId, Decision, Decision], None]] = None,
+    ) -> "HistorySubscription":
+        """Register the given callbacks and return one closeable handle.
+
+        The online checker and the invariant monitor consume histories
+        through this API instead of rescanning ``events``; the handle is a
+        context manager so subscriptions do not leak on long-lived histories.
+        """
+        return HistorySubscription(self, on_certify, on_decide, on_contradiction)
 
     def watch(self, txns: Optional[Sequence[TxnId]] = None) -> "DecisionWatcher":
         """A :class:`DecisionWatcher` over ``txns`` (default: every certified
@@ -87,6 +117,8 @@ class History:
             previous = self._decided[txn].decision
             if previous is not decision:
                 self.contradictions.append((txn, previous, decision))
+                for listener in self._contradiction_listeners:
+                    listener(txn, previous, decision)
             return self._decided[txn]
         event = Event(kind="decide", txn=txn, time=time, seq=len(self.events), decision=decision)
         self.events.append(event)
@@ -146,6 +178,46 @@ class History:
 
     def __len__(self) -> int:
         return len(self.events)
+
+
+class HistorySubscription:
+    """A closeable bundle of history listeners (see :meth:`History.subscribe`)."""
+
+    def __init__(
+        self,
+        history: History,
+        on_certify: Optional[Callable[[TxnId], None]] = None,
+        on_decide: Optional[Callable[[TxnId, Decision], None]] = None,
+        on_contradiction: Optional[Callable[[TxnId, Decision, Decision], None]] = None,
+    ) -> None:
+        self._history = history
+        self._on_certify = on_certify
+        self._on_decide = on_decide
+        self._on_contradiction = on_contradiction
+        self._closed = False
+        if on_certify is not None:
+            history.add_certify_listener(on_certify)
+        if on_decide is not None:
+            history.add_decide_listener(on_decide)
+        if on_contradiction is not None:
+            history.add_contradiction_listener(on_contradiction)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._on_certify is not None:
+            self._history.remove_certify_listener(self._on_certify)
+        if self._on_decide is not None:
+            self._history.remove_decide_listener(self._on_decide)
+        if self._on_contradiction is not None:
+            self._history.remove_contradiction_listener(self._on_contradiction)
+
+    def __enter__(self) -> "HistorySubscription":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 class DecisionWatcher:

@@ -1,0 +1,319 @@
+"""Streaming TCS correctness checking (the online counterpart of
+:class:`repro.spec.checker.TCSChecker`).
+
+The batch checker rebuilds the whole linearization graph from the recorded
+history: O(txns^2) conflict-edge construction plus the O(txns^2)
+``real_time_pairs`` sweep.  :class:`IncrementalTCSChecker` maintains the
+same graph *online*, subscribing to a :class:`~repro.spec.history.History`
+and updating per event, so a violation is reported at the exact event that
+introduces it and a 100k-transaction run keeps full validation.
+
+Three ideas make the update cheap:
+
+* **Per-object conflict indexes** — each scheme supplies a
+  :class:`~repro.core.certification.ConflictIndex` (mirroring the leaders'
+  :class:`~repro.core.votecache.LeaderVoteCache` pattern) that reports, for
+  a transaction entering the committed projection, exactly the conflict
+  edges involving it, via version-range lookups instead of an all-pairs
+  ``global_certify`` sweep.  Schemes without an index transparently fall
+  back to the pairwise scan.
+
+* **A decided-frontier chain** — the real-time relation ``decide(a) ≺h
+  certify(b)`` would contribute O(txns) edges per transaction if
+  materialized directly.  Instead every commit decision appends a *frontier
+  node* to a virtual chain; a committed transaction points at the frontier
+  created by its decision, and receives an in-edge from the frontier that
+  was current when it was certified.  Paths through the chain then encode
+  exactly the real-time reachability, at O(1) amortized edges per decision.
+
+* **Incremental cycle detection** — the graph keeps a topological order
+  under online edge insertion with the Pearce–Kelly algorithm: an edge that
+  respects the current order costs O(1); otherwise only the affected region
+  between the two endpoints is re-ranked, and a forward search that reaches
+  the edge's source yields the offending cycle as a concrete witness.
+
+The verdict contract is the batch checker's :class:`CheckResult`: a witness
+linearization when the history is correct, the offending cycle (restricted
+to transaction ids) when it is not.  Like the batch checker's graph
+construction, the online graph assumes the certification function is
+distributive (requirement (1) of the paper); the batch checker remains the
+oracle and ``tests/test_incremental_checker.py`` drives both on randomized
+histories asserting identical verdicts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.core.certification import CertificationScheme, PairwiseConflictIndex
+from repro.core.types import Decision, TxnId
+from repro.spec.checker import CheckResult
+from repro.spec.history import History, HistorySubscription
+
+
+class _Frontier:
+    """A node of the decided-frontier chain (identity-based, never a txn)."""
+
+    __slots__ = ("index",)
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<frontier {self.index}>"
+
+
+class _OnlineDag:
+    """A DAG maintaining a topological order under online edge insertion.
+
+    Pearce–Kelly: every node carries a unique integer rank forming a valid
+    topological order.  Inserting an edge ``u -> v`` with ``rank(u) <
+    rank(v)`` is O(1).  Otherwise only the *affected region* (nodes ranked
+    between ``v`` and ``u``) is searched: a forward pass from ``v`` that
+    reaches ``u`` proves a cycle (returned as the path ``v .. u``); else the
+    forward/backward reachable sets swap ranks within the region, restoring
+    the invariant while touching a provably minimal set of nodes.
+    """
+
+    def __init__(self) -> None:
+        self.rank: Dict[Any, int] = {}
+        self.out: Dict[Any, Set[Any]] = {}
+        self.inc: Dict[Any, Set[Any]] = {}
+        self.edge_count = 0
+
+    def add_node(self, node: Any) -> None:
+        self.rank[node] = len(self.rank)
+        self.out[node] = set()
+        self.inc[node] = set()
+
+    def add_edge(self, u: Any, v: Any) -> Optional[List[Any]]:
+        """Insert ``u -> v``; return a cycle path ``[v, .., u]`` or None."""
+        if u is v:
+            return [u]
+        if v in self.out[u]:
+            return None
+        if self.rank[u] < self.rank[v]:
+            self.out[u].add(v)
+            self.inc[v].add(u)
+            self.edge_count += 1
+            return None
+        cycle = self._forward(v, u)
+        if cycle is not None:
+            return cycle
+        self.out[u].add(v)
+        self.inc[v].add(u)
+        self.edge_count += 1
+        self._reorder(u, v)
+        return None
+
+    def _forward(self, v: Any, u: Any) -> Optional[List[Any]]:
+        """DFS from ``v`` within the region; a path to ``u`` is a cycle."""
+        bound = self.rank[u]
+        parents: Dict[Any, Any] = {v: None}
+        stack = [v]
+        while stack:
+            node = stack.pop()
+            for nxt in self.out[node]:
+                if nxt is u:
+                    path = [u, node]
+                    while parents[node] is not None:
+                        node = parents[node]
+                        path.append(node)
+                    path.reverse()  # v .. u; the new edge u -> v closes it
+                    return path
+                if nxt not in parents and self.rank[nxt] < bound:
+                    parents[nxt] = node
+                    stack.append(nxt)
+        self._forward_visited = parents
+        return None
+
+    def _reorder(self, u: Any, v: Any) -> None:
+        forward = self._forward_visited  # v and its descendants in the region
+        floor = self.rank[v]
+        backward: Set[Any] = set()
+        stack = [u]
+        while stack:
+            node = stack.pop()
+            if node in backward:
+                continue
+            backward.add(node)
+            for prev in self.inc[node]:
+                if prev not in backward and self.rank[prev] > floor:
+                    stack.append(prev)
+        affected = sorted(backward, key=self.rank.__getitem__) + sorted(
+            forward, key=self.rank.__getitem__
+        )
+        slots = sorted(self.rank[node] for node in affected)
+        for node, slot in zip(affected, slots):
+            self.rank[node] = slot
+
+
+class IncrementalTCSChecker:
+    """Maintains the legal-linearization graph of a history online.
+
+    Feed it either by :meth:`attach`-ing it to a :class:`History` (it
+    subscribes to certify/decide/contradiction events, replaying anything
+    already recorded) or by calling :meth:`observe_certify` /
+    :meth:`observe_decide` directly.  After a violation the checker freezes:
+    :attr:`violation` keeps the first failure, together with the 0-based
+    index (:attr:`violation_at_event`) of the observed event that introduced
+    it.
+    """
+
+    def __init__(self, scheme: CertificationScheme, history: Optional[History] = None) -> None:
+        self.scheme = scheme
+        self._conflicts = scheme.make_conflict_index() or PairwiseConflictIndex(scheme)
+        self._dag = _OnlineDag()
+        self._birth: Dict[TxnId, Optional[_Frontier]] = {}
+        self._payloads: Dict[TxnId, Any] = {}
+        self._frontier: Optional[_Frontier] = None
+        self._frontiers = 0
+        self.violation: Optional[CheckResult] = None
+        self.violation_at_event: Optional[int] = None
+        self.events_processed = 0
+        self._history: Optional[History] = None
+        self._subscription: Optional[HistorySubscription] = None
+        if history is not None:
+            self.attach(history)
+
+    # ------------------------------------------------------------------
+    # history subscription
+    # ------------------------------------------------------------------
+    def attach(self, history: History) -> "IncrementalTCSChecker":
+        """Subscribe to ``history``, replaying events recorded before now.
+
+        Contradictions are replayed *first*: the history does not record
+        where they occurred, and the batch checker gives them priority, so
+        a replayed checker must too (a live-attached one reports whichever
+        violation genuinely happens first).
+        """
+        if self._history is not None:
+            raise RuntimeError("checker is already attached to a history")
+        self._history = history
+        for txn, first, second in history.contradictions:
+            self.observe_contradiction(txn, first, second)
+        for event in history.events:
+            if event.kind == "certify":
+                self.observe_certify(event.txn, event.payload)
+            else:
+                self.observe_decide(event.txn, event.decision)
+        self._subscription = history.subscribe(
+            on_certify=self._on_certify,
+            on_decide=self.observe_decide,
+            on_contradiction=self.observe_contradiction,
+        )
+        return self
+
+    def detach(self) -> None:
+        if self._subscription is not None:
+            self._subscription.close()
+            self._subscription = None
+        self._history = None
+
+    def _on_certify(self, txn: TxnId) -> None:
+        self.observe_certify(txn, self._history.payload_of(txn))
+
+    # ------------------------------------------------------------------
+    # event feed
+    # ------------------------------------------------------------------
+    def observe_certify(self, txn: TxnId, payload: Any) -> None:
+        """Record ``certify(txn, payload)``: remember the decided frontier
+        the transaction was certified under."""
+        if self.violation is not None:
+            return
+        self.events_processed += 1
+        self._birth[txn] = self._frontier
+        self._payloads[txn] = payload
+
+    def observe_decide(self, txn: TxnId, decision: Decision) -> None:
+        """Record the (first) ``decide(txn, decision)``.
+
+        Commits enter the committed projection: the transaction becomes a
+        graph node, its conflict edges come from the scheme's conflict
+        index, its real-time edges from the frontier chain.  Any cycle is
+        reported immediately as the violation witness.
+        """
+        if self.violation is not None:
+            return
+        self.events_processed += 1
+        birth = self._birth.pop(txn, None)
+        if decision is not Decision.COMMIT:
+            self._payloads.pop(txn, None)
+            return
+        payload = self._payloads.pop(txn, None)
+        dag = self._dag
+        dag.add_node(txn)
+        if birth is not None and dag.add_edge(birth, txn) is not None:
+            raise AssertionError("frontier edges cannot close a cycle")  # pragma: no cover
+        successors, predecessors = self._conflicts.register(txn, payload)
+        for other in predecessors:
+            cycle = dag.add_edge(other, txn)
+            if cycle is not None:
+                return self._fail_cycle(cycle)
+        for other in successors:
+            cycle = dag.add_edge(txn, other)
+            if cycle is not None:
+                return self._fail_cycle(cycle)
+        # Advance the decided frontier: transactions certified from now on
+        # are real-time successors of this one (O(1) edges per decision).
+        frontier = _Frontier(self._frontiers)
+        self._frontiers += 1
+        dag.add_node(frontier)
+        if self._frontier is not None:
+            dag.add_edge(self._frontier, frontier)
+        dag.add_edge(txn, frontier)
+        self._frontier = frontier
+
+    def observe_contradiction(self, txn: TxnId, first: Decision, second: Decision) -> None:
+        """A contradictory decide: no linearization can contain both
+        decisions for ``txn``, so the history is immediately incorrect."""
+        if self.violation is not None:
+            return
+        self.events_processed += 1
+        self.violation_at_event = self.events_processed - 1
+        self.violation = CheckResult(
+            ok=False,
+            reason=(
+                f"contradictory decisions externalised for {txn}: "
+                f"{first.value} vs {second.value}"
+            ),
+            cycle=[txn],
+        )
+
+    def _fail_cycle(self, cycle: List[Any]) -> None:
+        self.violation_at_event = self.events_processed - 1
+        self.violation = CheckResult(
+            ok=False,
+            reason="no legal linearization: conflict/real-time cycle",
+            cycle=[node for node in cycle if not isinstance(node, _Frontier)],
+        )
+
+    # ------------------------------------------------------------------
+    # verdicts
+    # ------------------------------------------------------------------
+    @property
+    def ok(self) -> bool:
+        return self.violation is None
+
+    def linearization(self) -> List[TxnId]:
+        """The committed transactions in the maintained topological order
+        (a legal linearization whenever :attr:`ok` holds)."""
+        rank = self._dag.rank
+        return sorted(
+            (node for node in rank if not isinstance(node, _Frontier)),
+            key=rank.__getitem__,
+        )
+
+    def result(self) -> CheckResult:
+        """The current verdict, under the batch checker's contract."""
+        if self.violation is not None:
+            return self.violation
+        return CheckResult(ok=True, linearization=self.linearization())
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        return {
+            "events_processed": self.events_processed,
+            "nodes": len(self._dag.rank),
+            "edges": self._dag.edge_count,
+        }

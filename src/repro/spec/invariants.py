@@ -26,8 +26,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from repro.core.types import Decision, Phase
-from repro.spec.history import History
+from repro.core.types import Decision, Phase, TxnId
+from repro.spec.history import History, HistorySubscription
 
 
 @dataclass(frozen=True)
@@ -55,12 +55,67 @@ def _own_epoch(replica) -> int:
     return epoch
 
 
+class InvariantMonitor:
+    """Incremental feed for the history-derived part of the invariant checks.
+
+    Subscribes to a :class:`History` and maintains the client-observed
+    decision map (the ``<client-history>`` contribution to Invariant 4b)
+    online, recording a violation the moment a contradictory decide is
+    externalised — the same event feed the online TCS checker runs on, so
+    quiescence-time invariant checking no longer rescans the history.
+    """
+
+    def __init__(self, history: Optional[History] = None) -> None:
+        self.decisions: Dict[TxnId, Decision] = {}
+        self.violations: List[InvariantViolation] = []
+        self._subscription: Optional[HistorySubscription] = None
+        if history is not None:
+            self.attach(history)
+
+    def attach(self, history: History) -> "InvariantMonitor":
+        if self._subscription is not None:
+            raise RuntimeError("monitor is already attached to a history")
+        self.decisions.update(history.decided())
+        for txn, first, second in history.contradictions:
+            self._on_contradiction(txn, first, second)
+        self._subscription = history.subscribe(
+            on_decide=self._on_decide, on_contradiction=self._on_contradiction
+        )
+        return self
+
+    def detach(self) -> None:
+        if self._subscription is not None:
+            self._subscription.close()
+            self._subscription = None
+
+    def _on_decide(self, txn: TxnId, decision: Decision) -> None:
+        self.decisions[txn] = decision
+
+    def _on_contradiction(self, txn: TxnId, first: Decision, second: Decision) -> None:
+        self.violations.append(
+            InvariantViolation(
+                invariant="global-decision-agreement (Inv. 4b)",
+                shard=None,
+                detail=(
+                    f"transaction {txn}: contradictory client-observed decisions "
+                    f"{first.value} vs {second.value}"
+                ),
+            )
+        )
+
+
 def check_invariants(
     replicas_by_shard: Dict[str, Sequence],
     history: Optional[History] = None,
     include_crashed: bool = False,
+    monitor: Optional[InvariantMonitor] = None,
 ) -> List[InvariantViolation]:
-    """Check all state-level invariants; return the list of violations."""
+    """Check all state-level invariants; return the list of violations.
+
+    The client-observed decisions for Invariant 4b come from ``monitor``
+    (maintained incrementally) when one is given, falling back to a one-off
+    scan of ``history`` otherwise.
+    """
     violations: List[InvariantViolation] = []
     for shard, replicas in replicas_by_shard.items():
         live = [r for r in replicas if include_crashed or not r.crashed]
@@ -68,7 +123,17 @@ def check_invariants(
         violations.extend(_check_log_agreement(shard, live))
         violations.extend(_check_slot_decision_agreement(shard, live))
         violations.extend(_check_commit_vote(shard, live))
-    violations.extend(_check_global_decision_agreement(replicas_by_shard, history, include_crashed))
+    if monitor is not None:
+        client_decisions: Optional[Dict[TxnId, Decision]] = monitor.decisions
+    elif history is not None:
+        client_decisions = history.decided()
+    else:
+        client_decisions = None
+    violations.extend(
+        _check_global_decision_agreement(replicas_by_shard, client_decisions, include_crashed)
+    )
+    if monitor is not None:
+        violations.extend(monitor.violations)
     return violations
 
 
@@ -169,7 +234,7 @@ def _check_commit_vote(shard: str, replicas: Sequence) -> List[InvariantViolatio
 # ----------------------------------------------------------------------
 def _check_global_decision_agreement(
     replicas_by_shard: Dict[str, Sequence],
-    history: Optional[History],
+    client_decisions: Optional[Dict[TxnId, Decision]],
     include_crashed: bool,
 ) -> List[InvariantViolation]:
     violations = []
@@ -183,8 +248,8 @@ def _check_global_decision_agreement(
                 if txn is None:
                     continue
                 per_txn.setdefault(txn, {})[f"{replica.pid}"] = decision
-    if history is not None:
-        for txn, decision in history.decided().items():
+    if client_decisions is not None:
+        for txn, decision in client_decisions.items():
             if decision is not None:
                 per_txn.setdefault(txn, {})["<client-history>"] = decision
     for txn, observations in per_txn.items():

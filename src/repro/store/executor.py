@@ -112,6 +112,9 @@ class TransactionalStore:
         self.store = store or VersionedKVStore(initial=initial)
         self.outcomes: List[TransactionOutcome] = []
         self._txn_counter = 0
+        # Asynchronously submitted transactions awaiting their decision.
+        self._pending: Dict[TxnId, tuple] = {}
+        self._decide_listener_installed = False
 
     # ------------------------------------------------------------------
     # reads
@@ -146,7 +149,16 @@ class TransactionalStore:
         txn = self.cluster.submit(payload, client_index=client_index)
         if not self.cluster.run_until_decided([txn]):
             raise RuntimeError(f"transaction {txn} was not decided")
-        decision = self.cluster.decision_of(txn)
+        return self._finalize(txn, self.cluster.decision_of(txn), context, payload)
+
+    def _finalize(
+        self,
+        txn: TxnId,
+        decision: Decision,
+        context: TransactionContext,
+        payload: TransactionPayload,
+    ) -> TransactionOutcome:
+        """Record the outcome of a decided transaction and apply its writes."""
         outcome = TransactionOutcome(
             txn=txn,
             decision=decision,
@@ -157,6 +169,37 @@ class TransactionalStore:
             self.store.apply_payload(payload)
         self.outcomes.append(outcome)
         return outcome
+
+    def submit_async(
+        self,
+        body: Callable[[TransactionContext], Any],
+        client_index: int = 0,
+        on_decided: Optional[Callable[[TransactionOutcome], None]] = None,
+    ) -> TxnId:
+        """Execute speculatively and submit without driving the simulation.
+
+        The transaction is finalized (writes applied, outcome recorded,
+        ``on_decided`` called) from the history's decide event — the hook
+        closed-loop clients use to overlap think times with certification.
+        The caller is responsible for running the scheduler.
+        """
+        context = self.execute(body)
+        payload = context.payload()
+        txn = self.cluster.submit(payload, client_index=client_index)
+        self._pending[txn] = (context, payload, on_decided)
+        if not self._decide_listener_installed:
+            self._decide_listener_installed = True
+            self.cluster.history.add_decide_listener(self._on_history_decide)
+        return txn
+
+    def _on_history_decide(self, txn: TxnId, decision: Decision) -> None:
+        entry = self._pending.pop(txn, None)
+        if entry is None:
+            return
+        context, payload, on_decided = entry
+        outcome = self._finalize(txn, decision, context, payload)
+        if on_decided is not None:
+            on_decided(outcome)
 
     def run_batch(
         self,
@@ -169,20 +212,10 @@ class TransactionalStore:
         payloads = [context.payload() for context in contexts]
         txns = [self.cluster.submit(payload, client_index=client_index) for payload in payloads]
         self.cluster.run_until_decided(txns)
-        outcomes = []
-        for context, payload, txn in zip(contexts, payloads, txns):
-            decision = self.cluster.decision_of(txn)
-            outcome = TransactionOutcome(
-                txn=txn,
-                decision=decision,
-                payload=payload,
-                result=getattr(context, "result", None),
-            )
-            if decision is Decision.COMMIT and payload.write_set:
-                self.store.apply_payload(payload)
-            outcomes.append(outcome)
-            self.outcomes.append(outcome)
-        return outcomes
+        return [
+            self._finalize(txn, self.cluster.decision_of(txn), context, payload)
+            for context, payload, txn in zip(contexts, payloads, txns)
+        ]
 
     # ------------------------------------------------------------------
     # statistics

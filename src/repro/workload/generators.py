@@ -136,6 +136,72 @@ class ReadWriteWorkload:
         return [self.next() for _ in range(count)]
 
 
+class ClosedLoopDriver:
+    """Closed-loop client sessions with think times over a transactional store.
+
+    Models ``sessions`` interactive clients: each keeps exactly one
+    transaction in flight, and after its decision *thinks* for an
+    exponentially distributed virtual time (mean ``think_time`` message
+    delays) before submitting the next body from the shared queue.  All
+    pacing runs on the simulation clock via the cluster's scheduler, so runs
+    are deterministic in the seed; contrast with the default batch driver,
+    which applies open pressure in fixed-size certification waves.
+
+    ``store`` is any :class:`repro.store.executor.TransactionalStore`-shaped
+    object (``submit_async`` plus a ``cluster`` exposing ``scheduler`` and
+    ``run``).
+    """
+
+    def __init__(
+        self,
+        store,
+        bodies: Sequence[Callable],
+        sessions: int = 1,
+        think_time: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if sessions < 1:
+            raise ValueError("need at least one closed-loop session")
+        if think_time < 0:
+            raise ValueError("think_time must be >= 0")
+        self.store = store
+        self.bodies = list(bodies)
+        self.sessions = sessions
+        self.think_time = think_time
+        self.rng = random.Random(seed)
+        self.completed = 0
+        self._next = 0
+
+    def _think(self) -> float:
+        if self.think_time <= 0:
+            return 0.0
+        return self.rng.expovariate(1.0 / self.think_time)
+
+    def _submit_next(self) -> None:
+        if self._next >= len(self.bodies):
+            return
+        body = self.bodies[self._next]
+        self._next += 1
+        self.store.submit_async(body, on_decided=self._on_decided)
+
+    def _on_decided(self, outcome) -> None:
+        self.completed += 1
+        scheduler = self.store.cluster.scheduler
+        think = self._think()
+        if think > 0:
+            scheduler.schedule_at(scheduler.now + think, self._submit_next)
+        else:
+            self._submit_next()
+
+    def run(self, max_events: int = 1_000_000) -> int:
+        """Prime the sessions and run the simulation to completion; returns
+        the number of transactions decided."""
+        for _ in range(min(self.sessions, len(self.bodies))):
+            self._submit_next()
+        self.store.cluster.run(max_events=max_events)
+        return self.completed
+
+
 class BankWorkload:
     """Balance transfers between accounts (read two accounts, write both)."""
 

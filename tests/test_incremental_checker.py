@@ -1,0 +1,281 @@
+"""Tests for the online TCS checker: differential equivalence with the batch
+oracle on randomized histories, violation detection at the introducing event,
+the conflict-index fallback, and the incremental invariant monitor."""
+
+import random
+
+import pytest
+
+from repro.core.certification import PairwiseConflictIndex
+from repro.core.serializability import (
+    KeyHashSharding,
+    SerializabilityScheme,
+    SnapshotIsolationScheme,
+    TransactionPayload,
+)
+from repro.core.types import Decision
+from repro.spec.checker import TCSChecker
+from repro.spec.history import History
+from repro.spec.incremental import IncrementalTCSChecker
+from repro.spec.invariants import InvariantMonitor, check_invariants
+
+from helpers import payload
+
+
+SHARDS = ["shard-0", "shard-1"]
+
+
+@pytest.fixture
+def scheme():
+    return SerializabilityScheme(KeyHashSharding(SHARDS))
+
+
+class _NoIndexScheme(SerializabilityScheme):
+    """Serializability without an incremental conflict index (exercises the
+    pairwise fallback path of the online checker)."""
+
+    def make_conflict_index(self):
+        return None
+
+
+# ----------------------------------------------------------------------
+# randomized differential: batch oracle vs online checker
+# ----------------------------------------------------------------------
+def _random_history(scheme, seed: int, n: int = 20, keys: int = 4) -> History:
+    """A random interleaving of certify/decide events.
+
+    Decisions mostly follow the certification function evaluated against the
+    transactions committed so far (which yields a correct history — the
+    decide order is a legal linearization), but are randomly flipped with
+    small probability, so both safe and unsafe histories arise."""
+    rng = random.Random(seed)
+    history = History()
+    versions = {f"k{i}": (0, "") for i in range(keys)}
+    committed_payloads = []
+    pending = []
+    made = 0
+    while made < n or pending:
+        if made < n and (not pending or rng.random() < 0.55):
+            made += 1
+            txn = f"t{made}"
+            chosen = rng.sample(list(versions), rng.randint(1, 3))
+            reads = [
+                (k, versions[k] if rng.random() < 0.7 else (max(0, versions[k][0] - 1), ""))
+                for k in chosen
+            ]
+            writes = [(k, made) for k, _ in reads[: rng.randint(0, len(chosen))]]
+            try:
+                p = TransactionPayload.make(reads=reads, writes=writes, tiebreak=txn)
+            except ValueError:
+                made -= 1
+                continue
+            history.record_certify(txn, p, time=float(len(history.events)))
+            pending.append((txn, p))
+        else:
+            txn, p = pending.pop(rng.randrange(len(pending)))
+            decision = scheme.global_certify(committed_payloads, p)
+            if rng.random() < 0.08:  # inject occasional wrong decisions
+                decision = Decision.COMMIT if decision is Decision.ABORT else Decision.ABORT
+            history.record_decide(txn, decision, time=float(len(history.events)))
+            if decision is Decision.COMMIT:
+                committed_payloads.append(p)
+                for key, _ in p.write_set:
+                    if p.commit_version > versions[key]:
+                        versions[key] = p.commit_version
+    return history
+
+
+@pytest.mark.parametrize(
+    "scheme_factory",
+    [
+        lambda: SerializabilityScheme(KeyHashSharding(SHARDS)),
+        lambda: SnapshotIsolationScheme(KeyHashSharding(SHARDS)),
+        lambda: _NoIndexScheme(KeyHashSharding(SHARDS)),
+    ],
+    ids=["serializability", "snapshot-isolation", "pairwise-fallback"],
+)
+def test_differential_batch_vs_incremental(scheme_factory):
+    scheme = scheme_factory()
+    verdicts = {True: 0, False: 0}
+    for seed in range(60):
+        history = _random_history(scheme, seed)
+        batch = TCSChecker(scheme).check(history)
+        online = IncrementalTCSChecker(scheme, history=history).result()
+        assert batch.ok == online.ok, (
+            f"seed {seed}: batch={batch.ok} ({batch.reason}) "
+            f"online={online.ok} ({online.reason})"
+        )
+        verdicts[batch.ok] += 1
+        if online.ok:
+            # The online witness must itself be a legal linearization.
+            payloads = {t: history.payload_of(t) for t in online.linearization}
+            legal, reason = TCSChecker(scheme)._legal(online.linearization, payloads)
+            assert legal, f"seed {seed}: {reason}"
+            position = {t: i for i, t in enumerate(online.linearization)}
+            for a, b in history.real_time_pairs(online.linearization):
+                assert position[a] < position[b], f"seed {seed}: rt order broken"
+    # The random histories genuinely exercised both verdicts.
+    assert verdicts[True] > 0 and verdicts[False] > 0
+
+
+def test_live_subscription_equals_replay(scheme):
+    """Attaching before events are recorded (the runner's mode) must reach
+    the same verdict as replaying a finished history."""
+    for seed in (3, 7, 11):
+        recorded = _random_history(scheme, seed)
+        live_history = History()
+        live = IncrementalTCSChecker(scheme, history=live_history)
+        for event in recorded.events:
+            if event.kind == "certify":
+                live_history.record_certify(event.txn, event.payload, event.time)
+            else:
+                live_history.record_decide(event.txn, event.decision, event.time)
+        replayed = IncrementalTCSChecker(scheme, history=recorded)
+        assert live.ok == replayed.ok
+        assert live.result().cycle == replayed.result().cycle
+        live.detach()
+
+
+# ----------------------------------------------------------------------
+# violations are reported at the event that introduces them
+# ----------------------------------------------------------------------
+def test_conflict_cycle_detected_at_introducing_decide(scheme):
+    """Two mutually conflicting transactions both commit: the cycle exists
+    the moment the second one is decided."""
+    checker = IncrementalTCSChecker(scheme)
+    a = payload(reads=[("x", (0, ""))], writes=[("x", 1)], tiebreak="a")
+    b = payload(reads=[("x", (0, ""))], writes=[("x", 2)], tiebreak="b")
+    checker.observe_certify("ta", a)
+    checker.observe_certify("tb", b)
+    checker.observe_decide("ta", Decision.COMMIT)
+    assert checker.ok  # one commit alone is fine
+    checker.observe_decide("tb", Decision.COMMIT)
+    assert not checker.ok
+    assert checker.violation_at_event == 3  # 0-based: the fourth observed event
+    assert set(checker.result().cycle) == {"ta", "tb"}
+    assert "cycle" in checker.result().reason
+
+
+def test_real_time_cycle_detected_online(scheme):
+    """A transaction that commits after reading a version already overwritten
+    by a *decided* transaction closes a real-time/conflict cycle."""
+    checker = IncrementalTCSChecker(scheme)
+    writer = payload(reads=[("x", (0, ""))], writes=[("x", 1)], tiebreak="w")
+    checker.observe_certify("tw", writer)
+    checker.observe_decide("tw", Decision.COMMIT)
+    # Certified *after* tw decided, but still read x at version 0.
+    stale = payload(reads=[("x", (0, ""))], writes=[("x", 9)], tiebreak="s")
+    checker.observe_certify("ts", stale)
+    assert checker.ok
+    checker.observe_decide("ts", Decision.COMMIT)
+    assert not checker.ok
+    assert "ts" in checker.result().cycle and "tw" in checker.result().cycle
+    # Batch oracle agrees on the same history.
+    history = History()
+    history.record_certify("tw", writer, 0.0)
+    history.record_decide("tw", Decision.COMMIT, 1.0)
+    history.record_certify("ts", stale, 2.0)
+    history.record_decide("ts", Decision.COMMIT, 3.0)
+    assert not TCSChecker(scheme).check(history).ok
+
+
+def test_contradiction_flagged_as_violation(scheme):
+    history = History()
+    checker = IncrementalTCSChecker(scheme, history=history)
+    history.record_certify("t1", payload(reads=[("x", (0, ""))], tiebreak="t"), 0.0)
+    history.record_decide("t1", Decision.COMMIT, 1.0)
+    assert checker.ok
+    history.record_decide("t1", Decision.ABORT, 2.0)
+    assert not checker.ok
+    assert "contradictory" in checker.violation.reason
+    assert checker.violation.cycle == ["t1"]
+
+
+def test_checker_freezes_after_first_violation(scheme):
+    checker = IncrementalTCSChecker(scheme)
+    a = payload(reads=[("x", (0, ""))], writes=[("x", 1)], tiebreak="a")
+    b = payload(reads=[("x", (0, ""))], writes=[("x", 2)], tiebreak="b")
+    checker.observe_certify("ta", a)
+    checker.observe_certify("tb", b)
+    checker.observe_decide("ta", Decision.COMMIT)
+    checker.observe_decide("tb", Decision.COMMIT)
+    first = checker.result()
+    checker.observe_certify("tc", payload(reads=[("y", (0, ""))], tiebreak="c"))
+    checker.observe_decide("tc", Decision.COMMIT)
+    assert checker.result() is first
+
+
+def test_attach_twice_rejected(scheme):
+    history = History()
+    checker = IncrementalTCSChecker(scheme, history=history)
+    with pytest.raises(RuntimeError, match="already attached"):
+        checker.attach(history)
+    checker.detach()
+    checker2 = IncrementalTCSChecker(scheme)
+    checker2.attach(history)
+    checker2.detach()
+
+
+def test_pairwise_fallback_index_matches_scheme(scheme):
+    index = PairwiseConflictIndex(scheme)
+    a = payload(reads=[("x", (0, ""))], writes=[("x", 1)], tiebreak="a")
+    stale = payload(reads=[("x", (0, ""))], writes=[("x", 2)], tiebreak="b")
+    assert index.register("ta", a) == ([], [])
+    successors, predecessors = index.register("tb", stale)
+    # ta's payload aborts tb (overwrote x@0) and vice versa: mutual conflict.
+    assert successors == ["ta"] and predecessors == ["ta"]
+
+
+# ----------------------------------------------------------------------
+# the Figure 4a ablation, caught online
+# ----------------------------------------------------------------------
+def test_broken_rdma_ablation_flagged_online():
+    from repro.scenarios import ScenarioRunner, get_scenario
+
+    spec = get_scenario("ablation-safety-demo").with_overrides(check_mode="online")
+    runner = ScenarioRunner(spec)
+    result = runner.run()
+    assert not result.safety_ok
+    assert result.passed  # unsafe was the expectation
+    violation = runner.checker.violation
+    assert violation is not None
+    assert violation.cycle, "the online violation must carry a concrete witness"
+    assert runner.checker.violation_at_event is not None
+    assert "contradictory" in result.check_reason
+
+
+# ----------------------------------------------------------------------
+# incremental invariant monitor
+# ----------------------------------------------------------------------
+def test_invariant_monitor_matches_history_scan():
+    from repro.cluster import Cluster
+    from helpers import shard_key
+
+    cluster = Cluster(num_shards=2, replicas_per_shard=2, seed=5)
+    monitor = InvariantMonitor(cluster.history)
+    payloads = [
+        payload(
+            reads=[(shard_key(cluster.scheme, "shard-0", hint=f"m{i}"), (0, ""))],
+            writes=[(shard_key(cluster.scheme, "shard-0", hint=f"m{i}"), i)],
+            tiebreak=f"m{i}",
+        )
+        for i in range(8)
+    ]
+    cluster.certify_many(payloads)
+    scanned = check_invariants(cluster.member_replicas_by_shard(), cluster.history)
+    streamed = check_invariants(cluster.member_replicas_by_shard(), monitor=monitor)
+    assert scanned == streamed == []
+    assert monitor.decisions == cluster.history.decided()
+    monitor.detach()
+
+
+def test_invariant_monitor_reports_contradiction():
+    history = History()
+    monitor = InvariantMonitor(history)
+    history.record_certify("t1", payload(reads=[("x", (0, ""))], tiebreak="t"), 0.0)
+    history.record_decide("t1", Decision.COMMIT, 1.0)
+    history.record_decide("t1", Decision.ABORT, 2.0)
+    assert len(monitor.violations) == 1
+    assert "Inv. 4b" in monitor.violations[0].invariant
+    violations = check_invariants({}, monitor=monitor)
+    assert monitor.violations[0] in violations

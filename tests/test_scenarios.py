@@ -149,6 +149,134 @@ def test_ablation_scenario_reports_expected_violation():
 
 
 # ----------------------------------------------------------------------
+# check modes
+# ----------------------------------------------------------------------
+def test_spec_rejects_unknown_check_mode():
+    with pytest.raises(ScenarioError, match="unknown check_mode"):
+        ScenarioSpec(name="x", check_mode="psychic").validate()
+
+
+def test_check_mode_round_trip():
+    """off / final / online agree on a safe run; the mode is carried through
+    to the result and its dict form."""
+    spec = get_scenario("steady-state").with_overrides(
+        workload=replace(get_scenario("steady-state").workload, txns=40)
+    )
+    results = {
+        mode: run_scenario(spec, check_mode=mode) for mode in ("off", "final", "online")
+    }
+    for mode, result in results.items():
+        assert result.check_mode == mode
+        assert result.as_dict()["check_mode"] == mode
+        assert result.check_ok and result.passed
+        assert result.check_reason == ""
+    # The verdict-independent metrics are identical across modes.
+    base = {k: v for k, v in results["off"].as_dict().items()
+            if k not in ("check_mode", "check_reason")}
+    for mode in ("final", "online"):
+        other = {k: v for k, v in results[mode].as_dict().items()
+                 if k not in ("check_mode", "check_reason")}
+        assert other == base
+
+
+def test_online_mode_flags_ablation_with_reason():
+    result = run_scenario(get_scenario("ablation-safety-demo"), check_mode="online")
+    assert not result.safety_ok
+    assert result.passed
+    assert "contradictory" in result.check_reason
+
+
+def test_online_and_final_agree_under_faults():
+    spec = get_scenario("leader-crash-under-load")
+    online = run_scenario(spec, check_mode="online")
+    final = run_scenario(spec, check_mode="final")
+    assert online.check_ok == final.check_ok
+    assert online.passed and final.passed
+
+
+# ----------------------------------------------------------------------
+# fault-matrix scenario pack
+# ----------------------------------------------------------------------
+def test_spec_rejects_partition_without_target():
+    with pytest.raises(ScenarioError, match="requires a target"):
+        FaultStep(at=1.0, action="partition").validate()
+
+
+def test_spec_rejects_block_channel_without_endpoints():
+    with pytest.raises(ScenarioError, match="requires src and dst"):
+        FaultStep(at=1.0, action="block-channel", src="a").validate()
+
+
+def test_scenario_pack_registered():
+    names = set(scenario_names())
+    assert {"follower-partition", "cascading-crashes",
+            "config-service-outage", "closed-loop-think"} <= names
+
+
+@pytest.mark.parametrize(
+    "name", ["follower-partition", "cascading-crashes", "config-service-outage"]
+)
+def test_fault_matrix_scenarios_stay_safe(name):
+    result = run_scenario(get_scenario(name))
+    assert result.passed
+    assert result.committed > 0
+    assert result.faults_executed  # the schedule actually fired
+
+
+def test_partition_blocks_messages_until_heal():
+    spec = ScenarioSpec(
+        name="partition-probe",
+        num_shards=2,
+        workload=WorkloadSpec(kind="uniform", txns=30, batch=6, num_keys=64),
+        faults=(
+            FaultStep(at=10.5, action="partition", target="follower:shard-0"),
+            FaultStep(at=60.5, action="heal"),
+        ),
+    )
+    result = ScenarioRunner(spec).run()
+    assert result.passed
+    assert result.messages_sent > result.messages_delivered  # drops happened
+
+
+# ----------------------------------------------------------------------
+# closed-loop clients with think times
+# ----------------------------------------------------------------------
+def test_spec_rejects_negative_think_time_and_spanning_think():
+    with pytest.raises(ScenarioError, match="think_time"):
+        WorkloadSpec(think_time=-1.0).validate()
+    with pytest.raises(ScenarioError, match="closed-loop"):
+        WorkloadSpec(kind="spanning", think_time=2.0).validate()
+
+
+def test_closed_loop_decides_every_transaction():
+    result = run_scenario(get_scenario("closed-loop-think"))
+    assert result.passed
+    assert result.undecided == 0
+    assert result.committed + result.aborted == result.txns_submitted == 120
+
+
+def test_think_time_stretches_virtual_duration():
+    base = get_scenario("steady-state").with_overrides(
+        workload=replace(get_scenario("steady-state").workload, txns=40)
+    )
+    eager = ScenarioRunner(base.with_overrides(
+        workload=replace(base.workload, think_time=0.001, sessions=8)
+    )).run()
+    thinky = ScenarioRunner(base.with_overrides(
+        workload=replace(base.workload, think_time=10.0, sessions=8)
+    )).run()
+    assert eager.passed and thinky.passed
+    assert thinky.duration > eager.duration
+
+
+def test_closed_loop_is_deterministic():
+    spec = get_scenario("closed-loop-think")
+    first = ScenarioRunner(spec).run()
+    second = ScenarioRunner(spec).run()
+    assert first.as_dict() == second.as_dict()
+
+
+# ----------------------------------------------------------------------
 # determinism
 # ----------------------------------------------------------------------
 @pytest.mark.parametrize(
@@ -306,6 +434,18 @@ def test_cli_run_shorthand_and_overrides(capsys):
 
     data = json.loads(capsys.readouterr().out)
     assert data["txns_submitted"] == 20
+    assert data["passed"] is True
+
+
+def test_cli_check_mode_and_think_time_overrides(capsys):
+    assert scenarios_main(
+        ["steady-state", "--txns", "20", "--check-mode", "final",
+         "--think-time", "2.0", "--json"]
+    ) == 0
+    import json
+
+    data = json.loads(capsys.readouterr().out)
+    assert data["check_mode"] == "final"
     assert data["passed"] is True
 
 
