@@ -1,0 +1,93 @@
+"""Perf guard for the non-unit latency models.
+
+Random delay distributions defeat the ``send_many`` delivery batching that
+the unit model enjoys (every fan-out destination draws its own delay, so
+almost no deliveries share a scheduler event) and add one RNG draw per
+message.  That overhead must stay bounded: the fully *validated*
+(``check_mode="online"``) 10k-transaction steady state under the heaviest
+stock model (lognormal) must clear the same 2x-pre-refactor floor the other
+perf guards use.
+
+Floor provenance: on the development container this workload measures
+~3,600 txns/sec under ``lognormal(mean=1,sigma=0.8)`` and ~3,100 txns/sec
+for the 3-region WAN topology model — within ~15% of the unit-latency
+validated run (~3,500, see test_bench_checker.py), i.e. the models
+themselves are cheap.  The guard also runs the WAN pack's flagship
+scenario at 10k transactions with online validation, which is the
+acceptance bar for the geo-distributed pack.
+"""
+
+import time
+from dataclasses import replace
+
+from repro.scenarios import (
+    LatencySpec,
+    ScenarioRunner,
+    ScenarioSpec,
+    WorkloadSpec,
+    get_scenario,
+)
+
+from _helpers import PRE_REFACTOR_TXNS_PER_SEC
+
+TXNS = 10_000
+
+
+def _lognormal_spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="latency-guard-lognormal",
+        protocol="message-passing",
+        num_shards=4,
+        seed=0,
+        latency=LatencySpec(model="lognormal", mean=1.0, sigma=0.8),
+        workload=WorkloadSpec(kind="uniform", txns=TXNS, batch=50, num_keys=2000),
+        check_mode="online",
+    )
+
+
+def test_lognormal_model_throughput_guard(benchmark):
+    def run():
+        start = time.perf_counter()
+        result = ScenarioRunner(_lognormal_spec()).run()
+        return result, time.perf_counter() - start
+
+    result, wall = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.passed
+    assert result.txns_submitted == TXNS
+    assert result.undecided == 0
+    assert result.latency_model == "lognormal(mean=1,sigma=0.8)"
+    txns_per_sec = TXNS / wall
+    print(
+        f"\nlognormal latency guard: {TXNS} txns validated in {wall:.2f}s -> "
+        f"{txns_per_sec:,.0f} txns/sec "
+        f"(pre-refactor unvalidated engine floor: {PRE_REFACTOR_TXNS_PER_SEC:,.0f})"
+    )
+    assert txns_per_sec >= 2 * PRE_REFACTOR_TXNS_PER_SEC
+
+
+def test_wan_pack_validated_at_10k_txns(benchmark):
+    """The geo-distributed pack's acceptance bar: the 3-region WAN
+    steady-state runs 10k transactions with the online checker attached,
+    decides everything and stays safe."""
+    spec = get_scenario("wan-steady-state")
+    spec = spec.with_overrides(
+        workload=replace(spec.workload, txns=TXNS, batch=50, num_keys=2000)
+    )
+
+    def run():
+        start = time.perf_counter()
+        result = ScenarioRunner(spec).run()
+        return result, time.perf_counter() - start
+
+    result, wall = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.passed
+    assert result.check_mode == "online"
+    assert result.txns_submitted == TXNS
+    assert result.undecided == 0
+    txns_per_sec = TXNS / wall
+    print(
+        f"\nWAN pack 10k-txn validated run: {wall:.2f}s -> "
+        f"{txns_per_sec:,.0f} txns/sec, mean latency "
+        f"{result.latency.mean:.1f} delays (3-region topology)"
+    )
+    assert txns_per_sec >= 2 * PRE_REFACTOR_TXNS_PER_SEC

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 
 @dataclass(frozen=True)
@@ -59,6 +59,74 @@ def percentile(sorted_sample: Sequence[float], fraction: float) -> float:
         raise ValueError("fraction must be in [0, 1]")
     rank = max(0, min(len(sorted_sample) - 1, round(fraction * (len(sorted_sample) - 1))))
     return sorted_sample[rank]
+
+
+# The three phases of one transaction's client-observed latency; each name
+# keys the per-phase sample lists produced by ``Cluster.phase_samples()``.
+PHASES = ("submit_to_certify", "certify_to_decide", "decide_to_client")
+
+
+@dataclass(frozen=True)
+class PhaseBreakdown:
+    """Client latency split along the commit path.
+
+    * ``submit_to_certify`` — the client's request travelling to the
+      coordinator (pure network cost: one message delay under the unit
+      model, a distribution draw otherwise);
+    * ``certify_to_decide`` — the coordinator driving certification to a
+      decision (the protocol's critical path — the paper's 3-delay claim
+      lives here);
+    * ``decide_to_client`` — the decision travelling back to the client.
+
+    Separating the phases lets latency sweeps tell protocol cost from
+    network cost: a model that doubles mean link delay should double the
+    first and last phases but scale the middle one by the critical path's
+    message-delay count.
+    """
+
+    submit_to_certify: Optional[LatencySummary]
+    certify_to_decide: Optional[LatencySummary]
+    decide_to_client: Optional[LatencySummary]
+
+    def as_dict(self) -> Dict[str, Optional[Dict[str, float]]]:
+        return {
+            name: summary.as_dict() if summary is not None else None
+            for name in PHASES
+            for summary in (getattr(self, name),)
+        }
+
+
+def phase_breakdown(samples: Mapping[str, Sequence[float]]) -> PhaseBreakdown:
+    """Summarise per-phase latency samples (missing/empty phases are None)."""
+    return PhaseBreakdown(
+        **{
+            name: summarize(samples[name]) if samples.get(name) else None
+            for name in PHASES
+        }
+    )
+
+
+def collect_phase_samples(clients, entries: Mapping) -> Dict[str, List[float]]:
+    """Split client-observed latencies into the three :data:`PHASES`.
+
+    ``clients`` expose ``submit_times`` / ``decide_times`` per transaction;
+    ``entries`` maps transactions to coordinator entries with ``started_at``
+    / ``decided_at`` — the shape both the reconfigurable cluster and the
+    2PC-over-Paxos baseline provide, so the phase definitions live in one
+    place and cannot drift between them.
+    """
+    samples: Dict[str, List[float]] = {name: [] for name in PHASES}
+    for client in clients:
+        for txn, decide_time in client.decide_times.items():
+            entry = entries.get(txn)
+            if entry is None or entry.decided_at is None:
+                continue
+            samples["submit_to_certify"].append(
+                entry.started_at - client.submit_times[txn]
+            )
+            samples["certify_to_decide"].append(entry.decided_at - entry.started_at)
+            samples["decide_to_client"].append(decide_time - entry.decided_at)
+    return samples
 
 
 def leader_load(stats, leaders: Sequence[str], num_transactions: int) -> float:

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis.metrics import collect_phase_samples
 from repro.baselines.paxos import PaxosGroup
 from repro.baselines.twopc import CertificationStateMachine, TwoPCCoordinator
 from repro.client import Client
@@ -159,6 +160,16 @@ class BaselineCluster:
                 if entry.decided_at is not None:
                     values.append(entry.decided_at - entry.started_at)
         return values
+
+    def phase_samples(self) -> Dict[str, List[float]]:
+        """Per-phase latency samples (same keys as ``Cluster.phase_samples``):
+        submit -> 2PC start, 2PC start -> decision known, decision -> client."""
+        entries = {
+            txn: entry
+            for coordinator in self.coordinators
+            for txn, entry in coordinator.transactions.items()
+        }
+        return collect_phase_samples(self.clients, entries)
 
     def abort_rate(self) -> float:
         decided = self.history.decided()

@@ -138,7 +138,9 @@ class TwoPCCoordinator(Process):
             txn=txn, payload=payload, shards=frozenset(shards), started_at=self.now
         )
         self.transactions[txn] = entry
-        for shard in shards:
+        # Sorted for hash-seed-independent send order (random latency
+        # models draw one delay per send, so iteration order matters).
+        for shard in sorted(shards):
             command = PrepareCommand(txn=txn, payload=self.scheme.project(payload, shard))
             self._send_command(txn, shard, "prepare", command)
         if not shards:
@@ -182,5 +184,6 @@ class TwoPCCoordinator(Process):
         decision = Decision.meet_all(entry.votes[s] for s in entry.shards)
         entry.decision = decision
         entry.decided_at = self.now
-        for shard in entry.shards:
+        # Sorted for hash-seed-independent send order (see `certify`).
+        for shard in sorted(entry.shards):
             self._send_command(entry.txn, shard, "decide", DecideCommand(entry.txn, decision))

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis.metrics import collect_phase_samples
 from repro.client import Client
 from repro.configservice.service import ConfigurationService, GlobalConfigurationService
 from repro.core.certification import CertificationScheme
@@ -462,6 +463,17 @@ class Cluster:
                 if entry is not None:
                     values.append(decide_time - entry.started_at)
         return values
+
+    def phase_samples(self) -> Dict[str, List[float]]:
+        """Per-phase latency samples along the commit path.
+
+        For every transaction whose decision reached its client, splits the
+        client-observed latency into submit -> certify start (request
+        delivery), certify -> decide (the coordinator's certification
+        critical path) and decide -> client (decision delivery).  Keys match
+        :data:`repro.analysis.metrics.PHASES`.
+        """
+        return collect_phase_samples(self.clients, self.coordinator_entries())
 
     def colocated_latencies(self) -> List[float]:
         """Latency from the coordinator starting ``certify`` to it computing

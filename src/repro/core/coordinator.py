@@ -64,7 +64,10 @@ class CoordinatorMixin:
                 txn=txn, payload=payload, shards=frozenset(shards), started_at=self.now
             )
             self._coordinated[txn] = entry
-        for shard in shards:
+        # Sorted: `shards` is a set, and the fan-out order must not depend
+        # on the process's hash seed (random latency models draw one delay
+        # per send, so iteration order shapes the schedule).
+        for shard in sorted(shards):
             projected = (
                 BOTTOM if payload is BOTTOM else self.scheme.project(payload, shard)
             )
@@ -161,7 +164,8 @@ class CoordinatorMixin:
             client = self.directory.client_of(entry.txn)
             self.send(client, TxnDecision(txn=entry.txn, decision=decision))
         # ... and persist the decision at every relevant shard (lines 28-29).
-        for shard in entry.shards:
+        # Sorted for hash-seed-independent send order (see `certify`).
+        for shard in sorted(entry.shards):
             message = SlotDecision(
                 epoch=self.epoch[shard], slot=entry.slots[shard], decision=decision
             )

@@ -228,7 +228,9 @@ class RdmaShardReplica(Process):
                 txn=txn, payload=payload, shards=frozenset(shards), started_at=self.now
             )
             self._coordinated[txn] = entry
-        for shard in shards:
+        # Sorted for hash-seed-independent send order (random latency
+        # models draw one delay per send, so iteration order matters).
+        for shard in sorted(shards):
             projected = (
                 BOTTOM if payload is BOTTOM else self.scheme.project(payload, shard)
             )
@@ -346,7 +348,8 @@ class RdmaShardReplica(Process):
         entry.decided_at = self.now
         if self.directory.known(entry.txn):
             self.send(self.directory.client_of(entry.txn), TxnDecision(entry.txn, decision))
-        for shard in entry.shards:
+        # Sorted for hash-seed-independent send order (see `certify`).
+        for shard in sorted(entry.shards):
             message = SlotDecision(slot=entry.slots[shard], decision=decision)
             for member in self.members[shard]:
                 if member == self.pid:

@@ -11,10 +11,11 @@ injection (crashes, partitions, per-channel blocking).
 
 from __future__ import annotations
 
+import math
 import random
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Optional, Set, Tuple, TYPE_CHECKING
+from typing import Any, Dict, Iterable, Mapping, Optional, Set, Tuple, TYPE_CHECKING
 
 from repro.runtime.events import Scheduler
 
@@ -55,6 +56,126 @@ class UniformLatency(LatencyModel):
 
     def delay(self, src: str, dst: str, message: Any, rng: random.Random) -> float:
         return rng.uniform(self.low, self.high)
+
+
+class LognormalLatency(LatencyModel):
+    """Heavy-tailed delays: log-normal with the given *mean* and shape.
+
+    Parameterised by the distribution mean (in message delays) rather than
+    the underlying normal's location, so sweeping ``sigma`` at a fixed
+    ``mean`` changes only the tail weight, not the average network cost:
+    ``mu = ln(mean) - sigma^2 / 2``.
+    """
+
+    def __init__(self, mean: float = 1.0, sigma: float = 0.5) -> None:
+        if mean <= 0:
+            raise ValueError("lognormal mean must be positive")
+        if sigma <= 0:
+            raise ValueError("lognormal sigma must be positive")
+        self.mean = mean
+        self.sigma = sigma
+        self._mu = math.log(mean) - sigma * sigma / 2.0
+
+    def delay(self, src: str, dst: str, message: Any, rng: random.Random) -> float:
+        return rng.lognormvariate(self._mu, self.sigma)
+
+
+class ExponentialLatency(LatencyModel):
+    """Memoryless delays with the given mean (M/M-style network)."""
+
+    def __init__(self, mean: float = 1.0) -> None:
+        if mean <= 0:
+            raise ValueError("exponential mean must be positive")
+        self.mean = mean
+
+    def delay(self, src: str, dst: str, message: Any, rng: random.Random) -> float:
+        return rng.expovariate(1.0 / self.mean)
+
+
+class JitteredLatency(LatencyModel):
+    """Wrap a base model with additive uniform jitter in ``[0, jitter]``."""
+
+    def __init__(self, base: LatencyModel, jitter: float) -> None:
+        if jitter < 0:
+            raise ValueError("jitter must be non-negative")
+        self.base = base
+        self.jitter = jitter
+
+    def delay(self, src: str, dst: str, message: Any, rng: random.Random) -> float:
+        return self.base.delay(src, dst, message, rng) + rng.uniform(0.0, self.jitter)
+
+
+class RegionLatency(LatencyModel):
+    """WAN topology: cheap intra-region links, per-pair inter-region delays.
+
+    Each process lives in a named region; messages within a region take
+    ``intra`` delays, messages between regions take the delay of the
+    directed region pair from ``inter``.  Processes not covered by the
+    ``placement`` mapping are assigned deterministically from their pid
+    (see :meth:`region_of`), so the same topology applies to any cluster
+    layout without enumerating every process up front.
+    """
+
+    def __init__(
+        self,
+        regions: Tuple[str, ...],
+        intra: float = 1.0,
+        inter: Optional[Mapping[Tuple[str, str], float]] = None,
+        placement: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        if not regions:
+            raise ValueError("region latency needs at least one region")
+        if len(set(regions)) != len(regions):
+            raise ValueError("region names must be unique")
+        if intra < 0:
+            raise ValueError("intra-region delay must be non-negative")
+        self.regions = tuple(regions)
+        self.intra = intra
+        self.inter: Dict[Tuple[str, str], float] = dict(inter or {})
+        for (a, b), value in self.inter.items():
+            if a not in self.regions or b not in self.regions:
+                raise ValueError(f"inter-region link ({a!r}, {b!r}) names an unknown region")
+            if value < 0:
+                raise ValueError("inter-region delay must be non-negative")
+        for a in self.regions:
+            for b in self.regions:
+                if a != b and (a, b) not in self.inter:
+                    raise ValueError(f"missing inter-region delay for {a!r} -> {b!r}")
+        for pid, region in (placement or {}).items():
+            if region not in self.regions:
+                raise ValueError(f"placement of {pid!r} names unknown region {region!r}")
+        # Placement cache, pre-seeded with the explicit overrides.
+        self._region_of: Dict[str, str] = dict(placement or {})
+
+    def region_of(self, pid: str) -> str:
+        """The region hosting ``pid``.
+
+        Defaults, for pids not pinned by ``placement``: a shard replica
+        ``shard-i/r2`` is placed by its replica index (``regions[2 % n]``),
+        so every shard spans the regions — the geo-replicated deployment the
+        WAN scenarios model; numbered singletons such as ``client-0`` are
+        spread round-robin; everything else (``config-service``) lives in
+        the first region.
+        """
+        region = self._region_of.get(pid)
+        if region is None:
+            region = self.regions[self._default_index(pid) % len(self.regions)]
+            self._region_of[pid] = region
+        return region
+
+    @staticmethod
+    def _default_index(pid: str) -> int:
+        _, sep, member = pid.partition("/")
+        tail = member if sep else pid.rpartition("-")[2]
+        digits = "".join(ch for ch in tail if ch.isdigit())
+        return int(digits) if digits else 0
+
+    def delay(self, src: str, dst: str, message: Any, rng: random.Random) -> float:
+        src_region = self.region_of(src)
+        dst_region = self.region_of(dst)
+        if src_region == dst_region:
+            return self.intra
+        return self.inter[(src_region, dst_region)]
 
 
 @dataclass

@@ -14,6 +14,7 @@ from repro.scenarios.library import (
     register_scenario,
     scenario_names,
 )
+from repro.scenarios.latency import compile_latency_model, parse_latency
 from repro.scenarios.runner import (
     ScenarioResult,
     ScenarioRunner,
@@ -23,16 +24,25 @@ from repro.scenarios.runner import (
 from repro.scenarios.spec import (
     CHECK_MODES,
     FAULT_ACTIONS,
+    LATENCY_MODELS,
     PROTOCOL_BASELINE,
     WORKLOAD_KINDS,
     FaultStep,
+    LatencySpec,
     ScenarioError,
     ScenarioSpec,
     WorkloadSpec,
 )
+from repro.scenarios.sweep import (
+    DEFAULT_GRID,
+    LatencySweepResult,
+    parse_grid,
+    run_latency_sweep,
+)
 
 __all__ = [
     "CHECK_MODES",
+    "DEFAULT_GRID",
     "SCENARIOS",
     "get_scenario",
     "register_scenario",
@@ -41,10 +51,17 @@ __all__ = [
     "ScenarioRunner",
     "run_scenario",
     "run_sweep",
+    "run_latency_sweep",
+    "compile_latency_model",
+    "parse_latency",
+    "parse_grid",
     "FAULT_ACTIONS",
+    "LATENCY_MODELS",
     "PROTOCOL_BASELINE",
     "WORKLOAD_KINDS",
     "FaultStep",
+    "LatencySpec",
+    "LatencySweepResult",
     "ScenarioError",
     "ScenarioSpec",
     "WorkloadSpec",

@@ -5,7 +5,16 @@ Usage::
     python -m repro.scenarios list
     python -m repro.scenarios run steady-state [--seed 7] [--txns 40] [--json]
     python -m repro.scenarios sweep steady-state --protocols message-passing,rdma
+    python -m repro.scenarios sweep steady-state --latency default
+    python -m repro.scenarios sweep steady-state \
+        --latency unit --latency lognormal:mean=2,sigma=0.8
     python -m repro.scenarios steady-state          # shorthand for `run`
+
+``sweep`` without ``--latency`` compares protocols under the scenario's own
+latency model (the classic protocol sweep); with ``--latency`` it runs each
+listed protocol across the latency grid and prints one
+latency-vs-throughput curve per protocol (``--latency default`` expands to
+the stock four-point grid).
 """
 
 from __future__ import annotations
@@ -16,9 +25,11 @@ import sys
 from dataclasses import replace
 from typing import List, Optional
 
+from repro.scenarios.latency import parse_latency
 from repro.scenarios.library import SCENARIOS, get_scenario, scenario_names
 from repro.scenarios.runner import run_scenario, run_sweep
 from repro.scenarios.spec import CHECK_MODES, ScenarioError, ScenarioSpec
+from repro.scenarios.sweep import parse_grid, run_latency_sweep
 
 
 def _apply_overrides(spec: ScenarioSpec, args: argparse.Namespace) -> ScenarioSpec:
@@ -31,6 +42,8 @@ def _apply_overrides(spec: ScenarioSpec, args: argparse.Namespace) -> ScenarioSp
         overrides["num_shards"] = args.shards
     if args.check_mode is not None:
         overrides["check_mode"] = args.check_mode
+    if getattr(args, "latency_override", None):
+        overrides["latency"] = parse_latency(args.latency_override)
     workload_overrides = {}
     if args.txns is not None:
         workload_overrides["txns"] = args.txns
@@ -62,6 +75,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     spec = _apply_overrides(get_scenario(args.name), args)
     protocols = tuple(p.strip() for p in args.protocols.split(",") if p.strip())
+    if args.latency:
+        grid = parse_grid(args.latency)
+        sweeps = {
+            protocol: run_latency_sweep(spec, grid, protocol=protocol)
+            for protocol in protocols
+        }
+        if args.json:
+            print(json.dumps({p: s.as_dict() for p, s in sweeps.items()}, indent=2))
+        else:
+            for sweep in sweeps.values():
+                print(sweep.render())
+                print()
+        return 0 if all(sweep.passed for sweep in sweeps.values()) else 1
     results = run_sweep(spec, protocols)
     if args.json:
         print(json.dumps({p: r.as_dict() for p, r in results.items()}, indent=2))
@@ -108,16 +134,31 @@ def main(argv: Optional[List[str]] = None) -> int:
     run_parser = commands.add_parser("run", help="run one scenario")
     run_parser.add_argument("name", choices=scenario_names())
     run_parser.add_argument("--protocol", default=None, help="override the protocol")
+    run_parser.add_argument(
+        "--latency",
+        dest="latency_override",
+        default=None,
+        metavar="MODEL[:k=v,...]",
+        help="override the latency model (e.g. lognormal:mean=2,sigma=0.8)",
+    )
     _add_common(run_parser)
 
     sweep_parser = commands.add_parser(
-        "sweep", help="run one scenario under several protocols"
+        "sweep", help="run one scenario under several protocols and/or latency models"
     )
     sweep_parser.add_argument("name", choices=scenario_names())
     sweep_parser.add_argument(
         "--protocols",
         default="message-passing,rdma",
         help="comma-separated protocol list (default: message-passing,rdma)",
+    )
+    sweep_parser.add_argument(
+        "--latency",
+        action="append",
+        default=[],
+        metavar="MODEL[:k=v,...]",
+        help="latency grid point (repeatable; 'default' expands to the stock "
+        "grid); with this flag the sweep runs each protocol across the grid",
     )
     _add_common(sweep_parser)
 

@@ -1,0 +1,107 @@
+"""Compiling declarative :class:`LatencySpec` values into runtime models.
+
+The scenario layer describes delay distributions as data (frozen
+:class:`~repro.scenarios.spec.LatencySpec` values inside a
+:class:`~repro.scenarios.spec.ScenarioSpec`); the runtime layer consumes
+strategy objects (:class:`~repro.runtime.network.LatencyModel`).  This
+module is the bridge: :func:`compile_latency_model` turns the former into
+the latter, and :func:`parse_latency` turns the CLI's compact point syntax
+(``lognormal:mean=2,sigma=0.8``) into specs for the sweep driver.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.runtime.network import (
+    ExponentialLatency,
+    JitteredLatency,
+    LatencyModel,
+    LognormalLatency,
+    RegionLatency,
+    UniformLatency,
+    UnitLatency,
+)
+from repro.scenarios.spec import LatencySpec, ScenarioError
+
+
+def compile_latency_model(spec: LatencySpec) -> LatencyModel:
+    """A concrete :class:`LatencyModel` realising ``spec`` (validated)."""
+    spec.validate()
+    if spec.model == "unit":
+        return UnitLatency()
+    if spec.model == "fixed":
+        base: LatencyModel = UnitLatency(spec.value)
+    elif spec.model == "uniform":
+        base = UniformLatency(spec.low, spec.high)
+    elif spec.model == "lognormal":
+        base = LognormalLatency(mean=spec.mean, sigma=spec.sigma)
+    elif spec.model == "exponential":
+        base = ExponentialLatency(mean=spec.mean)
+    else:  # regions — validate() rejects anything else
+        inter: Dict[Tuple[str, str], float] = {}
+        for src, dst, delay in spec.links:
+            inter[(src, dst)] = delay
+            # A link listed in one direction only is symmetric.
+            inter.setdefault((dst, src), delay)
+        base = RegionLatency(
+            regions=spec.regions,
+            intra=spec.intra,
+            inter=inter,
+            placement=dict(spec.placement),
+        )
+    if spec.jitter:
+        base = JitteredLatency(base, spec.jitter)
+    return base
+
+
+# Float-valued LatencySpec fields settable from the CLI point syntax; the
+# regions form carries tuples and is built in Python (or the library), not
+# parsed from a one-liner.
+# Keys outside the chosen model's set are rejected rather than ignored: a
+# mistyped point (``fixed:mean=2``) must fail loudly, not run the sweep
+# with a silently-defaulted parameter.  Every model but unit additionally
+# accepts "jitter".
+_MODEL_FIELDS: Dict[str, Tuple[str, ...]] = {
+    "unit": (),
+    "fixed": ("value",),
+    "uniform": ("low", "high"),
+    "lognormal": ("mean", "sigma"),
+    "exponential": ("mean",),
+    "regions": ("intra",),
+}
+
+
+def parse_latency(text: str) -> LatencySpec:
+    """Parse one CLI latency point: ``model[:key=value[,key=value...]]``.
+
+    Examples: ``unit``, ``fixed:value=2``, ``uniform:low=0.5,high=1.5``,
+    ``lognormal:mean=2,sigma=0.8,jitter=0.1``.
+    """
+    model, _, params_text = text.strip().partition(":")
+    allowed = _MODEL_FIELDS.get(model)
+    if allowed is None:
+        raise ScenarioError(
+            f"unknown latency model {model!r}; expected one of {tuple(_MODEL_FIELDS)}"
+        )
+    if model != "unit":
+        allowed = allowed + ("jitter",)
+    overrides: Dict[str, float] = {}
+    for part in filter(None, (p.strip() for p in params_text.split(","))):
+        key, sep, value_text = part.partition("=")
+        if not sep:
+            raise ScenarioError(f"bad latency parameter {part!r}; expected key=value")
+        if key not in allowed:
+            raise ScenarioError(
+                f"latency parameter {key!r} does not apply to model {model!r}; "
+                f"allowed: {allowed or '(none)'}"
+            )
+        try:
+            overrides[key] = float(value_text)
+        except ValueError:
+            raise ScenarioError(
+                f"bad latency parameter {part!r}: {value_text!r} is not a number"
+            ) from None
+    spec = LatencySpec(model=model, **overrides)
+    spec.validate()
+    return spec

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
-from repro.scenarios.spec import FaultStep, ScenarioSpec, WorkloadSpec
+from repro.scenarios.spec import FaultStep, LatencySpec, ScenarioSpec, WorkloadSpec
 
 
 SCENARIOS: Dict[str, ScenarioSpec] = {}
@@ -224,6 +224,89 @@ register_scenario(
         workload=WorkloadSpec(
             kind="uniform", txns=120, num_keys=128, think_time=4.0, sessions=8
         ),
+    )
+)
+
+# ----------------------------------------------------------------------
+# the geo-distributed (WAN) pack: every shard spans three regions, so the
+# certification fan-out crosses region boundaries on the critical path.
+# ----------------------------------------------------------------------
+
+# One replica of each shard per region; cross-region one-way delays are in
+# message-delay units relative to the intra-region hop (0.5): roughly the
+# EU <-> US <-> AP proportions of real WAN round-trip times.
+WAN_THREE_REGIONS = LatencySpec(
+    model="regions",
+    regions=("eu", "us", "ap"),
+    intra=0.5,
+    links=(("eu", "us", 3.0), ("eu", "ap", 5.0), ("us", "ap", 4.0)),
+    jitter=0.25,
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="wan-steady-state",
+        description="Failure-free load on a 3-region WAN deployment (one "
+        "replica of every shard per region); cross-region links dominate "
+        "the commit path.",
+        protocol="message-passing",
+        num_shards=3,
+        replicas_per_shard=3,
+        latency=WAN_THREE_REGIONS,
+        workload=WorkloadSpec(kind="uniform", txns=150, batch=10, num_keys=192),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="wan-cross-region-contention",
+        description="Zipf-skewed load hammering hot keys across the 3-region "
+        "WAN: conflicting transactions race over slow links, so aborts rise "
+        "with the inter-region delay.",
+        protocol="message-passing",
+        num_shards=2,
+        replicas_per_shard=3,
+        latency=WAN_THREE_REGIONS,
+        workload=WorkloadSpec(kind="zipfian", txns=120, batch=10, num_keys=48, theta=1.2),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="wan-leader-crash",
+        description="A shard leader crashes mid-workload on the 3-region WAN; "
+        "reconfiguration and coordinator recovery pay cross-region delays, "
+        "so the stall is far longer than in the unit-latency variant.  A "
+        "certify request still in flight to the crashed coordinator (a "
+        "multi-delay window here, unlike under unit latency) is lost until "
+        "the client re-submits, which is out of the paper's scope: a few "
+        "undecided transactions are expected.",
+        protocol="message-passing",
+        num_shards=2,
+        replicas_per_shard=3,
+        latency=WAN_THREE_REGIONS,
+        workload=WorkloadSpec(kind="uniform", txns=100, batch=8, num_keys=128),
+        faults=(
+            FaultStep(at=120.5, action="crash-leader", shard="shard-0"),
+            FaultStep(at=125.5, action="reconfigure", shard="shard-0"),
+            FaultStep(at=300.5, action="retry-stalled"),
+            FaultStep(at=500.5, action="retry-stalled"),
+        ),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="wan-heavy-tail",
+        description="Heavy-tail ablation: every link draws log-normal delays "
+        "with the same 2-delay mean but sigma=1.2, so p99 latency blows up "
+        "while mean throughput only halves — compare against "
+        "latency=fixed:value=2.",
+        protocol="message-passing",
+        num_shards=3,
+        replicas_per_shard=2,
+        latency=LatencySpec(model="lognormal", mean=2.0, sigma=1.2),
+        workload=WorkloadSpec(kind="uniform", txns=150, batch=10, num_keys=192),
     )
 )
 

@@ -25,11 +25,18 @@ import time as _time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.analysis.metrics import LatencySummary, format_table, summarize
+from repro.analysis.metrics import (
+    LatencySummary,
+    PhaseBreakdown,
+    format_table,
+    phase_breakdown,
+    summarize,
+)
 from repro.baselines.cluster import BaselineCluster
 from repro.cluster import Cluster
 from repro.core.serializability import TransactionPayload
 from repro.core.types import Decision, Phase
+from repro.scenarios.latency import compile_latency_model
 from repro.scenarios.spec import (
     PROTOCOL_BASELINE,
     FaultStep,
@@ -72,6 +79,8 @@ class ScenarioResult:
     expect_safe: bool
     check_mode: str = "online"
     check_reason: str = ""  # why the checker failed ("" when it passed)
+    latency_model: str = "unit"  # LatencySpec.describe() of the network model
+    phases: Optional[PhaseBreakdown] = None  # submit/certify/decide split
     faults_executed: List[str] = field(default_factory=list)
     wall_seconds: float = 0.0
 
@@ -103,6 +112,8 @@ class ScenarioResult:
             "messages_sent": self.messages_sent,
             "messages_delivered": self.messages_delivered,
             "latency": self.latency.as_dict() if self.latency else None,
+            "latency_model": self.latency_model,
+            "phases": self.phases.as_dict() if self.phases else None,
             "check_ok": self.check_ok,
             "check_mode": self.check_mode,
             "check_reason": self.check_reason,
@@ -125,10 +136,22 @@ class ScenarioResult:
             ("events fired", self.events_fired),
             ("messages", f"{self.messages_sent} sent / {self.messages_delivered} delivered"),
         ]
+        if self.latency_model != "unit":
+            rows.append(("latency model", self.latency_model))
         if self.latency is not None:
             rows.append(
                 ("client latency", f"mean {self.latency.mean:.2f} / p99 {self.latency.p99:.2f} delays")
             )
+        if self.phases is not None:
+            for label, summary in (
+                ("submit -> certify", self.phases.submit_to_certify),
+                ("certify -> decide", self.phases.certify_to_decide),
+                ("decide -> client", self.phases.decide_to_client),
+            ):
+                if summary is not None:
+                    rows.append(
+                        (f"phase {label}", f"mean {summary.mean:.2f} / p99 {summary.p99:.2f} delays")
+                    )
         verdict = "SAFE" if self.safety_ok else "UNSAFE"
         expectation = "as expected" if self.passed else "UNEXPECTED"
         rows.append(("safety", f"{verdict} ({expectation}, check_mode={self.check_mode})"))
@@ -162,11 +185,13 @@ class ScenarioRunner:
         if self.cluster is not None:
             return self.cluster
         spec = self.spec
+        latency = compile_latency_model(spec.latency)
         if spec.protocol == PROTOCOL_BASELINE:
             self.cluster = BaselineCluster(
                 num_shards=spec.num_shards,
                 failures_tolerated=(spec.replicas_per_shard - 1) // 2,
                 num_clients=spec.num_clients,
+                latency=latency,
                 seed=spec.seed,
             )
         else:
@@ -176,6 +201,7 @@ class ScenarioRunner:
                 num_clients=spec.num_clients,
                 protocol=spec.protocol,
                 isolation=spec.isolation,
+                latency=latency,
                 seed=spec.seed,
                 spares_per_shard=spec.spares_per_shard,
             )
@@ -408,6 +434,8 @@ class ScenarioRunner:
             messages_sent=stats.total_sent,
             messages_delivered=stats.total_delivered,
             latency=summarize(latencies) if latencies else None,
+            latency_model=spec.latency.describe(),
+            phases=phase_breakdown(cluster.phase_samples()),
             check_ok=check_ok,
             invariant_violations=len(violations),
             contradictions=len(history.contradictions),

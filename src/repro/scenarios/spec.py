@@ -46,6 +46,15 @@ CHECK_MODES = (
     "online",  # IncrementalTCSChecker subscribed to the history during the run
 )
 
+LATENCY_MODELS = (
+    "unit",  # every message takes exactly one delay (the paper's unit)
+    "fixed",  # every message takes exactly `value` delays
+    "uniform",  # delays drawn uniformly from [low, high]
+    "lognormal",  # heavy-tailed delays with the given mean and sigma
+    "exponential",  # memoryless delays with the given mean
+    "regions",  # WAN topology: named regions, intra/inter-region delays
+)
+
 WORKLOAD_KINDS = (
     "uniform",  # read/write transactions over uniformly random keys
     "zipfian",  # read/write transactions over Zipf-skewed keys
@@ -95,6 +104,121 @@ class FaultStep:
                     "'delay-channel' must be a setup step (at <= 0): extra latency "
                     "cannot be installed retroactively for in-flight messages"
                 )
+
+
+@dataclass(frozen=True)
+class LatencySpec:
+    """Which delay distribution the network applies, per link class.
+
+    The default (``model="unit"``) is the paper's unit: every message takes
+    exactly one delay, so virtual time counts message delays on the critical
+    path.  The other scalar models stress the protocol under jitter
+    (``uniform``), heavy tails (``lognormal``) and memoryless queueing
+    (``exponential``); all draws come from the scenario's seeded RNG, so
+    runs stay deterministic.  ``jitter`` adds uniform noise in
+    ``[0, jitter]`` on top of any model but ``unit``.
+
+    ``model="regions"`` is the declarative WAN form: processes are placed
+    in named ``regions`` (replicas by replica index, so every shard spans
+    the regions; explicit ``placement`` pairs override), links within a
+    region take ``intra`` delays and links between regions take the
+    per-pair delays from ``links`` (``(src-region, dst-region, delay)``
+    triples; a pair listed in one direction only is treated symmetric).
+    """
+
+    model: str = "unit"
+    value: float = 1.0  # fixed: the constant delay
+    low: float = 0.5  # uniform: lower bound
+    high: float = 1.5  # uniform: upper bound
+    mean: float = 1.0  # lognormal / exponential: distribution mean
+    sigma: float = 0.5  # lognormal: shape (tail weight)
+    jitter: float = 0.0  # additive uniform noise in [0, jitter]
+    regions: Tuple[str, ...] = ()  # regions: region names
+    intra: float = 1.0  # regions: intra-region delay
+    links: Tuple[Tuple[str, str, float], ...] = ()  # regions: (src, dst, delay)
+    placement: Tuple[Tuple[str, str], ...] = ()  # regions: (pid, region) pins
+
+    def validate(self) -> None:
+        if self.model not in LATENCY_MODELS:
+            raise ScenarioError(
+                f"unknown latency model {self.model!r}; expected one of {LATENCY_MODELS}"
+            )
+        if self.jitter < 0:
+            raise ScenarioError("latency jitter must be non-negative")
+        if self.model == "unit" and self.jitter:
+            raise ScenarioError(
+                "the unit model is the paper's exact-delay unit; "
+                "use model='fixed' with jitter instead"
+            )
+        if self.model == "fixed" and self.value <= 0:
+            raise ScenarioError("fixed latency requires a positive value")
+        if self.model == "uniform":
+            if self.low < 0:
+                raise ScenarioError("uniform latency bounds must be non-negative")
+            if self.high < self.low:
+                raise ScenarioError("uniform latency requires low <= high")
+        if self.model in ("lognormal", "exponential") and self.mean <= 0:
+            raise ScenarioError(f"{self.model} latency requires a positive mean")
+        if self.model == "lognormal" and self.sigma <= 0:
+            raise ScenarioError("lognormal latency requires a positive sigma")
+        if self.model == "regions":
+            if len(self.regions) < 2:
+                raise ScenarioError("region latency needs at least two regions")
+            if len(set(self.regions)) != len(self.regions):
+                raise ScenarioError("region names must be unique")
+            if self.intra < 0:
+                raise ScenarioError("intra-region delay must be non-negative")
+            covered = set()
+            for src, dst, delay in self.links:
+                if src not in self.regions or dst not in self.regions:
+                    raise ScenarioError(
+                        f"link ({src!r}, {dst!r}) names an unknown region"
+                    )
+                if src == dst:
+                    raise ScenarioError(
+                        f"link ({src!r}, {dst!r}): intra-region delay is set by 'intra'"
+                    )
+                if delay < 0:
+                    raise ScenarioError("inter-region delays must be non-negative")
+                if (src, dst) in covered:
+                    raise ScenarioError(
+                        f"duplicate link ({src!r}, {dst!r}): each direction may "
+                        "be given at most once"
+                    )
+                covered.add((src, dst))
+            for src in self.regions:
+                for dst in self.regions:
+                    if src != dst and (src, dst) not in covered and (dst, src) not in covered:
+                        raise ScenarioError(
+                            f"missing inter-region delay for {src!r} <-> {dst!r}"
+                        )
+            for pid, region in self.placement:
+                if region not in self.regions:
+                    raise ScenarioError(
+                        f"placement of {pid!r} names unknown region {region!r}"
+                    )
+
+    def describe(self) -> str:
+        """A compact label for sweep tables and result dicts."""
+        if self.model == "unit":
+            return "unit"
+        if self.model == "fixed":
+            params = f"value={self.value:g}"
+        elif self.model == "uniform":
+            params = f"low={self.low:g},high={self.high:g}"
+        elif self.model == "lognormal":
+            params = f"mean={self.mean:g},sigma={self.sigma:g}"
+        elif self.model == "exponential":
+            params = f"mean={self.mean:g}"
+        else:
+            links = "/".join(f"{src}-{dst}:{delay:g}" for src, dst, delay in self.links)
+            params = f"regions={'/'.join(self.regions)},intra={self.intra:g},links={links}"
+            if self.placement:
+                pins = "/".join(f"{pid}@{region}" for pid, region in self.placement)
+                params += f",pins={pins}"
+        if self.jitter:
+            params += f",jitter={self.jitter:g}"
+        return f"{self.model}({params})"
 
 
 @dataclass(frozen=True)
@@ -177,6 +301,9 @@ class ScenarioSpec:
     isolation: str = "serializability"
     seed: int = 0
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    # Which delay distribution the network applies; the default is the
+    # paper's unit model (the unit its latency claims are stated in).
+    latency: LatencySpec = field(default_factory=LatencySpec)
     faults: Tuple[FaultStep, ...] = ()
     max_events: int = 5_000_000
     # How the recorded history is validated: "online" (default) attaches the
@@ -211,6 +338,7 @@ class ScenarioSpec:
                 f"unknown check_mode {self.check_mode!r}; expected one of {CHECK_MODES}"
             )
         self.workload.validate()
+        self.latency.validate()
         for step in self.faults:
             step.validate()
         if self.protocol == PROTOCOL_BASELINE:

@@ -1,0 +1,157 @@
+"""Latency sweep driver: one scenario across a grid of latency points.
+
+A *sweep* runs the same :class:`~repro.scenarios.spec.ScenarioSpec` (same
+workload, faults and seed) once per :class:`LatencySpec` in a grid and
+collects the results into a latency-vs-throughput curve.  Because the
+per-phase breakdown (submit -> certify -> decide) rides along on every
+:class:`~repro.scenarios.runner.ScenarioResult`, the curve separates
+protocol cost (the certify -> decide phase, measured in critical-path
+message delays) from network cost (the request/response phases, which
+scale directly with the link-delay distribution).
+
+Used by ``python -m repro.scenarios sweep <scenario> --latency ...`` and
+importable directly::
+
+    from repro.scenarios.sweep import DEFAULT_GRID, run_latency_sweep
+    curve = run_latency_sweep(get_scenario("steady-state"))
+    print(curve.render())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+from repro.analysis.metrics import format_table
+from repro.scenarios.latency import parse_latency
+from repro.scenarios.runner import ScenarioResult, ScenarioRunner
+from repro.scenarios.spec import LatencySpec, ScenarioSpec
+
+
+# The stock grid: the paper's unit model, bounded jitter around one delay,
+# a memoryless network, and a heavy tail — same mean (one delay) for the
+# three random models, so differences come from distribution shape alone.
+DEFAULT_GRID: Tuple[LatencySpec, ...] = (
+    LatencySpec(model="unit"),
+    LatencySpec(model="uniform", low=0.5, high=1.5),
+    LatencySpec(model="exponential", mean=1.0),
+    LatencySpec(model="lognormal", mean=1.0, sigma=0.8),
+)
+
+
+def parse_grid(texts: Iterable[str]) -> Tuple[LatencySpec, ...]:
+    """Parse CLI latency points; the single word ``default`` expands to
+    :data:`DEFAULT_GRID`."""
+    grid: List[LatencySpec] = []
+    for text in texts:
+        if text.strip() == "default":
+            grid.extend(DEFAULT_GRID)
+        else:
+            grid.append(parse_latency(text))
+    return tuple(grid)
+
+
+@dataclass
+class LatencySweepResult:
+    """One scenario's results across a latency grid, in grid order."""
+
+    scenario: str
+    protocol: str
+    seed: int
+    points: List[Tuple[str, ScenarioResult]] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(result.passed for _, result in self.points)
+
+    def result_for(self, label: str) -> ScenarioResult:
+        for point_label, result in self.points:
+            if point_label == label:
+                return result
+        raise KeyError(f"no sweep point labelled {label!r}")
+
+    def curve(self) -> List[Dict[str, Any]]:
+        """The latency-vs-throughput curve: one row per grid point.  A point
+        with no client-observed decisions reports null latencies (a 0.0
+        would read as the best point on the curve)."""
+        rows = []
+        for label, result in self.points:
+            rows.append(
+                {
+                    "latency_model": label,
+                    "throughput": result.throughput,
+                    "mean_latency": result.latency.mean if result.latency else None,
+                    "p99_latency": result.latency.p99 if result.latency else None,
+                }
+            )
+        return rows
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "protocol": self.protocol,
+            "seed": self.seed,
+            "passed": self.passed,
+            "curve": self.curve(),
+            "points": [
+                {"latency_model": label, "result": result.as_dict()}
+                for label, result in self.points
+            ],
+        }
+
+    def render(self) -> str:
+        headers = [
+            "latency model",
+            "committed",
+            "abort",
+            "tput/1k",
+            "lat mean",
+            "lat p99",
+            "submit>cert",
+            "cert>decide",
+            "decide>client",
+        ]
+        def _mean(summary) -> str:
+            return f"{summary.mean:.2f}" if summary is not None else "-"
+
+        rows = []
+        for label, result in self.points:
+            phases = result.phases
+            rows.append(
+                [
+                    label,
+                    result.committed,
+                    f"{result.abort_rate:.3f}",
+                    f"{result.throughput:.1f}",
+                    f"{result.latency.mean:.2f}" if result.latency else "-",
+                    f"{result.latency.p99:.2f}" if result.latency else "-",
+                    _mean(phases.submit_to_certify) if phases else "-",
+                    _mean(phases.certify_to_decide) if phases else "-",
+                    _mean(phases.decide_to_client) if phases else "-",
+                ]
+            )
+        body = format_table(headers, rows)
+        verdict = "all safe" if self.passed else "FAILED"
+        return (
+            f"=== latency sweep: {self.scenario} ({self.protocol}, seed {self.seed}) "
+            f"— {verdict} ===\n{body}"
+        )
+
+
+def run_latency_sweep(
+    spec: ScenarioSpec,
+    grid: Sequence[LatencySpec] = DEFAULT_GRID,
+    **overrides: Any,
+) -> LatencySweepResult:
+    """Run ``spec`` once per latency point (optionally overriding spec
+    fields first); every point reuses the spec's seed, workload and faults,
+    so the curve isolates the effect of the delay distribution."""
+    if overrides:
+        spec = spec.with_overrides(**overrides)
+    sweep = LatencySweepResult(
+        scenario=spec.name, protocol=spec.protocol, seed=spec.seed
+    )
+    for point in grid:
+        result = ScenarioRunner(spec.with_overrides(latency=point)).run()
+        sweep.points.append((point.describe(), result))
+    return sweep

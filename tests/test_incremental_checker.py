@@ -227,6 +227,65 @@ def test_pairwise_fallback_index_matches_scheme(scheme):
 
 
 # ----------------------------------------------------------------------
+# differential under non-unit latency: the online and batch checkers must
+# agree on histories shaped by random delay distributions
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "latency_kwargs",
+    [
+        dict(model="uniform", low=0.5, high=1.5),
+        dict(model="lognormal", mean=1.5, sigma=1.0),
+        dict(model="exponential", mean=1.0),
+        dict(
+            model="regions",
+            regions=("eu", "us", "ap"),
+            intra=0.5,
+            links=(("eu", "us", 3.0), ("eu", "ap", 5.0), ("us", "ap", 4.0)),
+            jitter=0.25,
+        ),
+    ],
+    ids=["uniform", "lognormal", "exponential", "regions"],
+)
+def test_online_and_final_agree_under_non_unit_latency(latency_kwargs):
+    """Random delays reorder deliveries (and thus certify/decide events);
+    whatever history results, the online verdict must match the batch
+    oracle's, and safe protocols must stay safe."""
+    from dataclasses import replace
+
+    from repro.scenarios import LatencySpec, get_scenario, run_scenario
+
+    base = get_scenario("steady-state")
+    spec = base.with_overrides(
+        latency=LatencySpec(**latency_kwargs),
+        workload=replace(base.workload, txns=40),
+    )
+    online = run_scenario(spec, check_mode="online")
+    final = run_scenario(spec, check_mode="final")
+    assert online.check_ok == final.check_ok
+    assert online.check_ok and online.passed and final.passed
+    # The history itself is identical across check modes (same seed, same
+    # delay draws), so the verdicts were computed over the same events.
+    assert online.txns_submitted == final.txns_submitted
+    assert online.committed == final.committed
+    assert online.duration == final.duration
+
+
+def test_online_flags_violation_under_non_unit_latency():
+    """The broken-RDMA ablation must still be caught online when the unsafe
+    interleaving is driven by explicit channel delays on top of a jittered
+    base model (delay-channel extras compose with the LatencySpec)."""
+    from repro.scenarios import LatencySpec, ScenarioRunner, get_scenario
+
+    spec = get_scenario("ablation-safety-demo").with_overrides(
+        latency=LatencySpec(model="fixed", value=1.0, jitter=0.05),
+        check_mode="online",
+    )
+    result = ScenarioRunner(spec).run()
+    assert not result.safety_ok
+    assert result.passed  # unsafe was the expectation
+
+
+# ----------------------------------------------------------------------
 # the Figure 4a ablation, caught online
 # ----------------------------------------------------------------------
 def test_broken_rdma_ablation_flagged_online():

@@ -9,12 +9,15 @@ from repro.cluster import Cluster, ProtocolSpec, protocol_names, protocol_spec, 
 from repro.core.serializability import TransactionPayload
 from repro.core.types import Decision
 from repro.scenarios import (
+    DEFAULT_GRID,
     FaultStep,
+    LatencySpec,
     ScenarioError,
     ScenarioRunner,
     ScenarioSpec,
     WorkloadSpec,
     get_scenario,
+    run_latency_sweep,
     run_scenario,
     scenario_names,
 )
@@ -277,6 +280,105 @@ def test_closed_loop_is_deterministic():
 
 
 # ----------------------------------------------------------------------
+# latency sweeps and the WAN pack
+# ----------------------------------------------------------------------
+def test_spec_rejects_bad_latency():
+    with pytest.raises(ScenarioError, match="unknown latency model"):
+        ScenarioSpec(name="x", latency=LatencySpec(model="warp")).validate()
+
+
+def test_latency_sweep_runs_grid_in_order():
+    spec = get_scenario("steady-state").with_overrides(
+        workload=replace(get_scenario("steady-state").workload, txns=30)
+    )
+    sweep = run_latency_sweep(spec)
+    assert sweep.passed
+    assert [label for label, _ in sweep.points] == [p.describe() for p in DEFAULT_GRID]
+    assert len(sweep.curve()) == len(DEFAULT_GRID) >= 3
+    # Every point ran the same workload; only the delay distribution varied.
+    for _, result in sweep.points:
+        assert result.txns_submitted == 30
+        assert result.phases is not None
+    assert sweep.result_for("unit").latency.mean == pytest.approx(6.0)
+    with pytest.raises(KeyError):
+        sweep.result_for("warp")
+
+
+def test_latency_sweep_is_deterministic():
+    import json
+
+    spec = get_scenario("steady-state").with_overrides(
+        workload=replace(get_scenario("steady-state").workload, txns=30)
+    )
+    grid = (
+        LatencySpec(),
+        LatencySpec(model="exponential", mean=1.0),
+        LatencySpec(model="lognormal", mean=1.5, sigma=0.8),
+    )
+    first = run_latency_sweep(spec, grid)
+    second = run_latency_sweep(spec, grid)
+    assert json.dumps(first.as_dict(), sort_keys=True) == json.dumps(
+        second.as_dict(), sort_keys=True
+    )
+
+
+def test_phase_breakdown_separates_protocol_from_network_cost():
+    """Doubling every link delay (fixed:2 vs unit) must double the pure
+    network phases while the certify phase scales with its message count —
+    the property that makes sweep curves interpretable."""
+    base = get_scenario("steady-state").with_overrides(
+        workload=replace(get_scenario("steady-state").workload, txns=30)
+    )
+    unit = ScenarioRunner(base).run()
+    doubled = ScenarioRunner(
+        base.with_overrides(latency=LatencySpec(model="fixed", value=2.0))
+    ).run()
+    assert unit.phases.submit_to_certify.mean == pytest.approx(1.0)
+    assert doubled.phases.submit_to_certify.mean == pytest.approx(2.0)
+    assert doubled.phases.decide_to_client.mean == pytest.approx(
+        2 * unit.phases.decide_to_client.mean
+    )
+    assert doubled.phases.certify_to_decide.mean == pytest.approx(
+        2 * unit.phases.certify_to_decide.mean
+    )
+
+
+def test_wan_pack_registered():
+    assert {"wan-steady-state", "wan-cross-region-contention",
+            "wan-leader-crash", "wan-heavy-tail"} <= set(scenario_names())
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["wan-steady-state", "wan-cross-region-contention",
+     "wan-leader-crash", "wan-heavy-tail"],
+)
+def test_wan_scenarios_stay_safe(name):
+    result = run_scenario(get_scenario(name))
+    assert result.passed
+    assert result.committed > 0
+    # The WAN pack decides (nearly) everything; wan-leader-crash may lose a
+    # few certify requests in flight to the crashed coordinator (see the
+    # scenario description), everything else decides every transaction.
+    if name == "wan-leader-crash":
+        assert result.undecided <= 0.05 * result.txns_submitted
+    else:
+        assert result.undecided == 0
+
+
+def test_wan_latency_reflects_cross_region_links():
+    """The 3-region commit path costs several cross-region hops: client
+    latency under the WAN model must be far above the unit-latency variant
+    of the same workload."""
+    wan = run_scenario(get_scenario("wan-steady-state"))
+    unit = run_scenario(
+        get_scenario("wan-steady-state"), latency=LatencySpec()
+    )
+    assert wan.passed and unit.passed
+    assert wan.latency.mean > 2 * unit.latency.mean
+
+
+# ----------------------------------------------------------------------
 # determinism
 # ----------------------------------------------------------------------
 @pytest.mark.parametrize(
@@ -455,3 +557,55 @@ def test_cli_sweep(capsys):
     ) == 0
     out = capsys.readouterr().out
     assert out.count("scenario: steady-state") == 2
+
+
+def test_cli_run_latency_override(capsys):
+    assert scenarios_main(
+        ["steady-state", "--txns", "20",
+         "--latency", "lognormal:mean=1.5,sigma=0.8", "--json"]
+    ) == 0
+    import json
+
+    data = json.loads(capsys.readouterr().out)
+    assert data["latency_model"] == "lognormal(mean=1.5,sigma=0.8)"
+    assert data["passed"] is True
+    assert data["phases"]["certify_to_decide"]["mean"] > 0
+
+
+def test_cli_latency_sweep_grid(capsys):
+    assert scenarios_main(
+        ["sweep", "steady-state", "--txns", "20",
+         "--protocols", "message-passing",
+         "--latency", "unit",
+         "--latency", "uniform:low=0.5,high=1.5",
+         "--latency", "lognormal:mean=1.5,sigma=0.8",
+         "--json"]
+    ) == 0
+    import json
+
+    data = json.loads(capsys.readouterr().out)
+    sweep = data["message-passing"]
+    assert sweep["passed"] is True
+    assert [row["latency_model"] for row in sweep["curve"]] == [
+        "unit", "uniform(low=0.5,high=1.5)", "lognormal(mean=1.5,sigma=0.8)"
+    ]
+    assert len(sweep["points"]) == 3
+
+
+def test_cli_latency_sweep_is_deterministic(capsys):
+    argv = ["sweep", "steady-state", "--txns", "20",
+            "--protocols", "message-passing", "--latency", "default", "--json"]
+    assert scenarios_main(argv) == 0
+    first = capsys.readouterr().out
+    assert scenarios_main(argv) == 0
+    second = capsys.readouterr().out
+    assert first == second  # byte-identical JSON, grid of 4 points
+    import json
+
+    assert len(json.loads(first)["message-passing"]["points"]) == 4
+
+
+def test_cli_rejects_bad_latency_point(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        scenarios_main(["steady-state", "--latency", "warp:speed=9"])
+    assert excinfo.value.code == 2
