@@ -129,6 +129,54 @@ def collect_phase_samples(clients, entries: Mapping) -> Dict[str, List[float]]:
     return samples
 
 
+@dataclass(frozen=True)
+class RetryStats:
+    """Client-session resilience counters for one run.
+
+    * ``retries`` — timeout-driven re-submissions (any coordinator);
+    * ``failovers`` — re-submissions that switched to a different
+      coordinator (``retries - failovers`` re-tried the same one);
+    * ``orphaned`` — transactions abandoned after ``max_attempts`` without a
+      decision (a resilient deployment should keep this at 0);
+    * ``duplicate_requests`` — duplicate ``CERTIFY`` deliveries the
+      coordinators deduplicated (re-answered from decision caches instead of
+      re-certifying).
+    """
+
+    retries: int = 0
+    failovers: int = 0
+    orphaned: int = 0
+    duplicate_requests: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "retries": self.retries,
+            "failovers": self.failovers,
+            "orphaned": self.orphaned,
+            "duplicate_requests": self.duplicate_requests,
+        }
+
+
+def collect_retry_stats(sessions, coordinators) -> RetryStats:
+    """Aggregate retry counters from client sessions and the duplicate
+    deliveries counted by coordinator-capable processes.
+
+    ``sessions`` expose ``retries`` / ``failovers`` / ``orphaned``;
+    ``coordinators`` is any iterable of processes that may carry a
+    ``duplicate_certify_requests`` counter — the shape both the
+    reconfigurable cluster (every replica) and the 2PC-over-Paxos baseline
+    (its dedicated coordinators) provide.
+    """
+    return RetryStats(
+        retries=sum(session.retries for session in sessions),
+        failovers=sum(session.failovers for session in sessions),
+        orphaned=sum(len(session.orphaned) for session in sessions),
+        duplicate_requests=sum(
+            getattr(process, "duplicate_certify_requests", 0) for process in coordinators
+        ),
+    )
+
+
 def leader_load(stats, leaders: Sequence[str], num_transactions: int) -> float:
     """Average messages handled (sent + received) per transaction per leader."""
     if num_transactions <= 0 or not leaders:

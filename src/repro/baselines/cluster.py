@@ -11,10 +11,10 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.analysis.metrics import collect_phase_samples
+from repro.analysis.metrics import RetryStats, collect_phase_samples, collect_retry_stats
 from repro.baselines.paxos import PaxosGroup
 from repro.baselines.twopc import CertificationStateMachine, TwoPCCoordinator
-from repro.client import Client
+from repro.client import Client, ClientSession, RetryPolicy, StaticRouter
 from repro.core.certification import CertificationScheme
 from repro.core.directory import TransactionDirectory
 from repro.core.serializability import KeyHashSharding, SerializabilityScheme
@@ -37,6 +37,7 @@ class BaselineCluster:
         scheme: Optional[CertificationScheme] = None,
         latency: Optional[LatencyModel] = None,
         seed: int = 0,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         if num_shards < 1 or failures_tolerated < 0:
             raise ValueError("num_shards must be >= 1 and failures_tolerated >= 0")
@@ -86,6 +87,16 @@ class BaselineCluster:
             self.clients.append(client)
         self._round_robin = 0
 
+        # Client sessions (same surface as Cluster): the baseline has fixed
+        # dedicated coordinators, so the router is a static round-robin;
+        # retries re-submit to the next coordinator in line.
+        self.retry = retry or RetryPolicy()
+        self.router = StaticRouter([c.pid for c in self.coordinators])
+        self.sessions: List[ClientSession] = [
+            ClientSession(client, self.router, self.scheme, self.retry)
+            for client in self.clients
+        ]
+
     # ------------------------------------------------------------------
     # transaction driving (same surface as Cluster)
     # ------------------------------------------------------------------
@@ -96,6 +107,10 @@ class BaselineCluster:
         coordinator: Optional[str] = None,
         txn: Optional[TxnId] = None,
     ) -> TxnId:
+        if self.retry.enabled:
+            return self.sessions[client_index].submit(
+                payload, coordinator=coordinator, txn=txn
+            )
         client = self.clients[client_index]
         if coordinator is None:
             self._round_robin += 1
@@ -177,6 +192,9 @@ class BaselineCluster:
             return 0.0
         aborts = sum(1 for d in decided.values() if d is Decision.ABORT)
         return aborts / len(decided)
+
+    def retry_stats(self) -> RetryStats:
+        return collect_retry_stats(self.sessions, self.coordinators)
 
     def check(self) -> Tuple[CheckResult, list]:
         checker = TCSChecker(self.scheme)

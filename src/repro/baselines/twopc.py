@@ -125,11 +125,24 @@ class TwoPCCoordinator(Process):
         self.transactions: Dict[TxnId, _BaselineTxn] = {}
         self._next_request = 0
         self._requests: Dict[int, Tuple[TxnId, ShardId, str]] = {}
+        self.duplicate_certify_requests = 0
 
     # ------------------------------------------------------------------
     # client entry point
     # ------------------------------------------------------------------
     def on_certify_request(self, msg: CertifyRequest, sender: str) -> None:
+        # Baseline parity with the reconfigurable protocols: client-session
+        # retries are deduplicated on the transaction id.  A decided (and
+        # durable) transaction is re-answered from the decision cache; an
+        # in-flight duplicate is ignored — the pending Paxos commands will
+        # complete it, and the certification state machine itself dedups
+        # prepare/decide commands per transaction.
+        entry = self.transactions.get(msg.txn)
+        if entry is not None:
+            self.duplicate_certify_requests += 1
+            if entry.decision is not None and entry.durable_at is not None:
+                self.send(sender, TxnDecision(txn=msg.txn, decision=entry.decision))
+            return
         self.certify(msg.txn, msg.payload)
 
     def certify(self, txn: TxnId, payload: Any) -> _BaselineTxn:

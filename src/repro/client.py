@@ -1,4 +1,4 @@
-"""Client processes: submit transactions for certification and record history.
+"""Client processes and resilient client sessions.
 
 A client owns the ``certify``/``decide`` interface of the TCS (Section 2):
 it registers the transaction's static metadata (``client(t)``, ``shards(t)``)
@@ -6,18 +6,282 @@ in the :class:`~repro.core.directory.TransactionDirectory`, records the
 ``certify`` event into the shared :class:`~repro.spec.history.History`,
 sends the request to a replica acting as coordinator, and records the
 ``decide`` event when the decision message arrives.
+
+The paper's protocol keeps certification alive across replica failures and
+reconfigurations, but it says nothing about the *client* side: a certify
+request in flight to a crashed coordinator is simply lost.  The session
+layer here closes that gap the way production distributed-KV clients do:
+
+* a :class:`CoordinatorRouter` is the client-side routing table — members
+  and leaders per shard, updated from ``CONFIG_CHANGE`` pushes (clients
+  subscribe to the configuration service) and from ``get_last`` re-reads
+  triggered by timeouts;
+* a :class:`ClientSession` owns one client's submissions: it picks the
+  coordinator, arms a timeout per in-flight transaction, and on expiry
+  re-submits — with exponential backoff, failing over to a coordinator it
+  has not tried yet — until the decision arrives or
+  :attr:`RetryPolicy.max_attempts` is exhausted (the transaction is then
+  *orphaned* and counted as such);
+* re-submissions reuse the transaction id, so delivery is idempotent:
+  coordinators and replicas deduplicate on the id and re-answer from their
+  decision caches (see ``on_certify_request`` in the replica modules), which
+  preserves the TCS decision-uniqueness property under duplicates.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.certification import CertificationScheme
 from repro.core.directory import TransactionDirectory
-from repro.core.messages import CertifyRequest, TxnDecision
-from repro.core.types import Decision, TxnId
+from repro.core.messages import CertifyRequest, ConfigChange, CsGetLast, CsReply, TxnDecision
+from repro.core.types import Decision, GlobalConfiguration, ShardId, TxnId
 from repro.runtime.process import Process
 from repro.spec.history import History
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Client-side re-submission policy.
+
+    ``timeout`` is the virtual time (in message delays) a session waits for
+    a decision before re-submitting; 0 disables re-submission entirely (the
+    pre-session fire-and-forget behaviour).  Each further attempt multiplies
+    the wait by ``backoff``; after ``max_attempts`` total submissions the
+    transaction is abandoned and counted as orphaned.
+    """
+
+    timeout: float = 0.0
+    backoff: float = 2.0
+    max_attempts: int = 4
+
+    def __post_init__(self) -> None:
+        if self.timeout < 0:
+            raise ValueError("retry timeout must be >= 0")
+        if self.backoff < 1.0:
+            raise ValueError("retry backoff must be >= 1")
+        if self.max_attempts < 1:
+            raise ValueError("retry max_attempts must be >= 1")
+
+    @property
+    def enabled(self) -> bool:
+        return self.timeout > 0
+
+    def delay(self, attempt: int) -> float:
+        """The timeout armed after submission ``attempt`` (1-based)."""
+        return self.timeout * (self.backoff ** (attempt - 1))
+
+
+class CoordinatorRouter:
+    """Client-side view of the cluster topology used to pick coordinators.
+
+    Mirrors the paper's Figure 2 placement: the coordinator of a transaction
+    is preferably a member of a shard *not* involved in it.  The router is
+    shared by every session of a cluster (one round-robin sequence), knows
+    only what a real client could know — the bootstrap configurations plus
+    whatever ``CONFIG_CHANGE`` pushes and ``get_last`` replies have taught
+    it — and never peeks at live process state.
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[ShardId],
+        members: Mapping[ShardId, Tuple[str, ...]],
+        leaders: Optional[Mapping[ShardId, str]] = None,
+        epochs: Optional[Mapping[ShardId, int]] = None,
+    ) -> None:
+        self.shards: List[ShardId] = list(shards)
+        self.members: Dict[ShardId, Tuple[str, ...]] = {
+            shard: tuple(pids) for shard, pids in members.items()
+        }
+        self.leaders: Dict[ShardId, str] = dict(leaders or {})
+        self.epochs: Dict[ShardId, int] = dict(epochs or {})
+        self._round_robin = 0
+        self.config_updates = 0
+
+    def note_config_change(
+        self, shard: ShardId, epoch: int, members: Sequence[str], leader: str
+    ) -> None:
+        """Install a (possibly newer) configuration of ``shard``."""
+        if epoch < self.epochs.get(shard, 0):
+            return
+        self.epochs[shard] = epoch
+        self.members[shard] = tuple(members)
+        self.leaders[shard] = leader
+        self.config_updates += 1
+
+    def candidates(self, involved: Sequence[ShardId]) -> List[str]:
+        """Coordinator candidates for a transaction over ``involved`` shards,
+        preferring members of uninvolved shards (Figure 2)."""
+        involved = sorted(involved) or self.shards[:1]
+        uninvolved = [shard for shard in self.shards if shard not in involved]
+        out: List[str] = []
+        for shard in uninvolved or involved:
+            out.extend(self.members.get(shard, ()))
+        return out
+
+    def pick(self, involved: Sequence[ShardId], exclude: Sequence[str] = ()) -> str:
+        """Round-robin over the candidates, skipping already-tried ones.
+
+        When every candidate has been tried the exclusion is dropped — with
+        nothing fresh left, re-trying a previous coordinator (which may have
+        merely been slow) beats giving up.
+        """
+        candidates = self.candidates(involved)
+        fresh = [pid for pid in candidates if pid not in exclude]
+        pool = fresh or candidates
+        self._round_robin += 1
+        return pool[self._round_robin % len(pool)]
+
+
+class StaticRouter:
+    """Router over a fixed candidate list (the 2PC-over-Paxos baseline's
+    dedicated coordinator processes have no shard topology to exploit)."""
+
+    def __init__(self, pids: Sequence[str]) -> None:
+        if not pids:
+            raise ValueError("a router needs at least one candidate")
+        self.pids: List[str] = list(pids)
+        self._round_robin = 0
+        self.config_updates = 0
+
+    def note_config_change(self, *args: Any) -> None:  # pragma: no cover - no-op
+        pass
+
+    def pick(self, involved: Sequence[ShardId], exclude: Sequence[str] = ()) -> str:
+        fresh = [pid for pid in self.pids if pid not in exclude]
+        pool = fresh or self.pids
+        self._round_robin += 1
+        return pool[self._round_robin % len(pool)]
+
+
+@dataclass
+class _Submission:
+    """Per-transaction state machine of one session submission."""
+
+    txn: TxnId
+    payload: Any
+    involved: Tuple[ShardId, ...]
+    attempts: int = 1
+    tried: List[str] = field(default_factory=list)
+    timer: Any = None
+
+
+class ClientSession:
+    """Owns one client's submissions: coordinator selection, timeout-driven
+    re-submission with backoff and failover, and retry accounting.
+
+    With a disabled policy (``timeout == 0``) the session still routes
+    submissions through the router but never re-submits — behaviourally the
+    old fire-and-forget client, plus the shared round-robin.
+    """
+
+    def __init__(
+        self,
+        client: "Client",
+        router: CoordinatorRouter,
+        scheme: CertificationScheme,
+        policy: Optional[RetryPolicy] = None,
+    ) -> None:
+        self.client = client
+        self.router = router
+        self.scheme = scheme
+        self.policy = policy or RetryPolicy()
+        self._inflight: Dict[TxnId, _Submission] = {}
+        self.retries = 0  # re-submissions (any coordinator)
+        self.failovers = 0  # re-submissions that switched coordinator
+        self.config_refreshes = 0  # get_last re-reads triggered by timeouts
+        self.orphaned: List[TxnId] = []  # gave up after max_attempts
+        self._last_refresh_at = float("-inf")
+        client.router = router
+        client.add_decision_callback(self._on_decided)
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        payload: Any,
+        coordinator: Optional[str] = None,
+        txn: Optional[TxnId] = None,
+    ) -> TxnId:
+        involved = tuple(sorted(self.scheme.shards_of(payload)))
+        coordinator = coordinator or self.router.pick(involved)
+        txn = self.client.submit(payload, coordinator=coordinator, txn=txn)
+        if self.policy.enabled:
+            state = _Submission(
+                txn=txn, payload=payload, involved=involved, tried=[coordinator]
+            )
+            self._inflight[txn] = state
+            self._arm(state)
+        return txn
+
+    def _arm(self, state: _Submission) -> None:
+        # Scheduled directly (not via Process.set_timer): this is the per-
+        # transaction hot path, and _on_timeout is already a no-op once the
+        # transaction is decided or the client is gone.
+        state.timer = self.client.scheduler.schedule(
+            self.policy.delay(state.attempts), self._on_timeout, state.txn
+        )
+
+    # ------------------------------------------------------------------
+    # timeout-driven re-submission
+    # ------------------------------------------------------------------
+    def _on_timeout(self, txn: TxnId) -> None:
+        state = self._inflight.get(txn)
+        if state is None:  # decided (or already orphaned) in the meantime
+            return
+        if state.attempts >= self.policy.max_attempts:
+            del self._inflight[txn]
+            self.orphaned.append(txn)
+            return
+        # The coordinator may be slow *or* the configuration may have moved:
+        # refresh the router's whole view from the configuration service
+        # (coordinator candidates come from *uninvolved* shards, so involved
+        # shards alone would miss them; replies benefit subsequent picks)
+        # and fail over to an untried coordinator.  At most one refresh per
+        # timeout window — many transactions timing out together must not
+        # multiply the config-service traffic.
+        now = self.client.now
+        shards = tuple(getattr(self.router, "shards", ())) or state.involved
+        if (
+            shards
+            and now - self._last_refresh_at >= self.policy.timeout
+            and self.client.refresh_configurations(shards)
+        ):
+            self._last_refresh_at = now
+            self.config_refreshes += 1
+        previous = state.tried[-1]
+        coordinator = self.router.pick(state.involved, exclude=tuple(state.tried))
+        state.attempts += 1
+        state.tried.append(coordinator)
+        self.retries += 1
+        if coordinator != previous:
+            self.failovers += 1
+        self.client.resubmit(txn, state.payload, coordinator, request_id=state.attempts)
+        self._arm(state)
+
+    def _on_decided(self, txn: TxnId, decision: Decision) -> None:
+        state = self._inflight.pop(txn, None)
+        if state is not None and state.timer is not None:
+            state.timer.cancel()
+        elif state is None and txn in self.orphaned:
+            # The final attempt's decision arrived after the session had
+            # already given the transaction up (a heavy-tail straggler):
+            # nothing was lost, so it must not count as orphaned.
+            self.orphaned.remove(txn)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def inflight(self) -> int:
+        return len(self._inflight)
+
+    def attempts_of(self, txn: TxnId) -> int:
+        state = self._inflight.get(txn)
+        return state.attempts if state is not None else 0
 
 
 class Client(Process):
@@ -29,20 +293,31 @@ class Client(Process):
         scheme: CertificationScheme,
         directory: TransactionDirectory,
         history: History,
+        config_service: Optional[str] = None,
     ) -> None:
         super().__init__(pid)
         self.scheme = scheme
         self.directory = directory
         self.history = history
+        self.config_service = config_service
+        # True when the configuration service stores one system-wide record
+        # (the RDMA protocol): a single get_last then covers every shard.
+        self.global_config_service = False
+        self.router: Optional[CoordinatorRouter] = None
         self.outcomes: Dict[TxnId, Decision] = {}
         self.submit_times: Dict[TxnId, float] = {}
         self.decide_times: Dict[TxnId, float] = {}
         self.coordinator_of: Dict[TxnId, str] = {}
+        self.resubmissions = 0
+        self.duplicate_decisions = 0
         self._txn_counter = 0
+        self._cs_request_id = 0
+        self._cs_pending: Dict[int, ShardId] = {}
         # Completion callbacks, fired once per transaction when its decision
         # first reaches this client.  (History-wide waiting uses
         # History.add_decide_listener; these per-client hooks are for
-        # closed-loop drivers that react to their own completions.)
+        # closed-loop drivers and sessions that react to their own
+        # completions.)
         self._decision_callbacks: list = []
 
     # ------------------------------------------------------------------
@@ -63,6 +338,65 @@ class Client(Process):
         self.send(coordinator, CertifyRequest(txn=txn, payload=payload))
         return txn
 
+    def resubmit(
+        self, txn: TxnId, payload: Any, coordinator: str, request_id: int
+    ) -> None:
+        """Re-send an already-certified transaction to a (possibly different)
+        coordinator.  The history's certify event and the directory entry
+        exist from the first submission; only the request goes out again."""
+        self.coordinator_of[txn] = coordinator
+        self.resubmissions += 1
+        self.send(
+            coordinator,
+            CertifyRequest(txn=txn, payload=payload, request_id=request_id),
+        )
+
+    # ------------------------------------------------------------------
+    # configuration knowledge (session routing support)
+    # ------------------------------------------------------------------
+    def refresh_configurations(self, shards: Sequence[ShardId]) -> bool:
+        """Re-read the latest configuration of the given shards from the
+        configuration service; replies update the router asynchronously.
+        Returns False when no configuration service is wired (baseline)."""
+        if self.config_service is None:
+            return False
+        if self.global_config_service:
+            # One reply carries every shard's configuration.
+            shards = tuple(shards)[:1]
+        for shard in shards:
+            self._cs_request_id += 1
+            self._cs_pending[self._cs_request_id] = shard
+            self.send(
+                self.config_service,
+                CsGetLast(shard=shard, request_id=self._cs_request_id),
+            )
+        return True
+
+    def on_cs_reply(self, msg: CsReply, sender: str) -> None:
+        shard = self._cs_pending.pop(msg.request_id, None)
+        if not msg.ok or msg.config is None or self.router is None:
+            return
+        config = msg.config
+        if isinstance(config, GlobalConfiguration):
+            # The RDMA protocol's service stores one system-wide record.
+            for each_shard in sorted(config.members):
+                self.router.note_config_change(
+                    each_shard,
+                    config.epoch,
+                    config.members[each_shard],
+                    config.leaders[each_shard],
+                )
+        elif shard is not None:
+            self.router.note_config_change(
+                shard, config.epoch, config.members, config.leader
+            )
+
+    def on_config_change(self, msg: ConfigChange, sender: str) -> None:
+        """``CONFIG_CHANGE`` pushed by the configuration service (clients
+        subscribe when sessions are enabled)."""
+        if self.router is not None:
+            self.router.note_config_change(msg.shard, msg.epoch, msg.members, msg.leader)
+
     # ------------------------------------------------------------------
     # decisions
     # ------------------------------------------------------------------
@@ -81,6 +415,10 @@ class Client(Process):
             self.decide_times[msg.txn] = self.now
             for callback in self._decision_callbacks:
                 callback(msg.txn, msg.decision)
+        else:
+            # A re-answered duplicate (or a second coordinator reporting the
+            # same decision); the history has already deduplicated it.
+            self.duplicate_decisions += 1
 
     # ------------------------------------------------------------------
     # queries

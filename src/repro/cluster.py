@@ -23,8 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.analysis.metrics import collect_phase_samples
-from repro.client import Client
+from repro.analysis.metrics import RetryStats, collect_phase_samples, collect_retry_stats
+from repro.client import Client, ClientSession, CoordinatorRouter, RetryPolicy
 from repro.configservice.service import ConfigurationService, GlobalConfigurationService
 from repro.core.certification import CertificationScheme
 from repro.core.directory import TransactionDirectory
@@ -155,6 +155,7 @@ class Cluster:
         seed: int = 0,
         spares_per_shard: int = 2,
         membership_policy: Optional[MembershipPolicy] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         spec = protocol_spec(protocol)
         if num_shards < 1 or replicas_per_shard < 1 or num_clients < 1:
@@ -183,10 +184,12 @@ class Cluster:
         self.replicas_by_shard: Dict[ShardId, List[Any]] = {s: [] for s in self.shards}
         self.spare_pools: Dict[ShardId, SparePool] = {}
         self.clients: List[Client] = []
+        self.retry = retry or RetryPolicy()
 
         self._build_config_service()
         self._build_replicas(spares_per_shard)
         self._build_clients(num_clients)
+        self._build_sessions()
         self._round_robin = 0
         if spec.post_build is not None:
             spec.post_build(self)
@@ -263,9 +266,33 @@ class Cluster:
                 scheme=self.scheme,
                 directory=self.directory,
                 history=self.history,
+                config_service=self.config_service.pid,
             )
             self.network.register(client)
             self.clients.append(client)
+
+    def _build_sessions(self) -> None:
+        """One :class:`ClientSession` per client, sharing a router seeded
+        from the bootstrap configurations.  With retry enabled the clients
+        also subscribe to ``CONFIG_CHANGE`` pushes, so the router tracks
+        reconfigurations the way a real TCS client library would."""
+        self.router = CoordinatorRouter(
+            self.shards,
+            members={s: c.members for s, c in self.initial_configs.items()},
+            leaders={s: c.leader for s, c in self.initial_configs.items()},
+            epochs={s: c.epoch for s, c in self.initial_configs.items()},
+        )
+        self.sessions: List[ClientSession] = [
+            ClientSession(client, self.router, self.scheme, self.retry)
+            for client in self.clients
+        ]
+        for client in self.clients:
+            client.global_config_service = self.protocol_spec.global_config
+        if self.retry.enabled:
+            # One subscription feeds the shared router; subscribing every
+            # client would deliver each CONFIG_CHANGE num_clients times for
+            # the same note_config_change.
+            self.config_service.subscribe(self.clients[0].pid)
 
     # ------------------------------------------------------------------
     # topology queries
@@ -324,7 +351,18 @@ class Cluster:
         coordinator: Optional[str] = None,
         txn: Optional[TxnId] = None,
     ) -> TxnId:
-        """Submit a transaction for certification; returns its identifier."""
+        """Submit a transaction for certification; returns its identifier.
+
+        With a retry policy, submissions route through the client's session:
+        the session picks the coordinator from the client-side router (no
+        omniscient liveness peeking) and arms the timeout-driven
+        re-submission machinery.  Without one, the legacy direct path picks
+        a live coordinator and fires-and-forgets.
+        """
+        if self.retry.enabled:
+            return self.sessions[client_index].submit(
+                payload, coordinator=coordinator, txn=txn
+            )
         client = self.clients[client_index]
         coordinator = coordinator or self._pick_coordinator(payload)
         return client.submit(payload, coordinator=coordinator, txn=txn)
@@ -490,6 +528,11 @@ class Cluster:
             return 0.0
         aborts = sum(1 for d in decided.values() if d is Decision.ABORT)
         return aborts / len(decided)
+
+    def retry_stats(self) -> RetryStats:
+        """Aggregate session retry/failover/orphan counters plus the
+        duplicate requests deduplicated by the replicas."""
+        return collect_retry_stats(self.sessions, self.replicas.values())
 
     @property
     def message_stats(self):

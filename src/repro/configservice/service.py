@@ -20,7 +20,7 @@ argument.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.core.messages import (
     ConfigChange,
@@ -42,6 +42,15 @@ class ConfigurationService(Process):
         self._last: Dict[ShardId, int] = {}
         self.cas_attempts = 0
         self.cas_successes = 0
+        # Non-member processes (client sessions) that asked to be told about
+        # every new configuration, on top of the Figure 1 line 67 push to the
+        # members of the other shards.
+        self._subscribers: List[str] = []
+
+    def subscribe(self, pid: str) -> None:
+        """Push future ``CONFIG_CHANGE`` notifications to ``pid`` as well."""
+        if pid not in self._subscribers:
+            self._subscribers.append(pid)
 
     # ------------------------------------------------------------------
     # direct (bootstrap) interface
@@ -100,6 +109,8 @@ class ConfigurationService(Process):
             other_config = self._configs[other_shard][last_epoch]
             for member in other_config.members:
                 self.send(member, change)
+        for subscriber in self._subscribers:
+            self.send(subscriber, change)
 
 
 class GlobalConfigurationService(Process):
@@ -118,6 +129,14 @@ class GlobalConfigurationService(Process):
         self._last: Optional[int] = None
         self.cas_attempts = 0
         self.cas_successes = 0
+        self._subscribers: List[str] = []
+
+    def subscribe(self, pid: str) -> None:
+        """Push per-shard ``CONFIG_CHANGE`` digests of every new global
+        configuration to ``pid`` (client sessions; replicas learn about new
+        configurations through the RDMA protocol's own dissemination)."""
+        if pid not in self._subscribers:
+            self._subscribers.append(pid)
 
     def install_initial(self, config: GlobalConfiguration) -> None:
         self._configs[config.epoch] = config
@@ -157,3 +176,12 @@ class GlobalConfigurationService(Process):
         self._configs[new_config.epoch] = new_config
         self._last = new_config.epoch
         self.send(sender, CsReply(msg.request_id, ok=True, config=new_config))  # type: ignore[arg-type]
+        for shard in sorted(new_config.members):
+            change = ConfigChange(
+                shard=shard,
+                epoch=new_config.epoch,
+                members=new_config.members[shard],
+                leader=new_config.leaders[shard],
+            )
+            for subscriber in self._subscribers:
+                self.send(subscriber, change)

@@ -57,6 +57,20 @@ class VoteIndex(Generic[PayloadT]):
         raise NotImplementedError
 
 
+class _RetiredConflict:
+    """Sentinel returned by conflict indexes in place of a transaction that
+    has been retired (garbage-collected): the conflict is real, but the
+    partner's identity is no longer stored."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<retired>"
+
+
+RETIRED = _RetiredConflict()
+
+
 class ConflictIndex(Generic[PayloadT]):
     """Incremental pairwise-conflict queries for the online TCS checker.
 
@@ -80,8 +94,29 @@ class ConflictIndex(Generic[PayloadT]):
         ``successors`` are registered transactions the new one must precede
         (their payload aborts the new one); ``predecessors`` must precede the
         new one (its payload aborts theirs).
+
+        After :meth:`retire` calls, either list may contain the
+        :data:`RETIRED` sentinel instead of a transaction id: the new
+        payload conflicts with a retired transaction whose identity the
+        index no longer stores (the checker maps a RETIRED *successor* to an
+        immediate real-time violation; a RETIRED predecessor is consistent
+        by construction and ignored).
         """
         raise NotImplementedError
+
+    def retire(self, txn: TxnId, payload: PayloadT) -> bool:
+        """Forget ``txn``'s per-object entries, keeping only a compact
+        per-object horizon sufficient to still *flag* (not identify) future
+        conflicts against retired history via :data:`RETIRED`.
+
+        The caller supplies the payload it registered (so indexes need not
+        duplicate payload storage for runs that never retire).  Returns True
+        when the index dropped the transaction (memory freed, future
+        conflicts flagged with the sentinel); False when the index cannot
+        retire entries — the caller must then track retired transaction ids
+        itself.
+        """
+        return False
 
 
 class PairwiseConflictIndex(ConflictIndex[PayloadT]):

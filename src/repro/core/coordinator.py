@@ -46,11 +46,43 @@ class CoordinatorEntry:
     decided_at: Optional[float] = None
 
 
+def deduplicate_certify_request(replica, msg: CertifyRequest, sender: str) -> bool:
+    """Shared duplicate-``CERTIFY`` handling for every coordinator-capable
+    replica (message-passing and RDMA variants alike).
+
+    Client sessions re-submit on timeout, so a request may be a duplicate:
+    a decided transaction is re-answered from the decision cache (the
+    coordinator entry, or the replica's own certification order) rather
+    than re-certified — duplicates must never produce a second, possibly
+    different, decision.  Returns True when the request was answered here;
+    False when the caller should (re-)certify — an in-flight duplicate is
+    counted but re-driven, which is idempotent at the leaders (they
+    re-answer the stored vote for a known transaction).
+    """
+    entry = replica._coordinated.get(msg.txn)
+    if entry is not None and entry.decided:
+        replica.duplicate_certify_requests += 1
+        replica.send(sender, TxnDecision(txn=msg.txn, decision=entry.decision))
+        return True
+    slot = replica.slot_of.get(msg.txn)
+    if entry is None and slot is not None and slot in replica.dec_arr:
+        # Not coordinated here, but this replica's shard has already
+        # persisted the decision: answer from the local decision cache.
+        replica.duplicate_certify_requests += 1
+        replica.send(sender, TxnDecision(txn=msg.txn, decision=replica.dec_arr[slot]))
+        return True
+    if entry is not None:
+        replica.duplicate_certify_requests += 1
+    return False
+
+
 class CoordinatorMixin:
     """Coordinator-side message handlers; mixed into ``ShardReplica``."""
 
     def _init_coordinator(self) -> None:
         self._coordinated: Dict[TxnId, CoordinatorEntry] = {}
+        # Duplicate CERTIFY requests deduplicated (client-session retries).
+        self.duplicate_certify_requests = 0
 
     # ------------------------------------------------------------------
     # public API (Figure 1, lines 1-3 and 70-73)
@@ -93,7 +125,10 @@ class CoordinatorMixin:
     # message handlers
     # ------------------------------------------------------------------
     def on_certify_request(self, msg: CertifyRequest, sender: str) -> None:
-        """A client picked this replica as the transaction's coordinator."""
+        """A client picked this replica as the transaction's coordinator;
+        duplicates are answered by :func:`deduplicate_certify_request`."""
+        if deduplicate_certify_request(self, msg, sender):
+            return
         self.certify(msg.txn, msg.payload)
 
     def on_prepare_ack(self, msg: PrepareAck, sender: str) -> None:

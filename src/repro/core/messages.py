@@ -21,10 +21,20 @@ from repro.core.types import Configuration, Decision, Phase, ShardId, TxnId
 @dataclass(frozen=True)
 class CertifyRequest:
     """Client request: ``certify(t, l)`` submitted to a replica that will act
-    as the transaction's coordinator (Figure 1, line 1)."""
+    as the transaction's coordinator (Figure 1, line 1).
+
+    ``request_id`` is the client session's attempt number for this
+    transaction (1 for the first submission, 2+ for timeout-driven
+    re-submissions).  The transaction id alone is the deduplication key —
+    a coordinator that already knows the transaction re-answers from its
+    decision cache instead of re-certifying, regardless of the attempt —
+    so handlers do not need the attempt number for correctness; it is
+    carried for tracing, the way production RPC layers tag retries.
+    """
 
     txn: TxnId
     payload: Any
+    request_id: int = 1
 
 
 @dataclass(frozen=True)

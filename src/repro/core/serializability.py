@@ -20,7 +20,7 @@ from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.core.certification import CertificationScheme, ConflictIndex, VoteIndex
+from repro.core.certification import RETIRED, CertificationScheme, ConflictIndex, VoteIndex
 from repro.core.types import Decision, ShardId, TxnId
 
 
@@ -343,6 +343,22 @@ class _VersionedTxnLists:
             return []
         return self._txns[obj][bisect_right(versions, version) :]
 
+    def remove(self, obj: ObjectId, version: Version, txn: TxnId) -> None:
+        """Drop one ``(version, txn)`` entry (bisect to the version run, then
+        scan it for the transaction; runs are short in practice)."""
+        versions = self._versions.get(obj)
+        if not versions:
+            return
+        txns = self._txns[obj]
+        for at in range(bisect_left(versions, version), bisect_right(versions, version)):
+            if txns[at] == txn:
+                del versions[at]
+                del txns[at]
+                break
+        if not versions:
+            del self._versions[obj]
+            del self._txns[obj]
+
 
 class _SerializabilityConflictIndex(ConflictIndex[TransactionPayload]):
     """Conflict edges for the serializability ``f`` of equation (2).
@@ -356,11 +372,18 @@ class _SerializabilityConflictIndex(ConflictIndex[TransactionPayload]):
     def __init__(self) -> None:
         self._writers = _VersionedTxnLists()  # commit version of each write
         self._readers = _VersionedTxnLists()  # version at which each read saw the object
+        # Highest retired write version per object: enough to *flag* a new
+        # payload that read below a garbage-collected write (a conflict with
+        # retired history) without keeping the writer's identity around.
+        self._retired_writes: Dict[ObjectId, Version] = {}
 
     def register(self, txn, payload):
         successors: List[TxnId] = []
         predecessors: List[TxnId] = []
         for obj, version in payload.read_set:
+            horizon = self._retired_writes.get(obj)
+            if horizon is not None and horizon > version:
+                successors.append(RETIRED)
             successors.extend(self._writers.above(obj, version))
         for obj, _ in payload.write_set:
             predecessors.extend(self._readers.below(obj, payload.commit_version))
@@ -369,6 +392,21 @@ class _SerializabilityConflictIndex(ConflictIndex[TransactionPayload]):
         for obj, _ in payload.write_set:
             self._writers.add(obj, payload.commit_version, txn)
         return successors, predecessors
+
+    def retire(self, txn, payload):
+        if payload is None:
+            # Without the payload the entries cannot be removed; make the
+            # caller track the retired id instead of leaving stale entries
+            # that could be reported for a transaction no longer in the DAG.
+            return False
+        for obj, version in payload.read_set:
+            self._readers.remove(obj, version, txn)
+        for obj, _ in payload.write_set:
+            self._writers.remove(obj, payload.commit_version, txn)
+            horizon = self._retired_writes.get(obj)
+            if horizon is None or payload.commit_version > horizon:
+                self._retired_writes[obj] = payload.commit_version
+        return True
 
 
 class _SnapshotIsolationConflictIndex(ConflictIndex[TransactionPayload]):
@@ -382,6 +420,7 @@ class _SnapshotIsolationConflictIndex(ConflictIndex[TransactionPayload]):
     def __init__(self) -> None:
         self._writers = _VersionedTxnLists()  # commit version of each write
         self._writer_reads = _VersionedTxnLists()  # read version of each written object
+        self._retired_writes: Dict[ObjectId, Version] = {}
 
     def register(self, txn, payload):
         successors: List[TxnId] = []
@@ -389,6 +428,9 @@ class _SnapshotIsolationConflictIndex(ConflictIndex[TransactionPayload]):
         for obj, _ in payload.write_set:
             version = payload.read_version(obj)
             if version is not None:
+                horizon = self._retired_writes.get(obj)
+                if horizon is not None and horizon > version:
+                    successors.append(RETIRED)
                 successors.extend(self._writers.above(obj, version))
             predecessors.extend(self._writer_reads.below(obj, payload.commit_version))
         for obj, _ in payload.write_set:
@@ -397,6 +439,19 @@ class _SnapshotIsolationConflictIndex(ConflictIndex[TransactionPayload]):
             if version is not None:
                 self._writer_reads.add(obj, version, txn)
         return successors, predecessors
+
+    def retire(self, txn, payload):
+        if payload is None:
+            return False
+        for obj, _ in payload.write_set:
+            self._writers.remove(obj, payload.commit_version, txn)
+            version = payload.read_version(obj)
+            if version is not None:
+                self._writer_reads.remove(obj, version, txn)
+            horizon = self._retired_writes.get(obj)
+            if horizon is None or payload.commit_version > horizon:
+                self._retired_writes[obj] = payload.commit_version
+        return True
 
 
 class SerializabilityScheme(_ReadWriteScheme):

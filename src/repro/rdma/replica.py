@@ -43,6 +43,7 @@ from repro.core.messages import (
     ProbeAck,
     TxnDecision,
 )
+from repro.core.coordinator import deduplicate_certify_request
 from repro.core.reconfig import MembershipPolicy, SparePool
 from repro.core.votecache import LeaderVoteCache
 from repro.core.types import (
@@ -156,6 +157,7 @@ class RdmaShardReplica(Process):
         self.reconfigurations_introduced = 0
 
         self._coordinated: Dict[TxnId, RdmaCoordinatorEntry] = {}
+        self.duplicate_certify_requests = 0
         self._cs_request_id = 0
         self._cs_callbacks: Dict[int, Callable[[CsReply], None]] = {}
         self.decision_listeners: List[Callable[[int, Optional[TxnId], Decision], None]] = []
@@ -245,6 +247,8 @@ class RdmaShardReplica(Process):
         return self.certify(self.txn_arr[slot], BOTTOM)
 
     def on_certify_request(self, msg: CertifyRequest, sender: str) -> None:
+        if deduplicate_certify_request(self, msg, sender):
+            return
         self.certify(msg.txn, msg.payload)
 
     # ------------------------------------------------------------------

@@ -29,6 +29,7 @@ from repro.scenarios.spec import (
     WORKLOAD_KINDS,
     FaultStep,
     LatencySpec,
+    RetrySpec,
     ScenarioError,
     ScenarioSpec,
     WorkloadSpec,
@@ -62,6 +63,7 @@ __all__ = [
     "FaultStep",
     "LatencySpec",
     "LatencySweepResult",
+    "RetrySpec",
     "ScenarioError",
     "ScenarioSpec",
     "WorkloadSpec",

@@ -18,7 +18,13 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
-from repro.scenarios.spec import FaultStep, LatencySpec, ScenarioSpec, WorkloadSpec
+from repro.scenarios.spec import (
+    FaultStep,
+    LatencySpec,
+    RetrySpec,
+    ScenarioSpec,
+    WorkloadSpec,
+)
 
 
 SCENARIOS: Dict[str, ScenarioSpec] = {}
@@ -278,14 +284,16 @@ register_scenario(
         "reconfiguration and coordinator recovery pay cross-region delays, "
         "so the stall is far longer than in the unit-latency variant.  A "
         "certify request still in flight to the crashed coordinator (a "
-        "multi-delay window here, unlike under unit latency) is lost until "
-        "the client re-submits, which is out of the paper's scope: a few "
-        "undecided transactions are expected.",
+        "multi-delay window here, unlike under unit latency) would be lost "
+        "by a fire-and-forget client; the session layer re-submits it to a "
+        "different coordinator after the timeout, so the run must finish "
+        "with zero undecided transactions.",
         protocol="message-passing",
         num_shards=2,
         replicas_per_shard=3,
         latency=WAN_THREE_REGIONS,
         workload=WorkloadSpec(kind="uniform", txns=100, batch=8, num_keys=128),
+        retry=RetrySpec(timeout=80.0, backoff=2.0, max_attempts=4),
         faults=(
             FaultStep(at=120.5, action="crash-leader", shard="shard-0"),
             FaultStep(at=125.5, action="reconfigure", shard="shard-0"),
@@ -307,6 +315,80 @@ register_scenario(
         replicas_per_shard=2,
         latency=LatencySpec(model="lognormal", mean=2.0, sigma=1.2),
         workload=WorkloadSpec(kind="uniform", txns=150, batch=10, num_keys=192),
+    )
+)
+
+# ----------------------------------------------------------------------
+# the resilience pack: client sessions with timeout-driven re-submission,
+# coordinator failover and duplicate-safe certification.
+# ----------------------------------------------------------------------
+
+register_scenario(
+    ScenarioSpec(
+        name="coordinator-crash-storm",
+        description="Coordinators die in waves: two followers (the default "
+        "coordinator picks for the other shard's transactions) and then a "
+        "leader crash in sequence, each followed by a reconfiguration.  "
+        "Client sessions time out, fail over to untried coordinators and "
+        "re-drive everything: the run must finish with zero undecided "
+        "transactions.",
+        protocol="message-passing",
+        num_shards=2,
+        replicas_per_shard=3,
+        workload=WorkloadSpec(kind="uniform", txns=120, batch=8, num_keys=128),
+        retry=RetrySpec(timeout=30.0, backoff=1.5, max_attempts=6),
+        faults=(
+            FaultStep(at=20.5, action="crash-follower", shard="shard-0"),
+            FaultStep(at=22.5, action="reconfigure", shard="shard-0"),
+            FaultStep(at=40.5, action="crash-follower", shard="shard-1"),
+            FaultStep(at=42.5, action="reconfigure", shard="shard-1"),
+            FaultStep(at=60.5, action="crash-leader", shard="shard-0"),
+            FaultStep(at=62.5, action="reconfigure", shard="shard-0"),
+            FaultStep(at=120.5, action="retry-stalled"),
+            FaultStep(at=180.5, action="retry-stalled"),
+            FaultStep(at=240.5, action="retry-stalled"),
+        ),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="failover-under-wan-tail",
+        description="Coordinator failover across the 3-region WAN: a "
+        "follower (serving as coordinator) and a shard leader crash while "
+        "every retry pays cross-region delays and jitter.  Sessions must "
+        "route around both crashes without orphaning a single transaction.",
+        protocol="message-passing",
+        num_shards=2,
+        replicas_per_shard=3,
+        latency=WAN_THREE_REGIONS,
+        workload=WorkloadSpec(kind="uniform", txns=100, batch=8, num_keys=128),
+        retry=RetrySpec(timeout=100.0, backoff=2.0, max_attempts=4),
+        faults=(
+            FaultStep(at=100.5, action="crash-follower", shard="shard-1"),
+            FaultStep(at=105.5, action="reconfigure", shard="shard-1"),
+            FaultStep(at=160.5, action="crash-leader", shard="shard-0"),
+            FaultStep(at=165.5, action="reconfigure", shard="shard-0"),
+            FaultStep(at=400.5, action="retry-stalled"),
+            FaultStep(at=650.5, action="retry-stalled"),
+        ),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="duplicate-delivery-fuzz",
+        description="Duplicate-delivery fuzz: the session timeout (3 delays) "
+        "sits below the ~6-delay commit path, so nearly every transaction is "
+        "re-submitted — often several times, to several coordinators — while "
+        "the original request is still in flight.  Dedup at the coordinators "
+        "must re-answer from decision caches: the online checker verifies "
+        "decision uniqueness and serializability under the duplicate storm.",
+        protocol="message-passing",
+        num_shards=2,
+        replicas_per_shard=2,
+        workload=WorkloadSpec(kind="uniform", txns=100, batch=10, num_keys=128),
+        retry=RetrySpec(timeout=3.0, backoff=1.0, max_attempts=8),
     )
 )
 

@@ -28,6 +28,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.analysis.metrics import (
     LatencySummary,
     PhaseBreakdown,
+    RetryStats,
     format_table,
     phase_breakdown,
     summarize,
@@ -80,6 +81,11 @@ class ScenarioResult:
     check_mode: str = "online"
     check_reason: str = ""  # why the checker failed ("" when it passed)
     latency_model: str = "unit"  # LatencySpec.describe() of the network model
+    retry_model: str = "off"  # RetrySpec.describe() of the session policy
+    retries: int = 0  # client-session re-submissions
+    failovers: int = 0  # re-submissions that switched coordinator
+    orphaned: int = 0  # transactions abandoned after max_attempts
+    duplicate_requests: int = 0  # duplicate CERTIFYs deduplicated by coordinators
     phases: Optional[PhaseBreakdown] = None  # submit/certify/decide split
     faults_executed: List[str] = field(default_factory=list)
     wall_seconds: float = 0.0
@@ -113,6 +119,11 @@ class ScenarioResult:
             "messages_delivered": self.messages_delivered,
             "latency": self.latency.as_dict() if self.latency else None,
             "latency_model": self.latency_model,
+            "retry_model": self.retry_model,
+            "retries": self.retries,
+            "failovers": self.failovers,
+            "orphaned": self.orphaned,
+            "duplicate_requests": self.duplicate_requests,
             "phases": self.phases.as_dict() if self.phases else None,
             "check_ok": self.check_ok,
             "check_mode": self.check_mode,
@@ -138,6 +149,13 @@ class ScenarioResult:
         ]
         if self.latency_model != "unit":
             rows.append(("latency model", self.latency_model))
+        if self.retry_model != "off":
+            rows.append(("retry policy", self.retry_model))
+            rows.append(
+                ("client retries",
+                 f"{self.retries} retries / {self.failovers} failovers / "
+                 f"{self.orphaned} orphaned / {self.duplicate_requests} dups deduped"),
+            )
         if self.latency is not None:
             rows.append(
                 ("client latency", f"mean {self.latency.mean:.2f} / p99 {self.latency.p99:.2f} delays")
@@ -186,6 +204,7 @@ class ScenarioRunner:
             return self.cluster
         spec = self.spec
         latency = compile_latency_model(spec.latency)
+        retry = spec.retry.compile()
         if spec.protocol == PROTOCOL_BASELINE:
             self.cluster = BaselineCluster(
                 num_shards=spec.num_shards,
@@ -193,6 +212,7 @@ class ScenarioRunner:
                 num_clients=spec.num_clients,
                 latency=latency,
                 seed=spec.seed,
+                retry=retry,
             )
         else:
             self.cluster = Cluster(
@@ -204,9 +224,12 @@ class ScenarioRunner:
                 latency=latency,
                 seed=spec.seed,
                 spares_per_shard=spec.spares_per_shard,
+                retry=retry,
             )
         if spec.check_mode == "online":
-            self.checker = IncrementalTCSChecker(self.cluster.scheme, self.cluster.history)
+            self.checker = IncrementalTCSChecker(
+                self.cluster.scheme, self.cluster.history, gc=spec.check_gc
+            )
             if spec.check_invariants and spec.protocol != PROTOCOL_BASELINE:
                 self.monitor = InvariantMonitor(self.cluster.history)
         for step in spec.fault_schedule:
@@ -419,6 +442,7 @@ class ScenarioRunner:
         latencies = cluster.client_latencies()
         check_ok, check_reason, violations = self._verdict()
         stats = cluster.message_stats
+        retry_stats: RetryStats = cluster.retry_stats()
         return ScenarioResult(
             scenario=spec.name,
             protocol=spec.protocol,
@@ -435,6 +459,11 @@ class ScenarioRunner:
             messages_delivered=stats.total_delivered,
             latency=summarize(latencies) if latencies else None,
             latency_model=spec.latency.describe(),
+            retry_model=spec.retry.describe(),
+            retries=retry_stats.retries,
+            failovers=retry_stats.failovers,
+            orphaned=retry_stats.orphaned,
+            duplicate_requests=retry_stats.duplicate_requests,
             phases=phase_breakdown(cluster.phase_samples()),
             check_ok=check_ok,
             invariant_violations=len(violations),

@@ -222,6 +222,58 @@ class LatencySpec:
 
 
 @dataclass(frozen=True)
+class RetrySpec:
+    """Client-session re-submission policy (declarative form of
+    :class:`repro.client.RetryPolicy`).
+
+    With ``timeout > 0`` every client drives its transactions through a
+    session: a transaction still undecided ``timeout`` message delays after
+    submission is re-submitted — failing over to a coordinator not yet tried
+    and refreshing the client's configuration view from the configuration
+    service — with the wait multiplied by ``backoff`` per attempt, up to
+    ``max_attempts`` total submissions (then the transaction counts as
+    *orphaned*).  Re-submissions reuse the transaction id; coordinators
+    deduplicate and re-answer decided transactions from their decision
+    caches, so duplicates can never yield two different decisions.
+
+    ``timeout = 0`` (the default) keeps the paper's fire-and-forget client.
+    """
+
+    timeout: float = 0.0
+    backoff: float = 2.0
+    max_attempts: int = 4
+
+    def compile(self):
+        """The :class:`repro.client.RetryPolicy` this spec describes (the
+        single home of the field bounds — validation delegates here)."""
+        from repro.client import RetryPolicy  # late: keep spec modules dependency-light
+
+        return RetryPolicy(
+            timeout=self.timeout,
+            backoff=self.backoff,
+            max_attempts=self.max_attempts,
+        )
+
+    def validate(self) -> None:
+        try:
+            self.compile()
+        except ValueError as error:
+            raise ScenarioError(str(error)) from None
+
+    @property
+    def enabled(self) -> bool:
+        return self.timeout > 0
+
+    def describe(self) -> str:
+        if not self.enabled:
+            return "off"
+        return (
+            f"timeout={self.timeout:g},backoff={self.backoff:g},"
+            f"max_attempts={self.max_attempts}"
+        )
+
+
+@dataclass(frozen=True)
 class WorkloadSpec:
     """What the clients do.
 
@@ -304,6 +356,9 @@ class ScenarioSpec:
     # Which delay distribution the network applies; the default is the
     # paper's unit model (the unit its latency claims are stated in).
     latency: LatencySpec = field(default_factory=LatencySpec)
+    # Client-session resilience: timeout-driven re-submission with
+    # coordinator failover (off by default — the paper's client model).
+    retry: RetrySpec = field(default_factory=RetrySpec)
     faults: Tuple[FaultStep, ...] = ()
     max_events: int = 5_000_000
     # How the recorded history is validated: "online" (default) attaches the
@@ -313,6 +368,11 @@ class ScenarioSpec:
     # history validation (contradiction detection stays on — it is O(1)).
     check_mode: str = "online"
     check_invariants: bool = True
+    # Online-checker garbage collection: prune the linearization graph and
+    # conflict indexes behind the decided frontier so memory stays bounded
+    # on streaming (unbounded) workloads.  Only meaningful with
+    # check_mode="online".
+    check_gc: bool = False
     # Correct protocols must produce a safe history; ablation scenarios
     # document the expected violation by setting this to False.
     expect_safe: bool = True
@@ -339,6 +399,7 @@ class ScenarioSpec:
             )
         self.workload.validate()
         self.latency.validate()
+        self.retry.validate()
         for step in self.faults:
             step.validate()
         if self.protocol == PROTOCOL_BASELINE:

@@ -45,7 +45,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Set, Tuple
 
-from repro.core.certification import CertificationScheme, PairwiseConflictIndex
+from repro.core.certification import RETIRED, CertificationScheme, PairwiseConflictIndex
 from repro.core.types import Decision, TxnId
 from repro.spec.checker import CheckResult
 from repro.spec.history import History, HistorySubscription
@@ -80,11 +80,29 @@ class _OnlineDag:
         self.out: Dict[Any, Set[Any]] = {}
         self.inc: Dict[Any, Set[Any]] = {}
         self.edge_count = 0
+        # Monotonic rank source: len(rank) would recycle ranks after node
+        # removal and break the total order.
+        self._next_rank = 0
 
     def add_node(self, node: Any) -> None:
-        self.rank[node] = len(self.rank)
+        self.rank[node] = self._next_rank
+        self._next_rank += 1
         self.out[node] = set()
         self.inc[node] = set()
+
+    def remove_nodes(self, nodes: List[Any]) -> None:
+        """Remove a *rank-prefix* of the DAG (every edge goes from lower to
+        higher rank, so in-edges of the removed set originate inside it and
+        need no fix-up; only out-edges into survivors are unlinked)."""
+        doomed = set(nodes)
+        for node in nodes:
+            for successor in self.out[node]:
+                if successor not in doomed:
+                    self.inc[successor].discard(node)
+            self.edge_count -= len(self.out[node])
+            del self.rank[node]
+            del self.out[node]
+            del self.inc[node]
 
     def add_edge(self, u: Any, v: Any) -> Optional[List[Any]]:
         """Insert ``u -> v``; return a cycle path ``[v, .., u]`` or None."""
@@ -160,7 +178,15 @@ class IncrementalTCSChecker:
     it.
     """
 
-    def __init__(self, scheme: CertificationScheme, history: Optional[History] = None) -> None:
+    def __init__(
+        self,
+        scheme: CertificationScheme,
+        history: Optional[History] = None,
+        gc: bool = False,
+        gc_interval: int = 256,
+    ) -> None:
+        if gc_interval < 1:
+            raise ValueError("gc_interval must be >= 1")
         self.scheme = scheme
         self._conflicts = scheme.make_conflict_index() or PairwiseConflictIndex(scheme)
         self._dag = _OnlineDag()
@@ -168,6 +194,19 @@ class IncrementalTCSChecker:
         self._payloads: Dict[TxnId, Any] = {}
         self._frontier: Optional[_Frontier] = None
         self._frontiers = 0
+        # Streaming-run garbage collection (see `collect`).
+        self._gc_enabled = gc
+        self._gc_interval = gc_interval
+        self._since_gc = 0
+        self._decision_frontier: Dict[TxnId, int] = {}
+        # Committed payloads retained for eventual ConflictIndex.retire
+        # calls (populated only when gc is enabled, so non-GC runs do not
+        # duplicate payload storage).
+        self._gc_payloads: Dict[TxnId, Any] = {}
+        self._retired_fallback: Optional[Set[TxnId]] = None
+        self.txns_pruned = 0
+        self.frontiers_pruned = 0
+        self.watermark = -1  # last collection's prune horizon (frontier index)
         self.violation: Optional[CheckResult] = None
         self.violation_at_event: Optional[int] = None
         self.events_processed = 0
@@ -246,11 +285,22 @@ class IncrementalTCSChecker:
         if birth is not None and dag.add_edge(birth, txn) is not None:
             raise AssertionError("frontier edges cannot close a cycle")  # pragma: no cover
         successors, predecessors = self._conflicts.register(txn, payload)
+        retired = self._retired_fallback
         for other in predecessors:
+            if other is RETIRED or (retired is not None and other in retired):
+                # A retired transaction must precede this one — consistent by
+                # construction: retirement requires it decided before this
+                # transaction was certified.
+                continue
             cycle = dag.add_edge(other, txn)
             if cycle is not None:
                 return self._fail_cycle(cycle)
         for other in successors:
+            if other is RETIRED or (retired is not None and other in retired):
+                # This transaction must precede a retired one, yet every
+                # retired transaction decided before this one was certified:
+                # an immediate conflict/real-time cycle.
+                return self._fail_retired(txn)
             cycle = dag.add_edge(txn, other)
             if cycle is not None:
                 return self._fail_cycle(cycle)
@@ -263,6 +313,12 @@ class IncrementalTCSChecker:
             dag.add_edge(self._frontier, frontier)
         dag.add_edge(txn, frontier)
         self._frontier = frontier
+        if self._gc_enabled:
+            self._decision_frontier[txn] = frontier.index
+            self._gc_payloads[txn] = payload
+            self._since_gc += 1
+            if self._since_gc >= self._gc_interval:
+                self.collect()
 
     def observe_contradiction(self, txn: TxnId, first: Decision, second: Decision) -> None:
         """A contradictory decide: no linearization can contain both
@@ -288,6 +344,96 @@ class IncrementalTCSChecker:
             cycle=[node for node in cycle if not isinstance(node, _Frontier)],
         )
 
+    def _fail_retired(self, txn: TxnId) -> None:
+        self.violation_at_event = self.events_processed - 1
+        self.violation = CheckResult(
+            ok=False,
+            reason=(
+                "no legal linearization: conflict/real-time cycle "
+                "(certification orders the transaction before garbage-collected "
+                "history that decided before it was certified)"
+            ),
+            cycle=[txn],
+        )
+
+    # ------------------------------------------------------------------
+    # streaming-run garbage collection
+    # ------------------------------------------------------------------
+    def collect(self) -> int:
+        """Prune graph state that can no longer participate in a violation;
+        returns the number of nodes removed.
+
+        A committed transaction ``X`` is *retirable* once every transaction
+        certified before ``decide(X)`` has been decided: from then on, every
+        transaction the checker will ever see was certified after
+        ``decide(X)`` and is therefore a real-time successor of ``X``.  A
+        future conflict edge *from* ``X`` adds nothing a cycle could use
+        without also entering the retired region, and a future conflict edge
+        *into* ``X`` ("new transaction must precede X") is by itself a
+        conflict/real-time cycle — which the conflict indexes keep flagging
+        after retirement via a compact per-object horizon (:data:`RETIRED`).
+
+        Concretely: the *watermark* is the lowest birth-frontier index of
+        any still-undecided transaction; transactions whose decision
+        frontier is at or below it, and frontier nodes below it, may go.
+        Because the Pearce–Kelly order directs every edge from lower to
+        higher rank, pruning the maximal *rank prefix* of retirable nodes
+        removes a region with no incoming edges — survivors need no rank or
+        edge fix-up, and the invariants of the incremental cycle detection
+        are untouched.
+
+        Consequence of exactness: a transaction that is certified but
+        *never* decided (an orphaned client submission, a request lost with
+        its coordinator and never re-driven) pins the watermark at its
+        certify point forever — everything committed since then must be
+        retained, because the stuck transaction could still legally decide
+        against it.  Collection silently degrades to retention from that
+        point on; watch ``stats["watermark"]`` against
+        ``stats["undecided"]`` (and keep sessions configured so nothing
+        orphans) on truly unbounded runs.
+        """
+        self._since_gc = 0
+        if self._frontier is None or self.violation is not None:
+            return 0
+        watermark = self._frontiers
+        for frontier in self._birth.values():
+            index = -1 if frontier is None else frontier.index
+            if index < watermark:
+                watermark = index
+        self.watermark = watermark
+        if watermark < 0:
+            return 0
+        dag = self._dag
+        cut: Optional[int] = None
+        for node, rank in dag.rank.items():
+            if isinstance(node, _Frontier):
+                keep = node is self._frontier or node.index >= watermark
+            else:
+                keep = self._decision_frontier.get(node, watermark + 1) > watermark
+            if keep and (cut is None or rank < cut):
+                cut = rank
+        if cut is None:  # pragma: no cover - the current frontier is always kept
+            return 0
+        pruned = [node for node, rank in dag.rank.items() if rank < cut]
+        if not pruned:
+            return 0
+        for node in pruned:
+            if isinstance(node, _Frontier):
+                self.frontiers_pruned += 1
+                continue
+            self.txns_pruned += 1
+            self._decision_frontier.pop(node, None)
+            if not self._conflicts.retire(node, self._gc_payloads.pop(node, None)):
+                # Index without retirement support (e.g. the pairwise
+                # fallback): remember retired ids so conflicts against them
+                # are still flagged.  Memory then grows with the retired id
+                # set — bounded memory needs a scheme conflict index.
+                if self._retired_fallback is None:
+                    self._retired_fallback = set()
+                self._retired_fallback.add(node)
+        dag.remove_nodes(pruned)
+        return len(pruned)
+
     # ------------------------------------------------------------------
     # verdicts
     # ------------------------------------------------------------------
@@ -297,7 +443,9 @@ class IncrementalTCSChecker:
 
     def linearization(self) -> List[TxnId]:
         """The committed transactions in the maintained topological order
-        (a legal linearization whenever :attr:`ok` holds)."""
+        (a legal linearization whenever :attr:`ok` holds; with garbage
+        collection enabled, the suffix of one — pruned transactions precede
+        every survivor)."""
         rank = self._dag.rank
         return sorted(
             (node for node in rank if not isinstance(node, _Frontier)),
@@ -316,4 +464,12 @@ class IncrementalTCSChecker:
             "events_processed": self.events_processed,
             "nodes": len(self._dag.rank),
             "edges": self._dag.edge_count,
+            "txns_pruned": self.txns_pruned,
+            "frontiers_pruned": self.frontiers_pruned,
+            # GC health: the prune horizon of the last collection and the
+            # certified-but-undecided count.  A watermark that stops
+            # advancing while undecided stays > 0 means a stuck transaction
+            # is pinning memory (see `collect`).
+            "watermark": self.watermark,
+            "undecided": len(self._birth),
         }

@@ -338,3 +338,159 @@ def test_invariant_monitor_reports_contradiction():
     assert "Inv. 4b" in monitor.violations[0].invariant
     violations = check_invariants({}, monitor=monitor)
     assert monitor.violations[0] in violations
+
+
+# ----------------------------------------------------------------------
+# streaming-run garbage collection
+# ----------------------------------------------------------------------
+def test_gc_bounds_memory_on_streaming_run(scheme):
+    """The regression test for unbounded workloads: 100k transactions in a
+    closed-loop-style stream (a small in-flight window, everything decided)
+    must leave the garbage-collected checker with a bounded graph, while the
+    un-collected baseline retains every node."""
+    checker = IncrementalTCSChecker(scheme, gc=True, gc_interval=128)
+    txns = 100_000
+    keys = 64
+    window = 8
+    versions = {f"k{i}": (0, "") for i in range(keys)}
+    pending = []
+    for i in range(txns):
+        key = f"k{i % keys}"
+        txn = f"t{i}"
+        read_version = versions[key]
+        p = TransactionPayload.make(
+            reads=[(key, read_version)], writes=[(key, i)], tiebreak=txn
+        )
+        checker.observe_certify(txn, p)
+        pending.append((txn, p, key))
+        if len(pending) >= window:
+            done, done_payload, done_key = pending.pop(0)
+            checker.observe_decide(done, Decision.COMMIT)
+            if done_payload.commit_version > versions[done_key]:
+                versions[done_key] = done_payload.commit_version
+    for txn, _, _ in pending:
+        checker.observe_decide(txn, Decision.COMMIT)
+    assert checker.ok, checker.result().reason
+    stats = checker.stats
+    assert stats["events_processed"] == 2 * txns
+    # Without GC the graph holds ~2 nodes per transaction (txn + frontier);
+    # with it, only the recent window plus the GC interval's worth survives.
+    assert stats["txns_pruned"] > 0.95 * txns
+    assert stats["nodes"] < 2_000
+    assert stats["edges"] < 10_000
+    # The witness shrinks with the graph: only live transactions remain.
+    assert len(checker.linearization()) < 2_000
+
+
+def test_gc_prunes_nothing_while_everything_is_concurrent(scheme):
+    checker = IncrementalTCSChecker(scheme, gc=True, gc_interval=10_000)
+    p1 = payload(reads=[("a", (0, ""))], writes=[("a", 1)], tiebreak="t1")
+    p2 = payload(reads=[("b", (0, ""))], writes=[("b", 1)], tiebreak="t2")
+    checker.observe_certify("t1", p1)
+    checker.observe_certify("t2", p2)  # concurrent with t1, stays undecided
+    checker.observe_decide("t1", Decision.COMMIT)
+    assert checker.collect() == 0  # t2 was certified before decide(t1)
+    assert checker.txns_pruned == 0
+    checker.observe_decide("t2", Decision.COMMIT)
+    checker.observe_certify("t3", payload(reads=[("c", (0, ""))], tiebreak="t3"))
+    # t3 was certified after both decisions: both become collectable.
+    assert checker.collect() > 0
+    assert checker.txns_pruned == 2
+    assert checker.ok
+
+
+def test_gc_flags_conflict_with_retired_history(scheme):
+    """A committed transaction that certification orders *before* retired
+    history is an immediate real-time violation — the per-object horizon
+    must keep flagging it after the writer's identity is gone."""
+    stale = payload(reads=[("x", (0, ""))], writes=[("x", 0)], tiebreak="stale")
+    fresh = payload(reads=[("x", (0, ""))], writes=[("x", 1)], tiebreak="fresh")
+
+    def drive(checker):
+        checker.observe_certify("t1", fresh)
+        checker.observe_decide("t1", Decision.COMMIT)
+        # t2 is certified strictly after decide(t1)...
+        checker.observe_certify("t2", stale)
+        collected = checker.collect()
+        # ... but read the version t1 overwrote: committing it orders it
+        # before t1 in the conflict graph — a conflict/real-time cycle.
+        checker.observe_decide("t2", Decision.COMMIT)
+        return collected
+
+    plain = IncrementalTCSChecker(scheme)
+    drive(plain)
+    collected = IncrementalTCSChecker(scheme, gc=True, gc_interval=10_000)
+    pruned = drive(collected)
+    assert pruned > 0 and collected.txns_pruned == 1  # t1 really was retired
+    assert not plain.ok and not collected.ok
+    assert "garbage-collected" in collected.result().reason
+    assert collected.result().cycle == ["t2"]
+
+
+@pytest.mark.parametrize(
+    "scheme_factory",
+    [
+        lambda: SerializabilityScheme(KeyHashSharding(SHARDS)),
+        lambda: SnapshotIsolationScheme(KeyHashSharding(SHARDS)),
+        lambda: _NoIndexScheme(KeyHashSharding(SHARDS)),
+    ],
+    ids=["serializability", "snapshot-isolation", "pairwise-fallback"],
+)
+def test_gc_differential_matches_unpruned_verdicts(scheme_factory):
+    """Aggressive collection (every commit) must never change the verdict
+    reached on the same history without collection — for the indexed schemes
+    and for the pairwise fallback (which tracks retired ids instead)."""
+    scheme = scheme_factory()
+    verdicts = {True: 0, False: 0}
+    for seed in range(40):
+        history = _random_history(scheme, seed)
+        plain = IncrementalTCSChecker(scheme, history=history).result()
+        collected = IncrementalTCSChecker(
+            scheme, history=history, gc=True, gc_interval=1
+        ).result()
+        assert plain.ok == collected.ok, (
+            f"seed {seed}: plain={plain.ok} ({plain.reason}) "
+            f"collected={collected.ok} ({collected.reason})"
+        )
+        verdicts[plain.ok] += 1
+    assert verdicts[True] > 0 and verdicts[False] > 0
+
+
+def test_gc_through_scenario_runner():
+    from repro.scenarios import ScenarioRunner, get_scenario
+
+    spec = get_scenario("steady-state").with_overrides(check_gc=True)
+    runner = ScenarioRunner(spec)
+    result = runner.run()
+    assert result.passed
+    runner.checker.collect()  # final sweep regardless of the interval
+    assert runner.checker.txns_pruned > 0
+    assert runner.checker.stats["nodes"] < 2 * result.committed
+
+
+def test_gc_stalls_visibly_behind_a_never_decided_transaction(scheme):
+    """Exactness requires retaining everything a stuck (never-decided)
+    transaction could still order against: collection must stop at its
+    certify point — and the stats must make the stall observable."""
+    checker = IncrementalTCSChecker(scheme, gc=True, gc_interval=10_000)
+    stuck = payload(reads=[("s", (0, ""))], tiebreak="stuck")
+    checker.observe_certify("stuck", stuck)  # certified before any commit
+    versions = {"k": (0, "")}
+    for i in range(50):
+        p = TransactionPayload.make(
+            reads=[("k", versions["k"])], writes=[("k", i)], tiebreak=f"t{i}"
+        )
+        checker.observe_certify(f"t{i}", p)
+        checker.observe_decide(f"t{i}", Decision.COMMIT)
+        versions["k"] = p.commit_version
+    assert checker.collect() == 0  # pinned: "stuck" predates every decision
+    stats = checker.stats
+    assert stats["watermark"] == -1 and stats["undecided"] == 1
+    assert stats["txns_pruned"] == 0
+    # Once the stuck transaction decides, collection resumes in full.
+    checker.observe_decide("stuck", Decision.ABORT)
+    checker.observe_certify("t-after", payload(reads=[("z", (0, ""))], tiebreak="a"))
+    assert checker.collect() > 0
+    assert checker.stats["watermark"] > 0 and checker.stats["undecided"] == 1
+    assert checker.txns_pruned == 50
+    assert checker.ok

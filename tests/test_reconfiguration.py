@@ -227,3 +227,86 @@ def test_losing_undecided_transaction_is_safe(cluster):
     result, violations = cluster.check()
     assert result.ok, result.reason
     assert violations == []
+
+
+# ----------------------------------------------------------------------
+# SparePool exhaustion and concurrent probe races
+# ----------------------------------------------------------------------
+def test_spare_pool_exhaustion_shrinks_configuration_progressively(cluster):
+    """Repeated failures drain the pool one spare at a time; once it is
+    empty, membership recomputation must still publish a valid (smaller)
+    configuration instead of wedging the shard."""
+    pool = cluster.spare_pools["shard-0"]
+    assert len(pool) == 2
+    sizes = []
+    epochs = []
+    for round_ in range(3):
+        crashed = cluster.crash_follower("shard-0")
+        assert cluster.reconfigure("shard-0", suspects=[crashed])
+        config = cluster.current_configuration("shard-0")
+        sizes.append(len(config.members))
+        epochs.append(config.epoch)
+        assert crashed not in config.members
+        assert config.leader in config.members
+        # Every published member is either initialised or a fresh spare
+        # awaiting its NEW_STATE (never a crashed process).
+        for pid in config.members:
+            assert not cluster.replica(pid).crashed
+        assert cluster.certify(rw_payload(f"round{round_}", tiebreak=f"r{round_}")) is Decision.COMMIT
+    # Two rounds were topped up from the pool; the third had nothing left
+    # and shrank to the survivors.
+    assert sizes == [2, 2, 1]
+    assert len(pool) == 0
+    assert epochs == sorted(epochs) and len(set(epochs)) == 3
+    result, violations = cluster.check()
+    assert result.ok and violations == []
+
+
+def test_concurrent_reconfigurations_race_to_one_winner(cluster):
+    """Two processes probe the same shard concurrently: both drive the same
+    recon epoch, exactly one compare-and-swap wins, and the loser's attempt
+    leaves no dangling state."""
+    commit_some(cluster)
+    crashed = cluster.crash_follower("shard-0")
+    service = cluster.config_service
+    cas_before = service.cas_attempts
+    initiators = [
+        cluster.replica(cluster.leader_of("shard-0")),
+        cluster.replica(cluster.members_of("shard-1")[0]),
+    ]
+    for initiator in initiators:
+        initiator.suspect(crashed)
+        assert initiator.reconfigure("shard-0")  # both start probing
+    cluster.run()
+    assert service.cas_attempts >= cas_before + 2  # the race really happened
+    introduced = sum(r.reconfigurations_introduced for r in initiators)
+    assert introduced == 1  # exactly one CAS won
+    config = cluster.current_configuration("shard-0")
+    assert config.epoch == 2
+    assert crashed not in config.members
+    assert cluster.replica(config.leader).is_leader
+    assert cluster.certify(rw_payload("after-race", tiebreak="after")) is Decision.COMMIT
+    result, violations = cluster.check()
+    assert result.ok and violations == []
+
+
+def test_concurrent_probe_race_with_exhausted_pool(cluster):
+    """The race of the previous test combined with an empty spare pool: the
+    winning reconfigurer must publish a valid smaller configuration."""
+    cluster.spare_pools["shard-0"]._available.clear()
+    crashed = cluster.crash_follower("shard-0")
+    initiators = [
+        cluster.replica(cluster.leader_of("shard-0")),
+        cluster.replica(cluster.members_of("shard-1")[0]),
+    ]
+    for initiator in initiators:
+        initiator.suspect(crashed)
+        assert initiator.reconfigure("shard-0")
+    cluster.run()
+    config = cluster.current_configuration("shard-0")
+    assert config.epoch == 2
+    assert len(config.members) == 1  # shrank: no spares to top up with
+    assert config.leader in config.members
+    assert cluster.certify(rw_payload("small", tiebreak="small")) is Decision.COMMIT
+    result, violations = cluster.check()
+    assert result.ok and violations == []

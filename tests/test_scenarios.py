@@ -12,6 +12,7 @@ from repro.scenarios import (
     DEFAULT_GRID,
     FaultStep,
     LatencySpec,
+    RetrySpec,
     ScenarioError,
     ScenarioRunner,
     ScenarioSpec,
@@ -357,13 +358,14 @@ def test_wan_scenarios_stay_safe(name):
     result = run_scenario(get_scenario(name))
     assert result.passed
     assert result.committed > 0
-    # The WAN pack decides (nearly) everything; wan-leader-crash may lose a
-    # few certify requests in flight to the crashed coordinator (see the
-    # scenario description), everything else decides every transaction.
+    # The WAN pack decides everything: wan-leader-crash used to lose a few
+    # certify requests in flight to the crashed coordinator, but the client
+    # sessions now re-submit them after the timeout (see the scenario
+    # description), so even it must reach zero undecided transactions.
+    assert result.undecided == 0
     if name == "wan-leader-crash":
-        assert result.undecided <= 0.05 * result.txns_submitted
-    else:
-        assert result.undecided == 0
+        assert result.retries > 0
+        assert result.orphaned == 0
 
 
 def test_wan_latency_reflects_cross_region_links():
@@ -376,6 +378,70 @@ def test_wan_latency_reflects_cross_region_links():
     )
     assert wan.passed and unit.passed
     assert wan.latency.mean > 2 * unit.latency.mean
+
+
+# ----------------------------------------------------------------------
+# the resilience pack: client sessions, failover, duplicate-safe delivery
+# ----------------------------------------------------------------------
+def test_resilience_pack_registered():
+    assert {"coordinator-crash-storm", "failover-under-wan-tail",
+            "duplicate-delivery-fuzz"} <= set(scenario_names())
+
+
+def test_spec_rejects_bad_retry():
+    with pytest.raises(ScenarioError, match="retry timeout"):
+        ScenarioSpec(name="x", retry=RetrySpec(timeout=-1.0)).validate()
+    with pytest.raises(ScenarioError, match="backoff"):
+        ScenarioSpec(name="x", retry=RetrySpec(timeout=1.0, backoff=0.5)).validate()
+    with pytest.raises(ScenarioError, match="max_attempts"):
+        ScenarioSpec(name="x", retry=RetrySpec(timeout=1.0, max_attempts=0)).validate()
+
+
+def test_retry_spec_describe():
+    assert RetrySpec().describe() == "off"
+    assert RetrySpec(timeout=30.0, backoff=1.5, max_attempts=6).describe() == (
+        "timeout=30,backoff=1.5,max_attempts=6"
+    )
+
+
+@pytest.mark.parametrize(
+    "name", ["coordinator-crash-storm", "failover-under-wan-tail"]
+)
+def test_failover_scenarios_decide_everything(name):
+    result = run_scenario(get_scenario(name))
+    assert result.passed
+    assert result.undecided == 0
+    assert result.orphaned == 0
+    assert result.retries > 0  # sessions actually routed around the crashes
+    assert result.failovers > 0
+    assert result.committed > 0
+
+
+def test_duplicate_delivery_fuzz_preserves_decision_uniqueness():
+    result = run_scenario(get_scenario("duplicate-delivery-fuzz"))
+    assert result.passed
+    assert result.check_mode == "online"
+    assert result.undecided == 0
+    assert result.contradictions == 0
+    # The sub-RTT timeout really did flood the coordinators with duplicates,
+    # and they answered from decision caches instead of re-certifying.
+    assert result.retries >= result.txns_submitted
+    assert result.duplicate_requests > 0
+    assert result.as_dict()["retry_model"].startswith("timeout=3")
+
+
+def test_retry_metrics_are_zero_without_sessions():
+    result = run_scenario(get_scenario("steady-state"))
+    assert result.retry_model == "off"
+    assert result.retries == result.failovers == result.orphaned == 0
+    assert result.duplicate_requests == 0
+
+
+def test_retry_scenarios_are_deterministic():
+    spec = get_scenario("duplicate-delivery-fuzz")
+    first = ScenarioRunner(spec).run()
+    second = ScenarioRunner(spec).run()
+    assert first.as_dict() == second.as_dict()
 
 
 # ----------------------------------------------------------------------
@@ -441,7 +507,11 @@ def test_client_decision_callbacks_fire_once_per_transaction():
     cluster = Cluster(num_shards=2, replicas_per_shard=2, seed=1)
     client = cluster.clients[0]
     seen = []
-    client.add_decision_callback(lambda txn, decision: seen.append((txn, decision)))
+
+    def record(txn, decision):
+        seen.append((txn, decision))
+
+    client.add_decision_callback(record)
     payload = TransactionPayload.make(
         reads=[("k", (0, ""))], writes=[("k", 1)], tiebreak="t"
     )
@@ -449,7 +519,7 @@ def test_client_decision_callbacks_fire_once_per_transaction():
     assert cluster.run_until_decided([txn])
     cluster.run()  # drain duplicate decision deliveries
     assert seen == [(txn, Decision.COMMIT)]
-    client.remove_decision_callback(client._decision_callbacks[0])
+    client.remove_decision_callback(record)
     second = cluster.submit(
         TransactionPayload.make(reads=[("j", (0, ""))], writes=[("j", 1)], tiebreak="u")
     )
