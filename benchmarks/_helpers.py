@@ -7,6 +7,12 @@ The module name is deliberately not ``conftest``: pytest inserts both
 
 from __future__ import annotations
 
+import json
+import os
+import platform
+import sys
+import time
+
 
 # The engine floor recorded before the PR 1 simulation-core refactor on the
 # 10k-transaction steady-state workload (see test_bench_scheduler.py for
@@ -18,3 +24,29 @@ PRE_REFACTOR_EVENTS_PER_SEC = 2_950.0
 
 def key_on_shard(cluster, shard: str, hint: str = "key") -> str:
     return cluster.scheme.sharding.key_for_shard(shard, hint=hint)
+
+
+def write_bench_artifact(name: str, payload: dict) -> str:
+    """Persist one benchmark's measurements as ``BENCH_<name>.json``.
+
+    Written into ``$BENCH_ARTIFACT_DIR`` (default: the working directory) so
+    CI can upload every ``BENCH_*.json`` as a run artifact and performance
+    can be tracked across commits instead of living only in pytest stdout.
+    A ``meta`` block records when and where the numbers were taken.
+    """
+    directory = os.environ.get("BENCH_ARTIFACT_DIR", ".")
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"BENCH_{name}.json")
+    document = {
+        "bench": name,
+        "meta": {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+        },
+        "results": payload,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -23,7 +23,7 @@ import time
 
 from repro.scenarios import ScenarioRunner, ScenarioSpec, WorkloadSpec
 
-from _helpers import PRE_REFACTOR_TXNS_PER_SEC
+from _helpers import PRE_REFACTOR_TXNS_PER_SEC, write_bench_artifact
 
 
 TXNS = 10_000
@@ -63,5 +63,16 @@ def test_online_checker_throughput_guard(benchmark):
         f"{txns_per_sec:,.0f} txns/sec "
         f"({stats['nodes']:,} graph nodes, {stats['edges']:,} edges; "
         f"pre-refactor unvalidated engine floor: {PRE_REFACTOR_TXNS_PER_SEC:,.0f})"
+    )
+    write_bench_artifact(
+        "checker",
+        {
+            "txns": TXNS,
+            "wall_seconds": wall,
+            "txns_per_sec": txns_per_sec,
+            "graph_nodes": stats["nodes"],
+            "graph_edges": stats["edges"],
+            "floor_txns_per_sec": 2 * PRE_REFACTOR_TXNS_PER_SEC,
+        },
     )
     assert txns_per_sec >= 2 * PRE_REFACTOR_TXNS_PER_SEC

@@ -27,6 +27,8 @@ from repro.scenarios import (
     WorkloadSpec,
 )
 
+from _helpers import write_bench_artifact
+
 
 TXNS = 5_000
 
@@ -74,6 +76,16 @@ def test_retry_path_steady_state_overhead(benchmark):
     print(
         f"\nfailover guard: steady state {TXNS} txns, sessions off {off_wall:.2f}s / "
         f"on {on_wall:.2f}s -> overhead {overhead * 100:.1f}% (target <= 10%)"
+    )
+    write_bench_artifact(
+        "failover",
+        {
+            "txns": TXNS,
+            "sessions_off_wall_seconds": off_wall,
+            "sessions_on_wall_seconds": on_wall,
+            "overhead_fraction": overhead,
+            "ceiling_fraction": 0.15,
+        },
     )
     assert overhead <= 0.15
 

@@ -18,7 +18,11 @@ import time
 
 from repro.scenarios import ScenarioRunner, ScenarioSpec, WorkloadSpec
 
-from _helpers import PRE_REFACTOR_EVENTS_PER_SEC, PRE_REFACTOR_TXNS_PER_SEC
+from _helpers import (
+    PRE_REFACTOR_EVENTS_PER_SEC,
+    PRE_REFACTOR_TXNS_PER_SEC,
+    write_bench_artifact,
+)
 
 
 TXNS = 10_000
@@ -56,6 +60,17 @@ def test_scheduler_throughput_guard(benchmark):
         f"{txns_per_sec:,.0f} txns/sec, {events_per_sec:,.0f} events/sec "
         f"(pre-refactor floor: {PRE_REFACTOR_TXNS_PER_SEC:,.0f} / "
         f"{PRE_REFACTOR_EVENTS_PER_SEC:,.0f})"
+    )
+    write_bench_artifact(
+        "scheduler",
+        {
+            "txns": TXNS,
+            "wall_seconds": wall,
+            "txns_per_sec": txns_per_sec,
+            "events_per_sec": events_per_sec,
+            "floor_txns_per_sec": 2 * PRE_REFACTOR_TXNS_PER_SEC,
+            "floor_events_per_sec": 2 * PRE_REFACTOR_EVENTS_PER_SEC,
+        },
     )
     assert txns_per_sec >= 2 * PRE_REFACTOR_TXNS_PER_SEC
     assert events_per_sec >= 2 * PRE_REFACTOR_EVENTS_PER_SEC

@@ -61,9 +61,9 @@ def percentile(sorted_sample: Sequence[float], fraction: float) -> float:
     return sorted_sample[rank]
 
 
-# The three phases of one transaction's client-observed latency; each name
-# keys the per-phase sample lists produced by ``Cluster.phase_samples()``.
-PHASES = ("submit_to_certify", "certify_to_decide", "decide_to_client")
+# The phases of one transaction's client-observed latency; each name keys
+# the per-phase sample lists produced by ``Cluster.phase_samples()``.
+PHASES = ("submit_to_certify", "queue_wait", "certify_to_decide", "decide_to_client")
 
 
 @dataclass(frozen=True)
@@ -73,20 +73,26 @@ class PhaseBreakdown:
     * ``submit_to_certify`` — the client's request travelling to the
       coordinator (pure network cost: one message delay under the unit
       model, a distribution draw otherwise);
+    * ``queue_wait`` — the request sitting in the coordinator's pending
+      batch before the PREPARE fan-out is flushed (0 on the unbatched path
+      and under adaptive batching, which flushes within the instant; up to
+      the linger under time-cap batching);
     * ``certify_to_decide`` — the coordinator driving certification to a
       decision (the protocol's critical path — the paper's 3-delay claim
       lives here);
     * ``decide_to_client`` — the decision travelling back to the client.
 
-    Separating the phases lets latency sweeps tell protocol cost from
-    network cost: a model that doubles mean link delay should double the
-    first and last phases but scale the middle one by the critical path's
-    message-delay count.
+    Separating the phases lets latency and batch sweeps tell protocol cost
+    from network and queueing cost: a model that doubles mean link delay
+    should double the network phases but scale the certify phase by the
+    critical path's message-delay count, while a longer batch linger shows
+    up in ``queue_wait`` alone.
     """
 
     submit_to_certify: Optional[LatencySummary]
     certify_to_decide: Optional[LatencySummary]
     decide_to_client: Optional[LatencySummary]
+    queue_wait: Optional[LatencySummary] = None
 
     def as_dict(self) -> Dict[str, Optional[Dict[str, float]]]:
         return {
@@ -107,13 +113,17 @@ def phase_breakdown(samples: Mapping[str, Sequence[float]]) -> PhaseBreakdown:
 
 
 def collect_phase_samples(clients, entries: Mapping) -> Dict[str, List[float]]:
-    """Split client-observed latencies into the three :data:`PHASES`.
+    """Split client-observed latencies into the :data:`PHASES`.
 
     ``clients`` expose ``submit_times`` / ``decide_times`` per transaction;
     ``entries`` maps transactions to coordinator entries with ``started_at``
     / ``decided_at`` — the shape both the reconfigurable cluster and the
     2PC-over-Paxos baseline provide, so the phase definitions live in one
-    place and cannot drift between them.
+    place and cannot drift between them.  Entries carrying a
+    ``dispatched_at`` stamp (set when the batching layer flushed the
+    transaction's last PREPARE) additionally yield a ``queue_wait`` sample;
+    their certify phase starts at the flush, keeping queueing delay out of
+    the protocol-cost phase.
     """
     samples: Dict[str, List[float]] = {name: [] for name in PHASES}
     for client in clients:
@@ -124,7 +134,12 @@ def collect_phase_samples(clients, entries: Mapping) -> Dict[str, List[float]]:
             samples["submit_to_certify"].append(
                 entry.started_at - client.submit_times[txn]
             )
-            samples["certify_to_decide"].append(entry.decided_at - entry.started_at)
+            dispatched = getattr(entry, "dispatched_at", None)
+            certify_start = entry.started_at
+            if dispatched is not None:
+                samples["queue_wait"].append(dispatched - entry.started_at)
+                certify_start = dispatched
+            samples["certify_to_decide"].append(entry.decided_at - certify_start)
             samples["decide_to_client"].append(decide_time - entry.decided_at)
     return samples
 
@@ -175,6 +190,56 @@ def collect_retry_stats(sessions, coordinators) -> RetryStats:
             getattr(process, "duplicate_certify_requests", 0) for process in coordinators
         ),
     )
+
+
+@dataclass(frozen=True)
+class BatchStats:
+    """Protocol-batching counters for one run.
+
+    * ``batches`` — batch messages flushed (PREPARE, ACCEPT and DECISION
+      batches alike, across every batching process);
+    * ``messages`` — protocol messages those batches carried;
+    * ``sizes`` — the batch-size distribution (size -> batch count), the
+      saturation signal a batch sweep plots: a size histogram pinned at 1
+      means the flush policy never found anything to coalesce.
+    """
+
+    batches: int = 0
+    messages: int = 0
+    sizes: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def mean_size(self) -> float:
+        return self.messages / self.batches if self.batches else 0.0
+
+    @property
+    def max_size(self) -> int:
+        return max(self.sizes, default=0)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "batches": self.batches,
+            "messages": self.messages,
+            "mean_size": self.mean_size,
+            "max_size": self.max_size,
+            "sizes": {str(size): count for size, count in sorted(self.sizes.items())},
+        }
+
+
+def collect_batch_stats(processes) -> BatchStats:
+    """Aggregate the counters of every :class:`~repro.core.batching.
+    MessageBatcher` exposed by ``processes`` (via their ``batchers`` list —
+    the shape all three coordinator variants provide)."""
+    batches = 0
+    messages = 0
+    sizes: Dict[int, int] = {}
+    for process in processes:
+        for batcher in getattr(process, "batchers", ()):
+            batches += batcher.batches_sent
+            messages += batcher.messages_batched
+            for size, count in batcher.size_counts.items():
+                sizes[size] = sizes.get(size, 0) + count
+    return BatchStats(batches=batches, messages=messages, sizes=sizes)
 
 
 def leader_load(stats, leaders: Sequence[str], num_transactions: int) -> float:

@@ -11,10 +11,17 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.analysis.metrics import RetryStats, collect_phase_samples, collect_retry_stats
+from repro.analysis.metrics import (
+    BatchStats,
+    RetryStats,
+    collect_batch_stats,
+    collect_phase_samples,
+    collect_retry_stats,
+)
 from repro.baselines.paxos import PaxosGroup
 from repro.baselines.twopc import CertificationStateMachine, TwoPCCoordinator
 from repro.client import Client, ClientSession, RetryPolicy, StaticRouter
+from repro.core.batching import BatchPolicy
 from repro.core.certification import CertificationScheme
 from repro.core.directory import TransactionDirectory
 from repro.core.serializability import KeyHashSharding, SerializabilityScheme
@@ -38,6 +45,7 @@ class BaselineCluster:
         latency: Optional[LatencyModel] = None,
         seed: int = 0,
         retry: Optional[RetryPolicy] = None,
+        batch: Optional[BatchPolicy] = None,
     ) -> None:
         if num_shards < 1 or failures_tolerated < 0:
             raise ValueError("num_shards must be >= 1 and failures_tolerated >= 0")
@@ -64,6 +72,7 @@ class BaselineCluster:
             )
 
         shard_leaders = {shard: group.leader for shard, group in self.groups.items()}
+        self.batch = batch or BatchPolicy()
         self.coordinators: List[TwoPCCoordinator] = []
         for i in range(num_coordinators):
             coordinator = TwoPCCoordinator(
@@ -71,6 +80,7 @@ class BaselineCluster:
                 scheme=self.scheme,
                 directory=self.directory,
                 shard_leaders=shard_leaders,
+                batch=self.batch,
             )
             self.network.register(coordinator)
             self.coordinators.append(coordinator)
@@ -82,6 +92,7 @@ class BaselineCluster:
                 scheme=self.scheme,
                 directory=self.directory,
                 history=self.history,
+                batch=self.batch,
             )
             self.network.register(client)
             self.clients.append(client)
@@ -195,6 +206,9 @@ class BaselineCluster:
 
     def retry_stats(self) -> RetryStats:
         return collect_retry_stats(self.sessions, self.coordinators)
+
+    def batch_stats(self) -> BatchStats:
+        return collect_batch_stats(list(self.coordinators) + self.clients)
 
     def check(self) -> Tuple[CheckResult, list]:
         checker = TCSChecker(self.scheme)

@@ -23,9 +23,15 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.baselines.paxos import RsmCommand, RsmResponse, StateMachine
+from repro.core.batching import BatchPolicy, MessageBatcher
 from repro.core.certification import CertificationScheme
 from repro.core.directory import TransactionDirectory
-from repro.core.messages import CertifyRequest, TxnDecision
+from repro.core.messages import (
+    CertifyRequest,
+    CertifyRequestBatch,
+    TxnDecision,
+    TxnDecisionBatch,
+)
 from repro.core.types import Decision, ShardId, TxnId
 from repro.runtime.process import Process
 
@@ -44,6 +50,19 @@ class DecideCommand:
 
     txn: TxnId
     decision: Decision
+
+
+@dataclass(frozen=True)
+class CommandBatch:
+    """A batch of commands replicated as *one* Paxos value.
+
+    Protocol-level batching for the baseline: the whole batch costs a single
+    Paxos instance (one Phase2a/Phase2b round instead of one per command),
+    the state machine applies the elements in order, and the response
+    carries the per-command results as a tuple in the same order.
+    """
+
+    commands: Tuple[Any, ...]
 
 
 class CertificationStateMachine(StateMachine):
@@ -66,6 +85,12 @@ class CertificationStateMachine(StateMachine):
             return self._apply_prepare(command)
         if isinstance(command, DecideCommand):
             return self._apply_decide(command)
+        if isinstance(command, CommandBatch):
+            # Intra-batch ordering is the batch order: each prepare is
+            # certified against the transactions the earlier elements
+            # prepared or decided, exactly as if the commands had been
+            # replicated back to back.
+            return tuple(self.apply(each) for each in command.commands)
         raise TypeError(f"unknown command {command!r}")
 
     def _apply_prepare(self, command: PrepareCommand) -> Decision:
@@ -106,6 +131,9 @@ class _BaselineTxn:
     decided_at: Optional[float] = None
     durable_shards: Set[ShardId] = field(default_factory=set)
     durable_at: Optional[float] = None
+    # When the last prepare command left the coordinator (equals started_at
+    # unbatched); the queue_wait phase of the latency breakdown.
+    dispatched_at: Optional[float] = None
 
 
 class TwoPCCoordinator(Process):
@@ -117,6 +145,7 @@ class TwoPCCoordinator(Process):
         scheme: CertificationScheme,
         directory: TransactionDirectory,
         shard_leaders: Dict[ShardId, str],
+        batch: Optional[BatchPolicy] = None,
     ) -> None:
         super().__init__(pid)
         self.scheme = scheme
@@ -124,8 +153,27 @@ class TwoPCCoordinator(Process):
         self.shard_leaders = dict(shard_leaders)
         self.transactions: Dict[TxnId, _BaselineTxn] = {}
         self._next_request = 0
-        self._requests: Dict[int, Tuple[TxnId, ShardId, str]] = {}
+        # One descriptor triple per single command, a list of them per batch.
+        self._requests: Dict[int, Any] = {}
         self.duplicate_certify_requests = 0
+        # Protocol-level batching: commands to the same Paxos leader
+        # accumulate and replicate as one CommandBatch value.
+        self.batch_policy = batch or BatchPolicy()
+        self._batching = self.batch_policy.enabled
+        self.batchers: List[MessageBatcher] = []
+        if self._batching:
+            self._command_batcher = MessageBatcher(
+                self,
+                self.batch_policy,
+                wrap=self._wrap_commands,
+                on_flush=self._note_commands_flushed,
+            )
+            self._reply_batcher = MessageBatcher(
+                self,
+                self.batch_policy,
+                wrap=lambda items: TxnDecisionBatch(decisions=items),
+            )
+            self.batchers = [self._command_batcher, self._reply_batcher]
 
     # ------------------------------------------------------------------
     # client entry point
@@ -145,6 +193,16 @@ class TwoPCCoordinator(Process):
             return
         self.certify(msg.txn, msg.payload)
 
+    def on_certify_request_batch(self, msg: CertifyRequestBatch, sender: str) -> None:
+        for request in msg.requests:
+            self.on_certify_request(request, sender)
+
+    def _reply(self, client: str, reply: TxnDecision) -> None:
+        if self._batching:
+            self._reply_batcher.add(client, reply)
+        else:
+            self.send(client, reply)
+
     def certify(self, txn: TxnId, payload: Any) -> _BaselineTxn:
         shards = self.directory.shards_of(txn)
         entry = _BaselineTxn(
@@ -161,13 +219,38 @@ class TwoPCCoordinator(Process):
             entry.decision = Decision.COMMIT
             entry.decided_at = entry.durable_at = self.now
             if self.directory.known(txn):
-                self.send(self.directory.client_of(txn), TxnDecision(txn, Decision.COMMIT))
+                self._reply(self.directory.client_of(txn), TxnDecision(txn, Decision.COMMIT))
         return entry
 
     def _send_command(self, txn: TxnId, shard: ShardId, kind: str, command: Any) -> None:
+        if self._batching:
+            self._command_batcher.add(self.shard_leaders[shard], (txn, shard, kind, command))
+            return
+        if kind == "prepare":
+            entry = self.transactions.get(txn)
+            if entry is not None:
+                entry.dispatched_at = self.now
         self._next_request += 1
         self._requests[self._next_request] = (txn, shard, kind)
         self.send(self.shard_leaders[shard], RsmCommand(command=command, request_id=self._next_request))
+
+    def _wrap_commands(self, items: Tuple[Tuple[TxnId, ShardId, str, Any], ...]) -> RsmCommand:
+        """Flush hook: mint one replicated command for the whole batch and
+        remember the per-element descriptors for response dispatch."""
+        self._next_request += 1
+        self._requests[self._next_request] = [item[:3] for item in items]
+        return RsmCommand(
+            command=CommandBatch(commands=tuple(item[3] for item in items)),
+            request_id=self._next_request,
+        )
+
+    def _note_commands_flushed(self, dst: str, items: Tuple) -> None:
+        for txn, _shard, kind, _command in items:
+            if kind != "prepare":
+                continue
+            entry = self.transactions.get(txn)
+            if entry is not None:
+                entry.dispatched_at = self.now
 
     # ------------------------------------------------------------------
     # responses from the shard state machines
@@ -176,12 +259,20 @@ class TwoPCCoordinator(Process):
         request = self._requests.pop(msg.request_id, None)
         if request is None:
             return
+        if isinstance(request, list):
+            # A batched command: the result vector is in batch order.
+            for (txn, shard, kind), result in zip(request, msg.result):
+                self._apply_response(txn, shard, kind, result)
+            return
         txn, shard, kind = request
+        self._apply_response(txn, shard, kind, msg.result)
+
+    def _apply_response(self, txn: TxnId, shard: ShardId, kind: str, result: Any) -> None:
         entry = self.transactions.get(txn)
         if entry is None:
             return
         if kind == "prepare":
-            entry.votes[shard] = msg.result
+            entry.votes[shard] = result
             if entry.decision is None and set(entry.votes) == set(entry.shards):
                 self._decide(entry)
         elif kind == "decide":
@@ -190,7 +281,7 @@ class TwoPCCoordinator(Process):
                 entry.durable_at = self.now
                 if self.directory.known(txn):
                     client = self.directory.client_of(txn)
-                    self.send(client, TxnDecision(txn=txn, decision=entry.decision))
+                    self._reply(client, TxnDecision(txn=txn, decision=entry.decision))
 
     def _decide(self, entry: _BaselineTxn) -> None:
         entry.vote_complete_at = self.now

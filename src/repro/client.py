@@ -26,6 +26,16 @@ layer here closes that gap the way production distributed-KV clients do:
   coordinators and replicas deduplicate on the id and re-answer from their
   decision caches (see ``on_certify_request`` in the replica modules), which
   preserves the TCS decision-uniqueness property under duplicates.
+
+With protocol-level batching enabled (:mod:`repro.core.batching`) the
+session machinery is unchanged but rides a *batched transport*: submissions
+to the same coordinator coalesce into ``CertifyRequestBatch`` messages and
+decisions return in ``TxnDecisionBatch`` replies.  Retry semantics stay
+per-transaction — each submission arms its own timeout when it is handed to
+the transport (so client-side queueing counts against the timeout, as it
+should), and a re-submission simply joins whatever batch its possibly
+different coordinator is currently filling, where the id-based dedup
+answers it like any other duplicate.
 """
 
 from __future__ import annotations
@@ -33,9 +43,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.core.batching import BatchPolicy, MessageBatcher
 from repro.core.certification import CertificationScheme
 from repro.core.directory import TransactionDirectory
-from repro.core.messages import CertifyRequest, ConfigChange, CsGetLast, CsReply, TxnDecision
+from repro.core.messages import (
+    CertifyRequest,
+    CertifyRequestBatch,
+    ConfigChange,
+    CsGetLast,
+    CsReply,
+    TxnDecision,
+    TxnDecisionBatch,
+)
 from repro.core.types import Decision, GlobalConfiguration, ShardId, TxnId
 from repro.runtime.process import Process
 from repro.spec.history import History
@@ -294,12 +313,28 @@ class Client(Process):
         directory: TransactionDirectory,
         history: History,
         config_service: Optional[str] = None,
+        batch: Optional[BatchPolicy] = None,
     ) -> None:
         super().__init__(pid)
         self.scheme = scheme
         self.directory = directory
         self.history = history
         self.config_service = config_service
+        # Batched transport: with an enabled policy, CERTIFY requests to the
+        # same coordinator coalesce into CertifyRequestBatch messages.  The
+        # per-transaction session machinery (timeout timers, retry
+        # accounting, dedup on the transaction id) is untouched — a retry
+        # simply rides whatever batch its (possibly different) coordinator
+        # is currently filling.
+        self.batch_policy = batch or BatchPolicy()
+        self.batchers: list = []
+        if self.batch_policy.enabled:
+            self._request_batcher = MessageBatcher(
+                self,
+                self.batch_policy,
+                wrap=lambda items: CertifyRequestBatch(requests=items),
+            )
+            self.batchers = [self._request_batcher]
         # True when the configuration service stores one system-wide record
         # (the RDMA protocol): a single get_last then covers every shard.
         self.global_config_service = False
@@ -335,8 +370,14 @@ class Client(Process):
         self.history.record_certify(txn, payload, self.now)
         self.submit_times[txn] = self.now
         self.coordinator_of[txn] = coordinator
-        self.send(coordinator, CertifyRequest(txn=txn, payload=payload))
+        self._send_request(coordinator, CertifyRequest(txn=txn, payload=payload))
         return txn
+
+    def _send_request(self, coordinator: str, request: CertifyRequest) -> None:
+        if self.batch_policy.enabled:
+            self._request_batcher.add(coordinator, request)
+        else:
+            self.send(coordinator, request)
 
     def resubmit(
         self, txn: TxnId, payload: Any, coordinator: str, request_id: int
@@ -346,7 +387,7 @@ class Client(Process):
         exist from the first submission; only the request goes out again."""
         self.coordinator_of[txn] = coordinator
         self.resubmissions += 1
-        self.send(
+        self._send_request(
             coordinator,
             CertifyRequest(txn=txn, payload=payload, request_id=request_id),
         )
@@ -419,6 +460,10 @@ class Client(Process):
             # A re-answered duplicate (or a second coordinator reporting the
             # same decision); the history has already deduplicated it.
             self.duplicate_decisions += 1
+
+    def on_txn_decision_batch(self, msg: TxnDecisionBatch, sender: str) -> None:
+        for decision in msg.decisions:
+            self.on_txn_decision(decision, sender)
 
     # ------------------------------------------------------------------
     # queries

@@ -23,9 +23,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.analysis.metrics import RetryStats, collect_phase_samples, collect_retry_stats
+from repro.analysis.metrics import (
+    BatchStats,
+    RetryStats,
+    collect_batch_stats,
+    collect_phase_samples,
+    collect_retry_stats,
+)
 from repro.client import Client, ClientSession, CoordinatorRouter, RetryPolicy
 from repro.configservice.service import ConfigurationService, GlobalConfigurationService
+from repro.core.batching import BatchPolicy
 from repro.core.certification import CertificationScheme
 from repro.core.directory import TransactionDirectory
 from repro.core.reconfig import MembershipPolicy, SparePool
@@ -156,6 +163,7 @@ class Cluster:
         spares_per_shard: int = 2,
         membership_policy: Optional[MembershipPolicy] = None,
         retry: Optional[RetryPolicy] = None,
+        batch: Optional[BatchPolicy] = None,
     ) -> None:
         spec = protocol_spec(protocol)
         if num_shards < 1 or replicas_per_shard < 1 or num_clients < 1:
@@ -185,12 +193,19 @@ class Cluster:
         self.spare_pools: Dict[ShardId, SparePool] = {}
         self.clients: List[Client] = []
         self.retry = retry or RetryPolicy()
+        self.batch = batch or BatchPolicy()
 
         self._build_config_service()
         self._build_replicas(spares_per_shard)
         self._build_clients(num_clients)
         self._build_sessions()
         self._round_robin = 0
+        # Coordinator-candidate lists per involved-shard set, invalidated
+        # by the configuration service's version counter (submission is the
+        # driver's hottest path; rebuilding the list per transaction costs
+        # more than the whole routing decision).
+        self._candidate_cache: Dict[Tuple[ShardId, ...], List[str]] = {}
+        self._candidate_cache_version = -1
         if spec.post_build is not None:
             spec.post_build(self)
 
@@ -241,6 +256,7 @@ class Cluster:
                     config_service=self.config_service.pid,
                     spares=pool,
                     membership_policy=self.membership_policy,
+                    batch=self.batch,
                 )
                 self.network.register(replica)
                 self.replicas[pid] = replica
@@ -267,6 +283,7 @@ class Cluster:
                 directory=self.directory,
                 history=self.history,
                 config_service=self.config_service.pid,
+                batch=self.batch,
             )
             self.network.register(client)
             self.clients.append(client)
@@ -334,11 +351,17 @@ class Cluster:
         5-delay analysis) and fall back to members of the involved shards
         when every shard participates.
         """
-        involved = sorted(self.scheme.shards_of(payload)) or [self.shards[0]]
-        uninvolved = [s for s in self.shards if s not in involved]
-        candidates: List[str] = []
-        for shard in uninvolved or involved:
-            candidates.extend(self.members_of(shard))
+        involved = tuple(sorted(self.scheme.shards_of(payload))) or (self.shards[0],)
+        if self._candidate_cache_version != self.config_service.version:
+            self._candidate_cache.clear()
+            self._candidate_cache_version = self.config_service.version
+        candidates = self._candidate_cache.get(involved)
+        if candidates is None:
+            uninvolved = [s for s in self.shards if s not in involved]
+            candidates = []
+            for shard in uninvolved or involved:
+                candidates.extend(self.members_of(shard))
+            self._candidate_cache[involved] = candidates
         live = [pid for pid in candidates if not self.replicas[pid].crashed]
         candidates = live or candidates
         self._round_robin += 1
@@ -533,6 +556,12 @@ class Cluster:
         """Aggregate session retry/failover/orphan counters plus the
         duplicate requests deduplicated by the replicas."""
         return collect_retry_stats(self.sessions, self.replicas.values())
+
+    def batch_stats(self) -> BatchStats:
+        """Aggregate batch counts and the batch-size distribution over every
+        batching process — replicas and clients alike (empty when batching
+        is disabled)."""
+        return collect_batch_stats(list(self.replicas.values()) + self.clients)
 
     @property
     def message_stats(self):

@@ -42,6 +42,10 @@ class ConfigurationService(Process):
         self._last: Dict[ShardId, int] = {}
         self.cas_attempts = 0
         self.cas_successes = 0
+        # Bumped whenever any stored configuration changes; lets callers
+        # (e.g. the cluster driver's coordinator routing) cache derived
+        # views and invalidate them in O(1).
+        self.version = 0
         # Non-member processes (client sessions) that asked to be told about
         # every new configuration, on top of the Figure 1 line 67 push to the
         # members of the other shards.
@@ -59,6 +63,7 @@ class ConfigurationService(Process):
         """Install the initial configuration of a shard at bootstrap time."""
         self._configs.setdefault(shard, {})[config.epoch] = config
         self._last[shard] = config.epoch
+        self.version += 1
 
     def last_configuration(self, shard: ShardId) -> Optional[Configuration]:
         epoch = self._last.get(shard)
@@ -92,6 +97,7 @@ class ConfigurationService(Process):
         self.cas_successes += 1
         self._configs.setdefault(msg.shard, {})[msg.config.epoch] = msg.config
         self._last[msg.shard] = msg.config.epoch
+        self.version += 1
         self.send(sender, CsReply(msg.request_id, ok=True, config=msg.config))
         self._broadcast_config_change(msg.shard, msg.config)
 
@@ -129,6 +135,8 @@ class GlobalConfigurationService(Process):
         self._last: Optional[int] = None
         self.cas_attempts = 0
         self.cas_successes = 0
+        # Cache-invalidation counter; see ConfigurationService.version.
+        self.version = 0
         self._subscribers: List[str] = []
 
     def subscribe(self, pid: str) -> None:
@@ -141,6 +149,7 @@ class GlobalConfigurationService(Process):
     def install_initial(self, config: GlobalConfiguration) -> None:
         self._configs[config.epoch] = config
         self._last = config.epoch
+        self.version += 1
 
     def last_configuration(self) -> Optional[GlobalConfiguration]:
         if self._last is None:
@@ -175,6 +184,7 @@ class GlobalConfigurationService(Process):
         self.cas_successes += 1
         self._configs[new_config.epoch] = new_config
         self._last = new_config.epoch
+        self.version += 1
         self.send(sender, CsReply(msg.request_id, ok=True, config=new_config))  # type: ignore[arg-type]
         for shard in sorted(new_config.members):
             change = ConfigChange(

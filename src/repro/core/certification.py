@@ -125,11 +125,24 @@ class PairwiseConflictIndex(ConflictIndex[PayloadT]):
     Scans every registered payload per registration (O(n) per transaction,
     matching the batch checker's total O(n^2) edge construction) so that any
     :class:`CertificationScheme` works with the online checker unchanged.
+
+    Supports :meth:`retire`: retired entries are dropped (identity and all),
+    keeping only their distinct payloads as an anonymous retired set.  Only
+    the *successor* direction is checked against it — "the new payload must
+    precede retired history", which the checker turns into an immediate
+    violation via :data:`RETIRED` — because a retired *predecessor* is
+    consistent by construction and the checker ignores it.  Without scheme
+    knowledge the retired payloads cannot be compacted into per-object
+    horizons, so memory is bounded by the number of distinct retired
+    payloads (deduplicated when hashable) rather than O(1) per object; the
+    live scan, however, shrinks to the unretired entries.
     """
 
     def __init__(self, scheme: "CertificationScheme[PayloadT]") -> None:
         self.scheme = scheme
         self._entries: list = []
+        self._retired_payloads: list = []
+        self._retired_seen: set = set()
 
     def register(self, txn, payload):
         successors = [
@@ -142,8 +155,38 @@ class PairwiseConflictIndex(ConflictIndex[PayloadT]):
             for other, existing in self._entries
             if self.scheme.global_certify([payload], existing) is Decision.ABORT
         ]
+        for existing in self._retired_payloads:
+            if self.scheme.global_certify([existing], payload) is Decision.ABORT:
+                # One flag suffices: any conflict ordering the new payload
+                # before retired history is already a violation.
+                successors.append(RETIRED)
+                break
         self._entries.append((txn, payload))
         return successors, predecessors
+
+    def retire(self, txn, payload):
+        for at, (other, existing) in enumerate(self._entries):
+            if other == txn:
+                retired = existing if payload is None else payload
+                del self._entries[at]
+                try:
+                    fresh = retired not in self._retired_seen
+                    if fresh:
+                        self._retired_seen.add(retired)
+                except TypeError:  # unhashable payload type: keep every copy
+                    fresh = True
+                if fresh:
+                    self._retired_payloads.append(retired)
+                return True
+        return False
+
+    @property
+    def live_entries(self) -> int:
+        return len(self._entries)
+
+    @property
+    def retired_payload_count(self) -> int:
+        return len(self._retired_payloads)
 
 
 class CertificationScheme(Generic[PayloadT]):

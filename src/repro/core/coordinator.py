@@ -16,14 +16,22 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Set
 
+from repro.core.batching import BatchPolicy, MessageBatcher
 from repro.core.messages import (
     Accept,
     AcceptAck,
+    AcceptAckBatch,
+    AcceptBatch,
+    CertifyBatch,
     CertifyRequest,
+    CertifyRequestBatch,
+    DecisionBatch,
     Prepare,
     PrepareAck,
     SlotDecision,
     TxnDecision,
+    TxnDecisionBatch,
+    VoteBatch,
 )
 from repro.core.types import BOTTOM, Decision, Phase, ShardId, TxnId
 
@@ -44,6 +52,11 @@ class CoordinatorEntry:
     decided: bool = False
     decision: Optional[Decision] = None
     decided_at: Optional[float] = None
+    # When the last of this transaction's PREPAREs left the coordinator.
+    # Equals started_at on the unbatched path; under batching the gap
+    # started_at -> dispatched_at is the per-transaction queueing delay
+    # (reported as the queue_wait phase of the latency breakdown).
+    dispatched_at: Optional[float] = None
 
 
 def deduplicate_certify_request(replica, msg: CertifyRequest, sender: str) -> bool:
@@ -83,6 +96,42 @@ class CoordinatorMixin:
         self._coordinated: Dict[TxnId, CoordinatorEntry] = {}
         # Duplicate CERTIFY requests deduplicated (client-session retries).
         self.duplicate_certify_requests = 0
+        # Protocol-level batching (repro.core.batching): with an enabled
+        # policy the PREPARE fan-out, the ACCEPT relay and the DECISION
+        # broadcast each accumulate into per-destination batches.
+        policy: BatchPolicy = getattr(self, "batch_policy", None) or BatchPolicy()
+        self._batching = policy.enabled
+        self.batchers: list = []
+        if self._batching:
+            self._prepare_batcher = MessageBatcher(
+                self,
+                policy,
+                wrap=lambda items: CertifyBatch(prepares=items),
+                on_flush=self._note_prepares_flushed,
+            )
+            self._accept_batcher = MessageBatcher(
+                self, policy, wrap=lambda items: AcceptBatch(accepts=items)
+            )
+            self._decision_batcher = MessageBatcher(
+                self, policy, wrap=lambda items: DecisionBatch(decisions=items)
+            )
+            self._reply_batcher = MessageBatcher(
+                self, policy, wrap=lambda items: TxnDecisionBatch(decisions=items)
+            )
+            self.batchers = [
+                self._prepare_batcher,
+                self._accept_batcher,
+                self._decision_batcher,
+                self._reply_batcher,
+            ]
+
+    def _note_prepares_flushed(self, dst: str, prepares: tuple) -> None:
+        """Stamp queueing delay: a transaction counts as dispatched once the
+        last of its per-shard PREPAREs has left the coordinator."""
+        for prepare in prepares:
+            entry = self._coordinated.get(prepare.txn)
+            if entry is not None:
+                entry.dispatched_at = self.now
 
     # ------------------------------------------------------------------
     # public API (Figure 1, lines 1-3 and 70-73)
@@ -98,12 +147,18 @@ class CoordinatorMixin:
             self._coordinated[txn] = entry
         # Sorted: `shards` is a set, and the fan-out order must not depend
         # on the process's hash seed (random latency models draw one delay
-        # per send, so iteration order shapes the schedule).
+        # per send, so iteration order shapes the schedule; under batching
+        # it also fixes batch composition).
         for shard in sorted(shards):
             projected = (
                 BOTTOM if payload is BOTTOM else self.scheme.project(payload, shard)
             )
-            self.send(self.leader[shard], Prepare(txn=txn, payload=projected))
+            prepare = Prepare(txn=txn, payload=projected)
+            if self._batching:
+                self._prepare_batcher.add(self.leader[shard], prepare)
+            else:
+                entry.dispatched_at = self.now
+                self.send(self.leader[shard], prepare)
         if not shards:
             # A transaction touching no shard (empty payload) commits
             # trivially: the meet over an empty set of votes is commit.
@@ -131,6 +186,14 @@ class CoordinatorMixin:
             return
         self.certify(msg.txn, msg.payload)
 
+    def on_certify_request_batch(self, msg: CertifyRequestBatch, sender: str) -> None:
+        """A client's batched submissions: each element goes through the
+        full per-request path (dedup included — a retried transaction
+        arriving inside a batch is re-answered from the decision cache),
+        and the per-shard PREPARE batches accumulate across the elements."""
+        for request in msg.requests:
+            self.on_certify_request(request, sender)
+
     def on_prepare_ack(self, msg: PrepareAck, sender: str) -> None:
         """Relay the leader's vote to the shard's followers (lines 18-20)."""
         entry = self._coordinated.get(msg.txn)
@@ -153,10 +216,25 @@ class CoordinatorMixin:
             payload=msg.payload,
             vote=msg.vote,
         )
-        self.send_all(followers, accept)
+        if self._batching:
+            self._accept_batcher.add_all(followers, accept)
+        else:
+            self.send_all(followers, accept)
         # A shard with no followers (f = 0) is fully persisted by the
         # leader's own vote, so the decision check must run here too.
         self._maybe_decide(entry)
+
+    def on_vote_batch(self, msg: VoteBatch, sender: str) -> None:
+        """A leader's aggregated vote vector: each element is a complete
+        ``PREPARE_ACK``, processed in batch order.  The resulting ACCEPT
+        relays re-batch per follower (adaptive policies coalesce them
+        within the instant)."""
+        for ack in msg.acks:
+            self.on_prepare_ack(ack, sender)
+
+    def on_accept_ack_batch(self, msg: AcceptAckBatch, sender: str) -> None:
+        for ack in msg.acks:
+            self.on_accept_ack(ack, sender)
 
     def on_accept_ack(self, msg: AcceptAck, sender: str) -> None:
         """Count follower confirmations; decide once every shard is persisted
@@ -197,11 +275,18 @@ class CoordinatorMixin:
         # Report to the client (line 27) ...
         if self.directory.known(entry.txn):
             client = self.directory.client_of(entry.txn)
-            self.send(client, TxnDecision(txn=entry.txn, decision=decision))
+            reply = TxnDecision(txn=entry.txn, decision=decision)
+            if self._batching:
+                self._reply_batcher.add(client, reply)
+            else:
+                self.send(client, reply)
         # ... and persist the decision at every relevant shard (lines 28-29).
         # Sorted for hash-seed-independent send order (see `certify`).
         for shard in sorted(entry.shards):
             message = SlotDecision(
                 epoch=self.epoch[shard], slot=entry.slots[shard], decision=decision
             )
-            self.send_all(self.members[shard], message)
+            if self._batching:
+                self._decision_batcher.add_all(self.members[shard], message)
+            else:
+                self.send_all(self.members[shard], message)

@@ -16,10 +16,22 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.core.batching import BatchPolicy
 from repro.core.certification import CertificationScheme
 from repro.core.coordinator import CoordinatorMixin
 from repro.core.directory import TransactionDirectory
-from repro.core.messages import Accept, AcceptAck, Prepare, PrepareAck, SlotDecision
+from repro.core.messages import (
+    Accept,
+    AcceptAck,
+    AcceptAckBatch,
+    AcceptBatch,
+    CertifyBatch,
+    DecisionBatch,
+    Prepare,
+    PrepareAck,
+    SlotDecision,
+    VoteBatch,
+)
 from repro.core.reconfig import MembershipPolicy, ReconfigMixin, SparePool
 from repro.core.votecache import LeaderVoteCache
 from repro.core.types import (
@@ -47,6 +59,7 @@ class ShardReplica(CoordinatorMixin, ReconfigMixin, Process):
         config_service: ProcessId,
         spares: Optional[SparePool] = None,
         membership_policy: Optional[MembershipPolicy] = None,
+        batch: Optional[BatchPolicy] = None,
     ) -> None:
         super().__init__(pid)
         self.shard = shard
@@ -55,6 +68,7 @@ class ShardReplica(CoordinatorMixin, ReconfigMixin, Process):
         self.config_service = config_service
         self.spares = spares if spares is not None else SparePool()
         self.membership_policy = membership_policy or MembershipPolicy()
+        self.batch_policy = batch or BatchPolicy()
 
         # Configuration knowledge (Figure 1 preliminaries): epoch, members and
         # leader of every shard; the entry for our own shard is the
@@ -164,25 +178,21 @@ class ShardReplica(CoordinatorMixin, ReconfigMixin, Process):
     # ------------------------------------------------------------------
     # leader: PREPARE (lines 4-17)
     # ------------------------------------------------------------------
-    def on_prepare(self, msg: Prepare, sender: str) -> None:
-        if self.status is not Status.LEADER:
-            return
+    def _certify_prepare(self, msg: Prepare) -> PrepareAck:
+        """Place one PREPARE in the certification order (or find it there)
+        and return the vote; shared by the single and batched paths."""
         existing_slot = self.slot_of.get(msg.txn)
         if existing_slot is not None:
             # The transaction is already in the certification order (line 6):
             # resend the stored vote to the (possibly new) coordinator.
-            self.send(
-                sender,
-                PrepareAck(
-                    epoch=self.my_epoch,
-                    shard=self.shard,
-                    slot=existing_slot,
-                    txn=msg.txn,
-                    payload=self.payload_arr[existing_slot],
-                    vote=self.vote_arr[existing_slot],
-                ),
+            return PrepareAck(
+                epoch=self.my_epoch,
+                shard=self.shard,
+                slot=existing_slot,
+                txn=msg.txn,
+                payload=self.payload_arr[existing_slot],
+                vote=self.vote_arr[existing_slot],
             )
-            return
         self.next += 1
         slot = self.next
         self.txn_arr[slot] = msg.txn
@@ -196,27 +206,43 @@ class ShardReplica(CoordinatorMixin, ReconfigMixin, Process):
             # Coordinator recovery with an unknown payload (lines 14-16).
             self.vote_arr[slot] = Decision.ABORT
             self.payload_arr[slot] = self.scheme.empty_payload()
-        self.send(
-            sender,
-            PrepareAck(
-                epoch=self.my_epoch,
-                shard=self.shard,
-                slot=slot,
-                txn=msg.txn,
-                payload=self.payload_arr[slot],
-                vote=self.vote_arr[slot],
-            ),
+        return PrepareAck(
+            epoch=self.my_epoch,
+            shard=self.shard,
+            slot=slot,
+            txn=msg.txn,
+            payload=self.payload_arr[slot],
+            vote=self.vote_arr[slot],
         )
+
+    def on_prepare(self, msg: Prepare, sender: str) -> None:
+        if self.status is not Status.LEADER:
+            return
+        self.send(sender, self._certify_prepare(msg))
+
+    def on_certify_batch(self, msg: CertifyBatch, sender: str) -> None:
+        """Certify a whole batch in one pass over the conflict indexes and
+        answer with one aggregated vote vector.  Intra-batch conflict
+        ordering follows batch order: each transaction enters the
+        certification order before the next one is voted on, so later batch
+        members are certified against earlier ones exactly as if the
+        PREPAREs had arrived back to back."""
+        if self.status is not Status.LEADER:
+            return
+        acks = tuple(self._certify_prepare(prepare) for prepare in msg.prepares)
+        self.send(sender, VoteBatch(acks=acks))
 
     # ------------------------------------------------------------------
     # follower: ACCEPT (lines 21-25)
     # ------------------------------------------------------------------
-    def on_accept(self, msg: Accept, sender: str) -> None:
+    def _apply_accept(self, msg: Accept, sender: str) -> Optional[AcceptAck]:
+        """Persist one ACCEPT; returns the ack to send, or None when the
+        message was stashed for a future epoch or rejected."""
         if msg.epoch > self.my_epoch:
             self._stash_message(msg, sender)
-            return
+            return None
         if self.status is not Status.FOLLOWER or self.my_epoch != msg.epoch:
-            return
+            return None
         if self.phase_arr.get(msg.slot, Phase.START) is Phase.START:
             self.txn_arr[msg.slot] = msg.txn
             self.payload_arr[msg.slot] = msg.payload
@@ -224,16 +250,30 @@ class ShardReplica(CoordinatorMixin, ReconfigMixin, Process):
             self.phase_arr[msg.slot] = Phase.PREPARED
             self.slot_of[msg.txn] = msg.slot
             self._votes.invalidate()
-        self.send(
-            sender,
-            AcceptAck(
-                shard=self.shard,
-                epoch=msg.epoch,
-                slot=msg.slot,
-                txn=msg.txn,
-                vote=msg.vote,
-            ),
+        return AcceptAck(
+            shard=self.shard,
+            epoch=msg.epoch,
+            slot=msg.slot,
+            txn=msg.txn,
+            vote=msg.vote,
         )
+
+    def on_accept(self, msg: Accept, sender: str) -> None:
+        ack = self._apply_accept(msg, sender)
+        if ack is not None:
+            self.send(sender, ack)
+
+    def on_accept_batch(self, msg: AcceptBatch, sender: str) -> None:
+        """Persist a batch of ACCEPTs and confirm them with one aggregated
+        ack (stashed/rejected elements are simply absent from the reply —
+        the unstash path re-answers them individually later)."""
+        acks = []
+        for accept in msg.accepts:
+            ack = self._apply_accept(accept, sender)
+            if ack is not None:
+                acks.append(ack)
+        if acks:
+            self.send(sender, AcceptAckBatch(acks=tuple(acks)))
 
     # ------------------------------------------------------------------
     # everyone: DECISION (lines 30-32)
@@ -248,3 +288,7 @@ class ShardReplica(CoordinatorMixin, ReconfigMixin, Process):
         txn = self.txn_arr.get(msg.slot)
         for listener in self.decision_listeners:
             listener(msg.slot, txn, msg.decision)
+
+    def on_decision_batch(self, msg: DecisionBatch, sender: str) -> None:
+        for decision in msg.decisions:
+            self.on_slot_decision(decision, sender)

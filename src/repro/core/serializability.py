@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.certification import RETIRED, CertificationScheme, ConflictIndex, VoteIndex
@@ -97,11 +98,14 @@ class TransactionPayload:
                         "commit version must be greater than every version read"
                     )
 
-    @property
+    # Cached: payloads are immutable and these sets sit on every
+    # certification hot path (cached_property writes the instance __dict__
+    # directly, which a frozen dataclass permits).
+    @cached_property
     def read_objects(self) -> Set[ObjectId]:
         return {obj for obj, _ in self.read_set}
 
-    @property
+    @cached_property
     def written_objects(self) -> Set[ObjectId]:
         return {obj for obj, _ in self.write_set}
 
@@ -145,18 +149,25 @@ class KeyHashSharding(ShardingFunction):
         if not shards:
             raise ValueError("at least one shard is required")
         self._shards = tuple(shards)
+        # shard_of is a pure function of the key and sits on every hot path
+        # (payload projection, vote filtering, coordinator routing), so the
+        # digest is computed once per distinct key.
+        self._memo: Dict[ObjectId, ShardId] = {}
 
     @property
     def shards(self) -> Tuple[ShardId, ...]:
         return self._shards
 
     def shard_of(self, obj: ObjectId) -> ShardId:
-        # Stable across runs and processes (unlike the built-in ``hash`` on
-        # strings, which is salted per interpreter).
-        digest = 0
-        for char in obj:
-            digest = (digest * 131 + ord(char)) % (2**31)
-        return self._shards[digest % len(self._shards)]
+        shard = self._memo.get(obj)
+        if shard is None:
+            # Stable across runs and processes (unlike the built-in ``hash``
+            # on strings, which is salted per interpreter).
+            digest = 0
+            for char in obj:
+                digest = (digest * 131 + ord(char)) % (2**31)
+            shard = self._memo[obj] = self._shards[digest % len(self._shards)]
+        return shard
 
 
 class ExplicitSharding(ShardingFunction):
@@ -203,6 +214,11 @@ class _ReadWriteScheme(CertificationScheme[TransactionPayload]):
             for obj, value in payload.write_set
             if self.sharding.shard_of(obj) == shard
         )
+        if len(reads) == len(payload.read_set) and len(writes) == len(payload.write_set):
+            # Fully shard-local payload: l|s = l.  Returning the original
+            # object (not an equal copy) lets downstream consumers share its
+            # cached object-set views.
+            return payload
         return TransactionPayload(
             read_set=reads, write_set=writes, commit_version=payload.commit_version
         )

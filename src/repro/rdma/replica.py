@@ -29,10 +29,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
+from repro.core.batching import BatchPolicy, MessageBatcher
 from repro.core.certification import CertificationScheme
 from repro.core.directory import TransactionDirectory
 from repro.core.messages import (
+    CertifyBatch,
     CertifyRequest,
+    CertifyRequestBatch,
     CsCompareAndSwap,
     CsGet,
     CsGetLast,
@@ -42,6 +45,8 @@ from repro.core.messages import (
     Probe,
     ProbeAck,
     TxnDecision,
+    TxnDecisionBatch,
+    VoteBatch,
 )
 from repro.core.coordinator import deduplicate_certify_request
 from repro.core.reconfig import MembershipPolicy, SparePool
@@ -58,10 +63,12 @@ from repro.core.types import (
 )
 from repro.rdma.messages import (
     Accept,
+    AcceptBatch,
     ConfigPrepare,
     ConfigPrepareAck,
     Connect,
     ConnectAck,
+    DecisionBatch,
     NewConfig,
     NewState,
     SlotDecision,
@@ -88,6 +95,9 @@ class RdmaCoordinatorEntry:
     decided: bool = False
     decision: Optional[Decision] = None
     decided_at: Optional[float] = None
+    # Set when the batching layer flushed the transaction's last PREPARE
+    # (equals started_at unbatched); see CoordinatorEntry.dispatched_at.
+    dispatched_at: Optional[float] = None
 
 
 class RecStatus:
@@ -110,9 +120,11 @@ class RdmaShardReplica(Process):
         config_service: ProcessId,
         spares: Optional[SparePool] = None,
         membership_policy: Optional[MembershipPolicy] = None,
+        batch: Optional[BatchPolicy] = None,
     ) -> None:
         super().__init__(pid)
         self.shard = shard
+        self.batch_policy = batch or BatchPolicy()
         self.scheme = scheme
         self.directory = directory
         self.config_service = config_service
@@ -158,6 +170,47 @@ class RdmaShardReplica(Process):
 
         self._coordinated: Dict[TxnId, RdmaCoordinatorEntry] = {}
         self.duplicate_certify_requests = 0
+        # Protocol-level batching: the PREPARE fan-out travels as regular
+        # messages; ACCEPT and DECISION batches are persisted with a single
+        # one-sided RDMA write per destination.
+        self._batching = self.batch_policy.enabled
+        self.batchers: List[MessageBatcher] = []
+        # Shard attribution for pending ACCEPT batches, recorded at enqueue
+        # time (the unbatched path binds msg.shard in its per-send ack
+        # closure; resolving from self.members at flush time instead would
+        # mis-attribute acks if a reconfiguration lands while a batch is
+        # pending).
+        self._accept_shards: Dict[ProcessId, ShardId] = {}
+        if self._batching:
+            self._prepare_batcher = MessageBatcher(
+                self,
+                self.batch_policy,
+                wrap=lambda items: CertifyBatch(prepares=items),
+                on_flush=self._note_prepares_flushed,
+            )
+            self._accept_batcher = MessageBatcher(
+                self,
+                self.batch_policy,
+                wrap=lambda items: AcceptBatch(accepts=items),
+                send=self._send_accept_batch,
+            )
+            self._decision_batcher = MessageBatcher(
+                self,
+                self.batch_policy,
+                wrap=lambda items: DecisionBatch(decisions=items),
+                send=lambda dst, message: self.rdma.send(dst, message),
+            )
+            self._reply_batcher = MessageBatcher(
+                self,
+                self.batch_policy,
+                wrap=lambda items: TxnDecisionBatch(decisions=items),
+            )
+            self.batchers = [
+                self._prepare_batcher,
+                self._accept_batcher,
+                self._decision_batcher,
+                self._reply_batcher,
+            ]
         self._cs_request_id = 0
         self._cs_callbacks: Dict[int, Callable[[CsReply], None]] = {}
         self.decision_listeners: List[Callable[[int, Optional[TxnId], Decision], None]] = []
@@ -231,15 +284,27 @@ class RdmaShardReplica(Process):
             )
             self._coordinated[txn] = entry
         # Sorted for hash-seed-independent send order (random latency
-        # models draw one delay per send, so iteration order matters).
+        # models draw one delay per send, so iteration order matters; under
+        # batching it also fixes batch composition).
         for shard in sorted(shards):
             projected = (
                 BOTTOM if payload is BOTTOM else self.scheme.project(payload, shard)
             )
-            self.send(self.leader[shard], Prepare(txn=txn, payload=projected))
+            prepare = Prepare(txn=txn, payload=projected)
+            if self._batching:
+                self._prepare_batcher.add(self.leader[shard], prepare)
+            else:
+                entry.dispatched_at = self.now
+                self.send(self.leader[shard], prepare)
         if not shards:
             self._maybe_decide(entry)
         return entry
+
+    def _note_prepares_flushed(self, dst: str, prepares: tuple) -> None:
+        for prepare in prepares:
+            entry = self._coordinated.get(prepare.txn)
+            if entry is not None:
+                entry.dispatched_at = self.now
 
     def retry(self, slot: int) -> Optional[RdmaCoordinatorEntry]:
         if self.phase_arr.get(slot) is not Phase.PREPARED:
@@ -251,26 +316,26 @@ class RdmaShardReplica(Process):
             return
         self.certify(msg.txn, msg.payload)
 
+    def on_certify_request_batch(self, msg: CertifyRequestBatch, sender: str) -> None:
+        for request in msg.requests:
+            self.on_certify_request(request, sender)
+
     # ------------------------------------------------------------------
     # leader: PREPARE (lines 77-90)
     # ------------------------------------------------------------------
-    def on_prepare(self, msg: Prepare, sender: str) -> None:
-        if self.status is not Status.LEADER:
-            return
+    def _certify_prepare(self, msg: Prepare) -> PrepareAck:
+        """Place one PREPARE in the certification order (or find it there)
+        and return the vote; shared by the single and batched paths."""
         existing_slot = self.slot_of.get(msg.txn)
         if existing_slot is not None:
-            self.send(
-                sender,
-                PrepareAck(
-                    epoch=self.epoch,
-                    shard=self.shard,
-                    slot=existing_slot,
-                    txn=msg.txn,
-                    payload=self.payload_arr[existing_slot],
-                    vote=self.vote_arr[existing_slot],
-                ),
+            return PrepareAck(
+                epoch=self.epoch,
+                shard=self.shard,
+                slot=existing_slot,
+                txn=msg.txn,
+                payload=self.payload_arr[existing_slot],
+                vote=self.vote_arr[existing_slot],
             )
-            return
         self.next += 1
         slot = self.next
         self.txn_arr[slot] = msg.txn
@@ -283,17 +348,28 @@ class RdmaShardReplica(Process):
         else:
             self.vote_arr[slot] = Decision.ABORT
             self.payload_arr[slot] = self.scheme.empty_payload()
-        self.send(
-            sender,
-            PrepareAck(
-                epoch=self.epoch,
-                shard=self.shard,
-                slot=slot,
-                txn=msg.txn,
-                payload=self.payload_arr[slot],
-                vote=self.vote_arr[slot],
-            ),
+        return PrepareAck(
+            epoch=self.epoch,
+            shard=self.shard,
+            slot=slot,
+            txn=msg.txn,
+            payload=self.payload_arr[slot],
+            vote=self.vote_arr[slot],
         )
+
+    def on_prepare(self, msg: Prepare, sender: str) -> None:
+        if self.status is not Status.LEADER:
+            return
+        self.send(sender, self._certify_prepare(msg))
+
+    def on_certify_batch(self, msg: CertifyBatch, sender: str) -> None:
+        """Certify a whole batch in one pass and answer with one aggregated
+        vote vector (intra-batch conflict ordering follows batch order; see
+        the message-passing variant)."""
+        if self.status is not Status.LEADER:
+            return
+        acks = tuple(self._certify_prepare(prepare) for prepare in msg.prepares)
+        self.send(sender, VoteBatch(acks=acks))
 
     # ------------------------------------------------------------------
     # coordinator: persist votes with RDMA (lines 91-93, 96-100)
@@ -318,6 +394,10 @@ class RdmaShardReplica(Process):
                 self.on_accept(accept, self.pid)
                 entry.rdma_acks.setdefault(msg.shard, set()).add(self.pid)
                 continue
+            if self._batching:
+                self._accept_shards[follower] = msg.shard
+                self._accept_batcher.add(follower, accept)
+                continue
             self.rdma.send(
                 follower,
                 accept,
@@ -326,6 +406,30 @@ class RdmaShardReplica(Process):
                 ),
             )
         self._maybe_decide(entry)
+
+    def on_vote_batch(self, msg: VoteBatch, sender: str) -> None:
+        for ack in msg.acks:
+            self.on_prepare_ack(ack, sender)
+
+    def _send_accept_batch(self, dst: ProcessId, message: AcceptBatch) -> None:
+        """Persist a whole ACCEPT batch at ``dst`` with one one-sided write;
+        the single NIC ack confirms every transaction it carries.  A
+        follower only ever receives accepts of its own shard; the shard was
+        recorded when the accepts were enqueued."""
+        shard = self._accept_shards[dst]
+        self.rdma.send(
+            dst,
+            message,
+            on_ack=lambda batch, follower, shard=shard: self._on_accept_batch_acked(
+                batch, shard, follower
+            ),
+        )
+
+    def _on_accept_batch_acked(
+        self, batch: AcceptBatch, shard: ShardId, follower: ProcessId
+    ) -> None:
+        for accept in batch.accepts:
+            self._on_accept_acked(accept.txn, shard, follower)
 
     def _on_accept_acked(self, txn: TxnId, shard: ShardId, follower: ProcessId) -> None:
         """ack-rdma received for an ACCEPT written to ``follower`` (line 96)."""
@@ -351,7 +455,12 @@ class RdmaShardReplica(Process):
         entry.decision = decision
         entry.decided_at = self.now
         if self.directory.known(entry.txn):
-            self.send(self.directory.client_of(entry.txn), TxnDecision(entry.txn, decision))
+            client = self.directory.client_of(entry.txn)
+            reply = TxnDecision(entry.txn, decision)
+            if self._batching:
+                self._reply_batcher.add(client, reply)
+            else:
+                self.send(client, reply)
         # Sorted for hash-seed-independent send order (see `certify`).
         for shard in sorted(entry.shards):
             message = SlotDecision(slot=entry.slots[shard], decision=decision)
@@ -360,6 +469,8 @@ class RdmaShardReplica(Process):
                     # A coordinator that is itself a member persists the
                     # decision locally without a network round-trip.
                     self._apply_decision(message.slot, decision)
+                elif self._batching:
+                    self._decision_batcher.add(member, message)
                 else:
                     self.rdma.send(member, message)
 
@@ -376,8 +487,17 @@ class RdmaShardReplica(Process):
         # One-sided writes land in the arrays behind the vote index's back.
         self._votes.invalidate()
 
+    def on_accept_batch(self, msg: AcceptBatch, sender: str) -> None:
+        """A batched one-sided ACCEPT write landed in our memory."""
+        for accept in msg.accepts:
+            self.on_accept(accept, sender)
+
     def on_slot_decision(self, msg: SlotDecision, sender: str) -> None:
         self._apply_decision(msg.slot, msg.decision)
+
+    def on_decision_batch(self, msg: DecisionBatch, sender: str) -> None:
+        for decision in msg.decisions:
+            self._apply_decision(decision.slot, decision.decision)
 
     def _apply_decision(self, slot: int, decision: Decision) -> None:
         self.dec_arr[slot] = decision

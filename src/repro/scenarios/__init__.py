@@ -27,6 +27,7 @@ from repro.scenarios.spec import (
     LATENCY_MODELS,
     PROTOCOL_BASELINE,
     WORKLOAD_KINDS,
+    BatchSpec,
     FaultStep,
     LatencySpec,
     RetrySpec,
@@ -35,14 +36,20 @@ from repro.scenarios.spec import (
     WorkloadSpec,
 )
 from repro.scenarios.sweep import (
+    DEFAULT_BATCH_GRID,
     DEFAULT_GRID,
+    BatchSweepResult,
     LatencySweepResult,
+    parse_batch,
+    parse_batch_grid,
     parse_grid,
+    run_batch_sweep,
     run_latency_sweep,
 )
 
 __all__ = [
     "CHECK_MODES",
+    "DEFAULT_BATCH_GRID",
     "DEFAULT_GRID",
     "SCENARIOS",
     "get_scenario",
@@ -52,14 +59,19 @@ __all__ = [
     "ScenarioRunner",
     "run_scenario",
     "run_sweep",
+    "run_batch_sweep",
     "run_latency_sweep",
     "compile_latency_model",
     "parse_latency",
+    "parse_batch",
+    "parse_batch_grid",
     "parse_grid",
     "FAULT_ACTIONS",
     "LATENCY_MODELS",
     "PROTOCOL_BASELINE",
     "WORKLOAD_KINDS",
+    "BatchSpec",
+    "BatchSweepResult",
     "FaultStep",
     "LatencySpec",
     "LatencySweepResult",

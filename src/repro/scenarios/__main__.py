@@ -8,13 +8,19 @@ Usage::
     python -m repro.scenarios sweep steady-state --latency default
     python -m repro.scenarios sweep steady-state \
         --latency unit --latency lognormal:mean=2,sigma=0.8
+    python -m repro.scenarios sweep steady-state --batch default
+    python -m repro.scenarios sweep steady-state \
+        --batch off --batch 8 --batch 32 --batch 16:linger=2
     python -m repro.scenarios steady-state          # shorthand for `run`
 
-``sweep`` without ``--latency`` compares protocols under the scenario's own
-latency model (the classic protocol sweep); with ``--latency`` it runs each
-listed protocol across the latency grid and prints one
-latency-vs-throughput curve per protocol (``--latency default`` expands to
-the stock four-point grid).
+``sweep`` without ``--latency`` / ``--batch`` compares protocols under the
+scenario's own latency and batching models (the classic protocol sweep);
+with ``--latency`` it runs each listed protocol across the latency grid and
+prints one latency-vs-throughput curve per protocol (``--latency default``
+expands to the stock four-point grid); with ``--batch`` it sweeps the
+protocol-level batching policy instead and prints one
+batch-size-vs-throughput/latency curve per protocol (``--batch default``
+expands to off/4/8/16/32).
 """
 
 from __future__ import annotations
@@ -29,7 +35,13 @@ from repro.scenarios.latency import parse_latency
 from repro.scenarios.library import SCENARIOS, get_scenario, scenario_names
 from repro.scenarios.runner import run_scenario, run_sweep
 from repro.scenarios.spec import CHECK_MODES, ScenarioError, ScenarioSpec
-from repro.scenarios.sweep import parse_grid, run_latency_sweep
+from repro.scenarios.sweep import (
+    parse_batch,
+    parse_batch_grid,
+    parse_grid,
+    run_batch_sweep,
+    run_latency_sweep,
+)
 
 
 def _apply_overrides(spec: ScenarioSpec, args: argparse.Namespace) -> ScenarioSpec:
@@ -44,6 +56,8 @@ def _apply_overrides(spec: ScenarioSpec, args: argparse.Namespace) -> ScenarioSp
         overrides["check_mode"] = args.check_mode
     if getattr(args, "latency_override", None):
         overrides["latency"] = parse_latency(args.latency_override)
+    if getattr(args, "batch_override", None):
+        overrides["batch"] = parse_batch(args.batch_override)
     workload_overrides = {}
     if args.txns is not None:
         workload_overrides["txns"] = args.txns
@@ -75,6 +89,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     spec = _apply_overrides(get_scenario(args.name), args)
     protocols = tuple(p.strip() for p in args.protocols.split(",") if p.strip())
+    if args.latency and args.batch:
+        raise ScenarioError("--latency and --batch sweeps are mutually exclusive")
+    if args.batch:
+        grid = parse_batch_grid(args.batch)
+        sweeps = {
+            protocol: run_batch_sweep(spec, grid, protocol=protocol)
+            for protocol in protocols
+        }
+        if args.json:
+            print(json.dumps({p: s.as_dict() for p, s in sweeps.items()}, indent=2))
+        else:
+            for sweep in sweeps.values():
+                print(sweep.render())
+                print()
+        return 0 if all(sweep.passed for sweep in sweeps.values()) else 1
     if args.latency:
         grid = parse_grid(args.latency)
         sweeps = {
@@ -141,6 +170,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="MODEL[:k=v,...]",
         help="override the latency model (e.g. lognormal:mean=2,sigma=0.8)",
     )
+    run_parser.add_argument(
+        "--batch",
+        dest="batch_override",
+        default=None,
+        metavar="SIZE[:k=v,...]",
+        help="override the batching policy (e.g. 32, 16:linger=2, off)",
+    )
     _add_common(run_parser)
 
     sweep_parser = commands.add_parser(
@@ -159,6 +195,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="MODEL[:k=v,...]",
         help="latency grid point (repeatable; 'default' expands to the stock "
         "grid); with this flag the sweep runs each protocol across the grid",
+    )
+    sweep_parser.add_argument(
+        "--batch",
+        action="append",
+        default=[],
+        metavar="SIZE[:k=v,...]",
+        help="batch grid point (repeatable; 'off', a size cap like '32', or "
+        "'16:linger=2'; 'default' expands to off/4/8/16/32); with this flag "
+        "the sweep runs each protocol across the batching grid",
     )
     _add_common(sweep_parser)
 

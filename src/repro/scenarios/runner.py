@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.analysis.metrics import (
+    BatchStats,
     LatencySummary,
     PhaseBreakdown,
     RetryStats,
@@ -82,10 +83,16 @@ class ScenarioResult:
     check_reason: str = ""  # why the checker failed ("" when it passed)
     latency_model: str = "unit"  # LatencySpec.describe() of the network model
     retry_model: str = "off"  # RetrySpec.describe() of the session policy
+    batch_model: str = "off"  # BatchSpec.describe() of the batching policy
     retries: int = 0  # client-session re-submissions
     failovers: int = 0  # re-submissions that switched coordinator
     orphaned: int = 0  # transactions abandoned after max_attempts
     duplicate_requests: int = 0  # duplicate CERTIFYs deduplicated by coordinators
+    batches: int = 0  # batch messages flushed by the batching layer
+    batched_messages: int = 0  # protocol messages those batches carried
+    mean_batch_size: float = 0.0  # batched_messages / batches
+    max_batch_size: int = 0  # largest batch observed
+    batch_sizes: Dict[int, int] = field(default_factory=dict)  # size -> batch count
     phases: Optional[PhaseBreakdown] = None  # submit/certify/decide split
     faults_executed: List[str] = field(default_factory=list)
     wall_seconds: float = 0.0
@@ -120,10 +127,16 @@ class ScenarioResult:
             "latency": self.latency.as_dict() if self.latency else None,
             "latency_model": self.latency_model,
             "retry_model": self.retry_model,
+            "batch_model": self.batch_model,
             "retries": self.retries,
             "failovers": self.failovers,
             "orphaned": self.orphaned,
             "duplicate_requests": self.duplicate_requests,
+            "batches": self.batches,
+            "batched_messages": self.batched_messages,
+            "mean_batch_size": self.mean_batch_size,
+            "max_batch_size": self.max_batch_size,
+            "batch_sizes": {str(k): v for k, v in sorted(self.batch_sizes.items())},
             "phases": self.phases.as_dict() if self.phases else None,
             "check_ok": self.check_ok,
             "check_mode": self.check_mode,
@@ -156,6 +169,13 @@ class ScenarioResult:
                  f"{self.retries} retries / {self.failovers} failovers / "
                  f"{self.orphaned} orphaned / {self.duplicate_requests} dups deduped"),
             )
+        if self.batch_model != "off":
+            rows.append(("batch policy", self.batch_model))
+            rows.append(
+                ("batching",
+                 f"{self.batches} batches / {self.batched_messages} messages / "
+                 f"mean {self.mean_batch_size:.2f} / max {self.max_batch_size}"),
+            )
         if self.latency is not None:
             rows.append(
                 ("client latency", f"mean {self.latency.mean:.2f} / p99 {self.latency.p99:.2f} delays")
@@ -163,13 +183,17 @@ class ScenarioResult:
         if self.phases is not None:
             for label, summary in (
                 ("submit -> certify", self.phases.submit_to_certify),
+                ("queue wait", self.phases.queue_wait),
                 ("certify -> decide", self.phases.certify_to_decide),
                 ("decide -> client", self.phases.decide_to_client),
             ):
-                if summary is not None:
-                    rows.append(
-                        (f"phase {label}", f"mean {summary.mean:.2f} / p99 {summary.p99:.2f} delays")
-                    )
+                if summary is None:
+                    continue
+                if label == "queue wait" and summary.maximum == 0.0:
+                    continue  # all-zero queueing (unbatched / adaptive) is noise
+                rows.append(
+                    (f"phase {label}", f"mean {summary.mean:.2f} / p99 {summary.p99:.2f} delays")
+                )
         verdict = "SAFE" if self.safety_ok else "UNSAFE"
         expectation = "as expected" if self.passed else "UNEXPECTED"
         rows.append(("safety", f"{verdict} ({expectation}, check_mode={self.check_mode})"))
@@ -205,6 +229,7 @@ class ScenarioRunner:
         spec = self.spec
         latency = compile_latency_model(spec.latency)
         retry = spec.retry.compile()
+        batch = spec.batch.compile()
         if spec.protocol == PROTOCOL_BASELINE:
             self.cluster = BaselineCluster(
                 num_shards=spec.num_shards,
@@ -213,6 +238,7 @@ class ScenarioRunner:
                 latency=latency,
                 seed=spec.seed,
                 retry=retry,
+                batch=batch,
             )
         else:
             self.cluster = Cluster(
@@ -225,6 +251,7 @@ class ScenarioRunner:
                 seed=spec.seed,
                 spares_per_shard=spec.spares_per_shard,
                 retry=retry,
+                batch=batch,
             )
         if spec.check_mode == "online":
             self.checker = IncrementalTCSChecker(
@@ -443,6 +470,7 @@ class ScenarioRunner:
         check_ok, check_reason, violations = self._verdict()
         stats = cluster.message_stats
         retry_stats: RetryStats = cluster.retry_stats()
+        batch_stats: BatchStats = cluster.batch_stats()
         return ScenarioResult(
             scenario=spec.name,
             protocol=spec.protocol,
@@ -460,10 +488,16 @@ class ScenarioRunner:
             latency=summarize(latencies) if latencies else None,
             latency_model=spec.latency.describe(),
             retry_model=spec.retry.describe(),
+            batch_model=spec.batch.describe(),
             retries=retry_stats.retries,
             failovers=retry_stats.failovers,
             orphaned=retry_stats.orphaned,
             duplicate_requests=retry_stats.duplicate_requests,
+            batches=batch_stats.batches,
+            batched_messages=batch_stats.messages,
+            mean_batch_size=batch_stats.mean_size,
+            max_batch_size=batch_stats.max_size,
+            batch_sizes=dict(batch_stats.sizes),
             phases=phase_breakdown(cluster.phase_samples()),
             check_ok=check_ok,
             invariant_violations=len(violations),

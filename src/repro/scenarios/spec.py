@@ -222,6 +222,51 @@ class LatencySpec:
 
 
 @dataclass(frozen=True)
+class BatchSpec:
+    """Protocol-level batching policy (declarative form of
+    :class:`repro.core.batching.BatchPolicy`).
+
+    With ``size >= 2`` coordinators accumulate their per-destination
+    fan-out (PREPAREs to shard leaders, ACCEPT relays, DECISION broadcasts;
+    replicated commands for the 2PC baseline) and flush per-destination
+    batches: when a batch reaches ``size`` messages, when its first message
+    has lingered ``linger`` virtual-time units (``adaptive=False``), or —
+    the adaptive default — at the end of the virtual instant that opened
+    it, so messages produced at the same instant coalesce at zero virtual
+    latency.  Batch composition is deterministic (arrival order, never hash
+    order), and batching is invisible to the TCS checker: batches carry the
+    unbatched protocol messages verbatim, in order.
+
+    ``size = 0`` (the default) keeps the paper's one-message-per-transaction
+    flow.
+    """
+
+    size: int = 0
+    linger: float = 0.0
+    adaptive: bool = True
+
+    def compile(self):
+        """The :class:`repro.core.batching.BatchPolicy` this spec describes
+        (the single home of the field bounds — validation delegates here)."""
+        from repro.core.batching import BatchPolicy  # late: keep spec modules light
+
+        return BatchPolicy(size=self.size, linger=self.linger, adaptive=self.adaptive)
+
+    def validate(self) -> None:
+        try:
+            self.compile()
+        except ValueError as error:
+            raise ScenarioError(str(error)) from None
+
+    @property
+    def enabled(self) -> bool:
+        return self.size >= 2
+
+    def describe(self) -> str:
+        return self.compile().describe()
+
+
+@dataclass(frozen=True)
 class RetrySpec:
     """Client-session re-submission policy (declarative form of
     :class:`repro.client.RetryPolicy`).
@@ -359,6 +404,9 @@ class ScenarioSpec:
     # Client-session resilience: timeout-driven re-submission with
     # coordinator failover (off by default — the paper's client model).
     retry: RetrySpec = field(default_factory=RetrySpec)
+    # Protocol-level batching of the certification fan-out (off by default —
+    # the paper's one-message-per-transaction flow).
+    batch: BatchSpec = field(default_factory=BatchSpec)
     faults: Tuple[FaultStep, ...] = ()
     max_events: int = 5_000_000
     # How the recorded history is validated: "online" (default) attaches the
@@ -400,6 +448,7 @@ class ScenarioSpec:
         self.workload.validate()
         self.latency.validate()
         self.retry.validate()
+        self.batch.validate()
         for step in self.faults:
             step.validate()
         if self.protocol == PROTOCOL_BASELINE:

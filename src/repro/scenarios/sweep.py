@@ -1,16 +1,21 @@
-"""Latency sweep driver: one scenario across a grid of latency points.
+"""Sweep drivers: one scenario across a grid of latency or batching points.
 
 A *sweep* runs the same :class:`~repro.scenarios.spec.ScenarioSpec` (same
-workload, faults and seed) once per :class:`LatencySpec` in a grid and
-collects the results into a latency-vs-throughput curve.  Because the
-per-phase breakdown (submit -> certify -> decide) rides along on every
-:class:`~repro.scenarios.runner.ScenarioResult`, the curve separates
-protocol cost (the certify -> decide phase, measured in critical-path
-message delays) from network cost (the request/response phases, which
-scale directly with the link-delay distribution).
+workload, faults and seed) once per grid point and collects the results
+into a curve:
 
-Used by ``python -m repro.scenarios sweep <scenario> --latency ...`` and
-importable directly::
+* a **latency sweep** varies the :class:`LatencySpec`; because the
+  per-phase breakdown (submit -> certify -> decide) rides along on every
+  :class:`~repro.scenarios.runner.ScenarioResult`, the curve separates
+  protocol cost (the certify -> decide phase, measured in critical-path
+  message delays) from network cost (the request/response phases, which
+  scale directly with the link-delay distribution);
+* a **batch sweep** varies the :class:`BatchSpec`, rendering batch size
+  against throughput, latency, messages sent and the observed mean batch
+  size — the knob-tuning view for the protocol-level batching pipeline.
+
+Used by ``python -m repro.scenarios sweep <scenario> --latency ... /
+--batch ...`` and importable directly::
 
     from repro.scenarios.sweep import DEFAULT_GRID, run_latency_sweep
     curve = run_latency_sweep(get_scenario("steady-state"))
@@ -25,7 +30,7 @@ from typing import Any, Dict, Iterable, List, Sequence, Tuple
 from repro.analysis.metrics import format_table
 from repro.scenarios.latency import parse_latency
 from repro.scenarios.runner import ScenarioResult, ScenarioRunner
-from repro.scenarios.spec import LatencySpec, ScenarioSpec
+from repro.scenarios.spec import BatchSpec, LatencySpec, ScenarioError, ScenarioSpec
 
 
 # The stock grid: the paper's unit model, bounded jitter around one delay,
@@ -153,5 +158,171 @@ def run_latency_sweep(
     )
     for point in grid:
         result = ScenarioRunner(spec.with_overrides(latency=point)).run()
+        sweep.points.append((point.describe(), result))
+    return sweep
+
+
+# ----------------------------------------------------------------------
+# batch sweeps
+# ----------------------------------------------------------------------
+
+# The stock batch grid: the unbatched baseline plus doubling adaptive size
+# caps, so the curve shows where coalescing saturates for the workload.
+DEFAULT_BATCH_GRID: Tuple[BatchSpec, ...] = (
+    BatchSpec(),
+    BatchSpec(size=4),
+    BatchSpec(size=8),
+    BatchSpec(size=16),
+    BatchSpec(size=32),
+)
+
+
+def parse_batch(text: str) -> BatchSpec:
+    """Parse one CLI batch point: ``off``, a size (``32``), or a size with
+    ``k=v`` parameters (``32:linger=2`` — a linger implies a time-cap,
+    i.e. non-adaptive, policy unless ``adaptive=true`` is forced)."""
+    text = text.strip()
+    if text == "off":
+        return BatchSpec()
+    head, _, params_text = text.partition(":")
+    try:
+        size = int(head)
+    except ValueError:
+        raise ScenarioError(
+            f"invalid batch point {text!r}: expected 'off' or SIZE[:k=v,...]"
+        ) from None
+    fields: Dict[str, Any] = {"size": size}
+    for pair in filter(None, (p.strip() for p in params_text.split(","))):
+        key, sep, value = pair.partition("=")
+        if not sep:
+            raise ScenarioError(f"invalid batch parameter {pair!r}: expected k=v")
+        if key == "linger":
+            try:
+                fields["linger"] = float(value)
+            except ValueError:
+                raise ScenarioError(f"invalid linger value {value!r}") from None
+            fields.setdefault("adaptive", False)
+        elif key == "adaptive":
+            if value not in ("true", "false"):
+                raise ScenarioError("adaptive must be 'true' or 'false'")
+            fields["adaptive"] = value == "true"
+        else:
+            raise ScenarioError(
+                f"unknown batch parameter {key!r}; expected linger or adaptive"
+            )
+    spec = BatchSpec(**fields)
+    spec.validate()
+    return spec
+
+
+def parse_batch_grid(texts: Iterable[str]) -> Tuple[BatchSpec, ...]:
+    """Parse CLI batch points; the single word ``default`` expands to
+    :data:`DEFAULT_BATCH_GRID`."""
+    grid: List[BatchSpec] = []
+    for text in texts:
+        if text.strip() == "default":
+            grid.extend(DEFAULT_BATCH_GRID)
+        else:
+            grid.append(parse_batch(text))
+    return tuple(grid)
+
+
+@dataclass
+class BatchSweepResult:
+    """One scenario's results across a batch-policy grid, in grid order."""
+
+    scenario: str
+    protocol: str
+    seed: int
+    points: List[Tuple[str, ScenarioResult]] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(result.passed for _, result in self.points)
+
+    def result_for(self, label: str) -> ScenarioResult:
+        for point_label, result in self.points:
+            if point_label == label:
+                return result
+        raise KeyError(f"no sweep point labelled {label!r}")
+
+    def curve(self) -> List[Dict[str, Any]]:
+        """Batch size vs throughput/latency/messages: one row per point."""
+        rows = []
+        for label, result in self.points:
+            rows.append(
+                {
+                    "batch_model": label,
+                    "throughput": result.throughput,
+                    "mean_latency": result.latency.mean if result.latency else None,
+                    "p99_latency": result.latency.p99 if result.latency else None,
+                    "messages_sent": result.messages_sent,
+                    "mean_batch_size": result.mean_batch_size,
+                }
+            )
+        return rows
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "protocol": self.protocol,
+            "seed": self.seed,
+            "passed": self.passed,
+            "curve": self.curve(),
+            "points": [
+                {"batch_model": label, "result": result.as_dict()}
+                for label, result in self.points
+            ],
+        }
+
+    def render(self) -> str:
+        headers = [
+            "batch policy",
+            "committed",
+            "tput/1k",
+            "lat mean",
+            "lat p99",
+            "queue wait",
+            "messages",
+            "batches",
+            "mean size",
+        ]
+        rows = []
+        for label, result in self.points:
+            queue = result.phases.queue_wait if result.phases else None
+            rows.append(
+                [
+                    label,
+                    result.committed,
+                    f"{result.throughput:.1f}",
+                    f"{result.latency.mean:.2f}" if result.latency else "-",
+                    f"{result.latency.p99:.2f}" if result.latency else "-",
+                    f"{queue.mean:.2f}" if queue is not None else "-",
+                    result.messages_sent,
+                    result.batches,
+                    f"{result.mean_batch_size:.2f}" if result.batches else "-",
+                ]
+            )
+        body = format_table(headers, rows)
+        verdict = "all safe" if self.passed else "FAILED"
+        return (
+            f"=== batch sweep: {self.scenario} ({self.protocol}, seed {self.seed}) "
+            f"— {verdict} ===\n{body}"
+        )
+
+
+def run_batch_sweep(
+    spec: ScenarioSpec,
+    grid: Sequence[BatchSpec] = DEFAULT_BATCH_GRID,
+    **overrides: Any,
+) -> BatchSweepResult:
+    """Run ``spec`` once per batch point (optionally overriding spec fields
+    first); every point reuses the spec's seed, workload, latency model and
+    faults, so the curve isolates the effect of the batching policy."""
+    if overrides:
+        spec = spec.with_overrides(**overrides)
+    sweep = BatchSweepResult(scenario=spec.name, protocol=spec.protocol, seed=spec.seed)
+    for point in grid:
+        result = ScenarioRunner(spec.with_overrides(batch=point)).run()
         sweep.points.append((point.describe(), result))
     return sweep

@@ -424,10 +424,11 @@ class IncrementalTCSChecker:
             self.txns_pruned += 1
             self._decision_frontier.pop(node, None)
             if not self._conflicts.retire(node, self._gc_payloads.pop(node, None)):
-                # Index without retirement support (e.g. the pairwise
-                # fallback): remember retired ids so conflicts against them
-                # are still flagged.  Memory then grows with the retired id
-                # set — bounded memory needs a scheme conflict index.
+                # Index without retirement support: remember retired ids so
+                # conflicts against them are still flagged.  Memory then
+                # grows with the retired id set — bounded memory needs a
+                # scheme conflict index (or the pairwise fallback, which
+                # drops entries and keeps distinct retired payloads).
                 if self._retired_fallback is None:
                     self._retired_fallback = set()
                 self._retired_fallback.add(node)

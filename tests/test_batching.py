@@ -1,0 +1,537 @@
+"""Tests for the protocol-level batching pipeline.
+
+Covers the policy/batcher building blocks, end-to-end equivalence of the
+batched and unbatched protocols (all three coordinator variants, validated
+online and against the batch checker oracle), the retry/dedup interaction
+(a retried transaction arriving while batching is active must be deduped
+and re-answered from the decision caches), the batching scenario pack and
+the ``sweep --batch`` driver/CLI.
+"""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.baselines.cluster import BaselineCluster
+from repro.client import RetryPolicy
+from repro.cluster import Cluster
+from repro.core.batching import BatchPolicy, MessageBatcher
+from repro.core.messages import CertifyRequest
+from repro.core.types import Decision
+from repro.runtime.events import FlushTimer, Scheduler
+from repro.runtime.network import Network
+from repro.runtime.process import Process
+from repro.scenarios import (
+    DEFAULT_BATCH_GRID,
+    BatchSpec,
+    ScenarioError,
+    ScenarioRunner,
+    get_scenario,
+    parse_batch,
+    parse_batch_grid,
+    run_batch_sweep,
+    run_scenario,
+    scenario_names,
+)
+from repro.scenarios.__main__ import main as scenarios_main
+from repro.spec.checker import TCSChecker
+
+from helpers import rw_payload, shard_key
+
+
+ADAPTIVE = BatchPolicy(size=8)
+LINGER = BatchPolicy(size=8, linger=2.0, adaptive=False)
+
+
+def distinct_payloads(n, prefix="k"):
+    return [rw_payload(f"{prefix}{i}", value=i, tiebreak=f"t{i}") for i in range(n)]
+
+
+# ----------------------------------------------------------------------
+# policy validation
+# ----------------------------------------------------------------------
+def test_policy_disabled_by_default():
+    assert not BatchPolicy().enabled
+    assert not BatchPolicy(size=1).enabled
+    assert BatchPolicy().describe() == "off"
+    assert BatchPolicy(size=8).describe() == "size=8,adaptive"
+    assert BatchPolicy(size=8, linger=1.5, adaptive=False).describe() == "size=8,linger=1.5"
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(size=-1),
+        dict(size=8, linger=-1.0, adaptive=False),
+        dict(size=8, linger=2.0, adaptive=True),  # adaptive excludes linger
+        dict(size=8, linger=0.0, adaptive=False),  # no liveness without a cap
+    ],
+)
+def test_policy_rejects_invalid_combinations(kwargs):
+    with pytest.raises(ValueError):
+        BatchPolicy(**kwargs)
+
+
+def test_batch_spec_validation_maps_to_scenario_error():
+    with pytest.raises(ScenarioError):
+        BatchSpec(size=8, linger=2.0, adaptive=True).validate()
+    spec = get_scenario("steady-state")
+    with pytest.raises(ScenarioError):
+        spec.with_overrides(batch=BatchSpec(size=-3))
+
+
+# ----------------------------------------------------------------------
+# batcher unit behaviour
+# ----------------------------------------------------------------------
+class _Recorder(Process):
+    """Records every delivered message with its arrival time."""
+
+    def __init__(self, pid):
+        super().__init__(pid)
+        self.received = []
+
+    def handle(self, message, sender):  # bypass on_<type> dispatch
+        self.received.append((self.now, message))
+
+
+def _harness():
+    scheduler = Scheduler()
+    network = Network(scheduler)
+    sender, receiver = _Recorder("src"), _Recorder("dst")
+    network.register(sender)
+    network.register(receiver)
+    return scheduler, sender, receiver
+
+
+def test_size_cap_flushes_immediately():
+    scheduler, sender, receiver = _harness()
+    batcher = MessageBatcher(sender, BatchPolicy(size=3), wrap=tuple)
+    for i in range(3):
+        batcher.add("dst", i)
+    assert batcher.pending_messages == 0  # size cap flushed synchronously
+    scheduler.run()
+    assert receiver.received == [(1.0, (0, 1, 2))]
+    assert batcher.batches_sent == 1 and batcher.messages_batched == 3
+    assert batcher.size_counts == {3: 1}
+
+
+def test_adaptive_flush_coalesces_the_instant():
+    scheduler, sender, receiver = _harness()
+    batcher = MessageBatcher(sender, BatchPolicy(size=100), wrap=tuple)
+    batcher.add("dst", "a")
+    batcher.add("dst", "b")
+    assert batcher.pending_for("dst") == 2  # below cap: waits for the flush
+    scheduler.run()
+    # One batch, flushed at the end of instant 0, delivered one delay later.
+    assert receiver.received == [(1.0, ("a", "b"))]
+
+
+def test_linger_delays_the_flush():
+    scheduler, sender, receiver = _harness()
+    batcher = MessageBatcher(
+        sender, BatchPolicy(size=100, linger=2.0, adaptive=False), wrap=tuple
+    )
+    batcher.add("dst", "a")
+    batcher.add("dst", "b")
+    scheduler.run()
+    # Armed at t=0 by the first add, flushed at t=2, delivered at t=3.
+    assert receiver.received == [(3.0, ("a", "b"))]
+
+
+def test_flush_timer_is_idempotent_and_cancellable():
+    scheduler = Scheduler()
+    timer = FlushTimer(scheduler)
+    fired = []
+    timer.arm(5.0, fired.append, "first")
+    timer.arm(1.0, fired.append, "second")  # ignored: already armed
+    assert timer.armed
+    timer.cancel()
+    assert not timer.armed
+    scheduler.run()
+    assert fired == []
+    timer.arm(1.0, fired.append, "third")
+    scheduler.run()
+    assert fired == ["third"]
+
+
+def test_on_flush_hook_sees_the_batch_before_send():
+    scheduler, sender, receiver = _harness()
+    seen = []
+    batcher = MessageBatcher(
+        sender,
+        BatchPolicy(size=2),
+        wrap=tuple,
+        on_flush=lambda dst, items: seen.append((dst, items)),
+    )
+    batcher.add("dst", 1)
+    batcher.add("dst", 2)
+    assert seen == [("dst", (1, 2))]
+
+
+# ----------------------------------------------------------------------
+# end-to-end equivalence: batching must be invisible to correctness
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("policy", [ADAPTIVE, LINGER], ids=["adaptive", "linger"])
+@pytest.mark.parametrize("protocol", ["message-passing", "rdma"])
+def test_batched_cluster_decides_everything_and_checks(protocol, policy):
+    unbatched = Cluster(num_shards=3, replicas_per_shard=2, protocol=protocol)
+    batched = Cluster(num_shards=3, replicas_per_shard=2, protocol=protocol, batch=policy)
+    payloads = distinct_payloads(40)
+    plain = unbatched.certify_many(list(payloads))
+    decided = batched.certify_many(list(payloads))
+    # Conflict-free workload: batching may not change a single decision.
+    assert set(decided.values()) == {Decision.COMMIT}
+    assert len(decided) == len(plain) == 40
+    for cluster in (unbatched, batched):
+        check, violations = cluster.check()
+        assert check.ok and not violations
+    assert batched.message_stats.total_sent < unbatched.message_stats.total_sent
+    stats = batched.batch_stats()
+    assert stats.batches > 0 and stats.mean_size > 1.0
+    assert unbatched.batch_stats().batches == 0
+
+
+@pytest.mark.parametrize("policy", [ADAPTIVE, LINGER], ids=["adaptive", "linger"])
+def test_batched_baseline_decides_everything_and_checks(policy):
+    unbatched = BaselineCluster(num_shards=2, failures_tolerated=1)
+    batched = BaselineCluster(num_shards=2, failures_tolerated=1, batch=policy)
+    payloads = distinct_payloads(40)
+    plain = unbatched.certify_many(list(payloads))
+    decided = batched.certify_many(list(payloads))
+    assert set(decided.values()) == {Decision.COMMIT}
+    assert len(decided) == len(plain) == 40
+    check, _ = batched.check()
+    assert check.ok
+    assert batched.message_stats.total_sent < unbatched.message_stats.total_sent
+    assert batched.batch_stats().batches > 0
+
+
+@pytest.mark.parametrize(
+    "batch",
+    [BatchSpec(size=16), BatchSpec(size=16, linger=1.0, adaptive=False)],
+    ids=["adaptive", "linger"],
+)
+def test_differential_batched_vs_unbatched_scenario_histories(batch):
+    """The same contended scenario, batched and unbatched: both histories
+    must pass the online checker *and* the batch-checker oracle — batching
+    may reshape the schedule, never the semantics."""
+    base = get_scenario("hot-key-contention")
+    base = base.with_overrides(workload=replace(base.workload, txns=80))
+    results = {}
+    for label, spec in (("off", base), ("on", base.with_overrides(batch=batch))):
+        runner = ScenarioRunner(spec)
+        result = runner.run()
+        assert result.passed and result.undecided == 0, label
+        oracle = TCSChecker(runner.cluster.scheme).check(runner.cluster.history)
+        assert oracle.ok, (label, oracle.reason)
+        results[label] = result
+    assert results["on"].messages_sent < results["off"].messages_sent
+    assert results["on"].batches > 0
+
+
+def test_adaptive_batching_adds_no_virtual_latency():
+    """Flush-on-idle coalesces same-instant messages only, so the commit
+    path stays the paper's message-delay count: client latency under unit
+    delays is identical with and without batching."""
+    base = get_scenario("steady-state")
+    base = base.with_overrides(workload=replace(base.workload, txns=60))
+    off = ScenarioRunner(base).run()
+    on = ScenarioRunner(base.with_overrides(batch=BatchSpec(size=32))).run()
+    assert on.latency.mean == off.latency.mean
+    assert on.latency.p99 == off.latency.p99
+    assert on.messages_sent < off.messages_sent
+    assert on.phases.queue_wait is not None and on.phases.queue_wait.maximum == 0.0
+
+
+def test_linger_batching_shows_up_as_queue_wait():
+    base = get_scenario("steady-state")
+    base = base.with_overrides(
+        workload=replace(base.workload, txns=60),
+        batch=BatchSpec(size=32, linger=2.0, adaptive=False),
+    )
+    result = ScenarioRunner(base).run()
+    assert result.passed
+    queue = result.phases.queue_wait
+    assert queue is not None and 0.0 < queue.mean <= 2.0
+    # The prepare-stage linger is accounted separately as queue_wait; the
+    # certify phase keeps the 4-delay protocol path plus the ACCEPT relay's
+    # own linger (every batching stage pays the time cap).
+    assert 4.0 <= result.phases.certify_to_decide.mean <= 4.0 + 2.0
+    # The client edges pay their own linger too: requests queue in the
+    # client's batcher before the one-delay hop, replies in the
+    # coordinator's.
+    assert 1.0 <= result.phases.submit_to_certify.mean <= 1.0 + 2.0
+    assert 1.0 <= result.phases.decide_to_client.mean <= 1.0 + 2.0
+
+
+# ----------------------------------------------------------------------
+# retry/dedup x batching: all three coordinator paths
+# ----------------------------------------------------------------------
+def _decided_duplicate_case(cluster, coordinator_pid, key):
+    payload = rw_payload(key, tiebreak="dup")
+    txn = cluster.submit(payload, coordinator=coordinator_pid)
+    assert cluster.run_until_decided([txn])
+    cluster.run()
+    client = cluster.clients[0]
+    client.send(coordinator_pid, CertifyRequest(txn=txn, payload=payload, request_id=2))
+    cluster.run()
+    return txn, client
+
+
+@pytest.mark.parametrize("protocol", ["message-passing", "rdma"])
+def test_batched_duplicate_reanswered_from_decision_cache(protocol):
+    cluster = Cluster(
+        num_shards=2, replicas_per_shard=2, protocol=protocol, seed=3, batch=ADAPTIVE
+    )
+    coordinator_pid = cluster.members_of("shard-1")[0]
+    key = shard_key(cluster.scheme, "shard-0")
+    leader = cluster.replicas[cluster.leader_of("shard-0")]
+    txn, client = _decided_duplicate_case(cluster, coordinator_pid, key)
+    slots_before = dict(leader.slot_of)
+    coordinator = cluster.replicas[coordinator_pid]
+    assert coordinator.duplicate_certify_requests == 1
+    assert client.duplicate_decisions >= 1
+    assert cluster.history.contradictions == []
+    assert dict(leader.slot_of) == slots_before  # no re-certification
+    check, _ = cluster.check()
+    assert check.ok
+
+
+def test_batched_duplicate_reanswered_by_baseline_coordinator():
+    cluster = BaselineCluster(num_shards=2, failures_tolerated=1, seed=19, batch=ADAPTIVE)
+    coordinator = cluster.coordinators[0]
+    payload = rw_payload("k", tiebreak="k")
+    txn = cluster.submit(payload)
+    assert cluster.run_until_decided([txn])
+    cluster.run()
+    cluster.clients[0].send(
+        coordinator.pid, CertifyRequest(txn=txn, payload=payload, request_id=2)
+    )
+    cluster.run()
+    assert coordinator.duplicate_certify_requests == 1
+    assert cluster.clients[0].duplicate_decisions >= 1
+    assert cluster.history.contradictions == []
+
+
+def test_duplicate_landing_inside_a_pending_batch_is_safe():
+    """A retried request that arrives while the original still sits in the
+    coordinator's un-flushed batch must not yield a second decision."""
+    cluster = Cluster(
+        num_shards=2,
+        replicas_per_shard=2,
+        seed=5,
+        batch=BatchPolicy(size=64, linger=50.0, adaptive=False),
+    )
+    coordinator_pid = cluster.members_of("shard-1")[0]
+    key = shard_key(cluster.scheme, "shard-0")
+    payload = rw_payload(key, tiebreak="dup")
+    txn = cluster.submit(payload, coordinator=coordinator_pid)
+    coordinator = cluster.replicas[coordinator_pid]
+    # Run past the client batcher's linger (flush at t=50, delivery at
+    # t=51) but stop before the coordinator's own linger expires: the
+    # PREPARE is still queued in its batcher.
+    cluster.run(max_time=51.5)
+    assert coordinator._prepare_batcher.pending_messages > 0
+    cluster.clients[0].send(
+        coordinator_pid, CertifyRequest(txn=txn, payload=payload, request_id=2)
+    )
+    cluster.run()
+    assert coordinator.duplicate_certify_requests == 1
+    assert cluster.history.decision_of(txn) is not None
+    assert cluster.history.contradictions == []
+    check, violations = cluster.check()
+    assert check.ok and not violations
+
+
+def test_rdma_accept_batch_ack_keeps_enqueue_time_shard():
+    """NIC acks for a pending ACCEPT batch must be attributed to the shard
+    recorded when the accepts were enqueued (mirroring the unbatched
+    per-send closure) — a reconfiguration mutating the coordinator's
+    membership view while the batch lingers must not orphan the acks."""
+    cluster = Cluster(
+        num_shards=2,
+        replicas_per_shard=2,
+        protocol="rdma",
+        batch=BatchPolicy(size=64, linger=10.0, adaptive=False),
+    )
+    coordinator_pid = cluster.members_of("shard-1")[0]
+    key = shard_key(cluster.scheme, "shard-0")
+    txn = cluster.submit(rw_payload(key, tiebreak="t"), coordinator=coordinator_pid)
+    coordinator = cluster.replicas[coordinator_pid]
+    while coordinator._accept_batcher.pending_messages == 0:
+        assert cluster.scheduler.step(), "accept never reached the batcher"
+    # A membership change lands while the batch is still pending: the
+    # coordinator's view no longer lists the follower the batch targets.
+    follower = cluster.followers_of("shard-0")[0]
+    coordinator.members["shard-0"] = tuple(
+        pid for pid in coordinator.members["shard-0"] if pid != follower
+    )
+    cluster.run()
+    entry = coordinator.coordinated(txn)
+    assert entry is not None
+    assert None not in entry.rdma_acks
+    assert follower in entry.rdma_acks.get("shard-0", set())
+    assert cluster.history.decision_of(txn) is not None
+
+
+def test_session_retries_with_batching_stay_exactly_once_decided():
+    """Sub-RTT session timeouts under linger batching: nearly every
+    transaction is re-submitted to several coordinators while batches are
+    still queued, and certification must stay exactly-once-decided."""
+    cluster = Cluster(
+        num_shards=2,
+        replicas_per_shard=2,
+        seed=11,
+        retry=RetryPolicy(timeout=3.0, backoff=1.0, max_attempts=6),
+        batch=BatchPolicy(size=4, linger=2.0, adaptive=False),
+    )
+    txns = [cluster.submit(p) for p in distinct_payloads(30)]
+    assert cluster.run_until_decided(txns)
+    cluster.run()
+    assert all(cluster.history.decision_of(t) is not None for t in txns)
+    assert cluster.history.contradictions == []
+    stats = cluster.retry_stats()
+    assert stats.retries > 0 and stats.orphaned == 0
+    check, _ = cluster.check()
+    assert check.ok
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "duplicate-delivery-fuzz",
+        "coordinator-crash-storm",
+        "failover-under-wan-tail",
+        "wan-leader-crash",
+    ],
+)
+def test_resilience_pack_still_drains_under_batching(name):
+    """The resilience pack's zero-undecided guarantee must survive
+    batching: pending batches die with a crashed coordinator, sessions
+    re-submit, and dedup keeps duplicates single-decision."""
+    result = run_scenario(get_scenario(name), batch=BatchSpec(size=8))
+    assert result.passed
+    assert result.undecided == 0 and result.orphaned == 0
+    assert result.batches > 0
+
+
+# ----------------------------------------------------------------------
+# scenario pack, sweep driver and CLI
+# ----------------------------------------------------------------------
+def test_batch_scenarios_registered():
+    assert {"batch-saturation", "batch-vs-unbatched-wan"} <= set(scenario_names())
+
+
+def test_batch_saturation_scenario_passes_online_checked():
+    result = run_scenario(get_scenario("batch-saturation"))
+    assert result.passed and result.check_mode == "online"
+    assert result.undecided == 0
+    assert result.batches > 0 and result.mean_batch_size > 1.5
+    assert result.batch_model == "size=32,adaptive"
+
+
+def test_batch_vs_unbatched_wan_pair():
+    spec = get_scenario("batch-vs-unbatched-wan")
+    batched = run_scenario(spec)
+    unbatched = run_scenario(spec, batch=BatchSpec())
+    assert batched.passed and unbatched.passed
+    assert batched.messages_sent < unbatched.messages_sent
+    assert batched.phases.queue_wait.mean > 0.0
+
+
+def test_result_dict_carries_batch_columns():
+    result = run_scenario(
+        get_scenario("steady-state"),
+        batch=BatchSpec(size=8),
+        workload=replace(get_scenario("steady-state").workload, txns=30),
+    )
+    data = result.as_dict()
+    assert data["batch_model"] == "size=8,adaptive"
+    assert data["batches"] == result.batches > 0
+    assert data["mean_batch_size"] > 0
+    assert sum(data["batch_sizes"].values()) == result.batches
+    json.dumps(data)  # JSON-serialisable, batch histogram included
+
+
+def test_parse_batch_points():
+    assert not parse_batch("off").enabled
+    assert parse_batch("32") == BatchSpec(size=32)
+    assert parse_batch("16:linger=2") == BatchSpec(size=16, linger=2.0, adaptive=False)
+    assert parse_batch("8:adaptive=true") == BatchSpec(size=8, adaptive=True)
+    grid = parse_batch_grid(["default"])
+    assert grid == DEFAULT_BATCH_GRID
+    for bad in ("eight", "8:linger=x", "8:foo=1", "8:adaptive=maybe", "8:linger"):
+        with pytest.raises(ScenarioError):
+            parse_batch(bad)
+
+
+def test_batch_sweep_driver_and_determinism():
+    base = get_scenario("steady-state")
+    spec = base.with_overrides(workload=replace(base.workload, txns=40))
+    grid = (BatchSpec(), BatchSpec(size=8), BatchSpec(size=8, linger=2.0, adaptive=False))
+    sweep = run_batch_sweep(spec, grid)
+    assert sweep.passed
+    assert [label for label, _ in sweep.points] == [
+        "off",
+        "size=8,adaptive",
+        "size=8,linger=2",
+    ]
+    curve = sweep.curve()
+    assert curve[0]["messages_sent"] > curve[1]["messages_sent"]
+    assert sweep.result_for("size=8,adaptive").batches > 0
+    with pytest.raises(KeyError):
+        sweep.result_for("warp")
+    again = run_batch_sweep(spec, grid)
+    assert json.dumps(sweep.as_dict(), sort_keys=True) == json.dumps(
+        again.as_dict(), sort_keys=True
+    )
+    assert "batch sweep" in sweep.render()
+
+
+def test_cli_run_batch_override(capsys):
+    assert (
+        scenarios_main(
+            ["run", "steady-state", "--txns", "20", "--batch", "8", "--json"]
+        )
+        == 0
+    )
+    data = json.loads(capsys.readouterr().out)
+    assert data["batch_model"] == "size=8,adaptive"
+    assert data["batches"] > 0
+
+
+def test_cli_batch_sweep(capsys):
+    assert (
+        scenarios_main(
+            [
+                "sweep",
+                "steady-state",
+                "--protocols",
+                "message-passing",
+                "--batch",
+                "off",
+                "--batch",
+                "8",
+                "--txns",
+                "30",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "batch sweep" in out and "size=8,adaptive" in out
+
+
+def test_cli_batch_and_latency_sweeps_are_mutually_exclusive():
+    with pytest.raises(SystemExit):
+        scenarios_main(
+            [
+                "sweep",
+                "steady-state",
+                "--latency",
+                "unit",
+                "--batch",
+                "8",
+            ]
+        )

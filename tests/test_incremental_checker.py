@@ -456,6 +456,58 @@ def test_gc_differential_matches_unpruned_verdicts(scheme_factory):
     assert verdicts[True] > 0 and verdicts[False] > 0
 
 
+def test_pairwise_fallback_gc_drops_retired_entries():
+    """The pairwise fallback really retires entries now: retired
+    transactions leave the live scan (so it stays bounded by the undecided
+    window instead of growing with history), the checker's retired-id set
+    stays empty, and conflicts against retired history are still flagged
+    via the RETIRED sentinel."""
+    scheme = _NoIndexScheme(KeyHashSharding(SHARDS))
+    checker = IncrementalTCSChecker(scheme, gc=True, gc_interval=16)
+    uncollected = IncrementalTCSChecker(scheme)
+    for i in range(400):
+        p = payload(
+            reads=[(f"k{i}", (0, ""))], writes=[(f"k{i}", i)], tiebreak=f"t{i}"
+        )
+        for each in (checker, uncollected):
+            each.observe_certify(f"t{i}", p)
+            each.observe_decide(f"t{i}", Decision.COMMIT)
+    checker.collect()
+    assert checker.ok and uncollected.ok  # differential: same verdict
+    index = checker._conflicts
+    assert isinstance(index, PairwiseConflictIndex)
+    assert checker.txns_pruned >= 350
+    # The un-collected index keeps all 400 entries; the collected one keeps
+    # only the unretired tail (id entries are gone, distinct payloads stay
+    # as the anonymous retired set used for RETIRED flagging).
+    assert uncollected._conflicts.live_entries == 400
+    assert index.live_entries <= 400 - checker.txns_pruned
+    assert index.retired_payload_count == checker.txns_pruned
+    # retire() returning True means the checker never falls back to
+    # tracking retired ids itself.
+    assert checker._retired_fallback is None
+    # A late transaction ordered before retired history must still fail.
+    stale = payload(reads=[("k0", (0, ""))], writes=[("k0", -1)], tiebreak="stale")
+    checker.observe_certify("stale", stale)
+    checker.observe_decide("stale", Decision.COMMIT)
+    assert not checker.ok
+    assert "garbage-collected" in checker.result().reason
+    assert checker.result().cycle == ["stale"]
+
+
+def test_pairwise_fallback_retire_unknown_txn_returns_false(scheme):
+    index = PairwiseConflictIndex(scheme)
+    a = payload(reads=[("x", (0, ""))], writes=[("x", 1)], tiebreak="a")
+    index.register("ta", a)
+    assert not index.retire("unknown", None)
+    assert index.retire("ta", None)  # payload recovered from the entry
+    assert index.live_entries == 0 and index.retired_payload_count == 1
+    # Retiring deduplicates identical payloads (hashable frozen dataclass).
+    index.register("tb", a)
+    assert index.retire("tb", a)
+    assert index.retired_payload_count == 1
+
+
 def test_gc_through_scenario_runner():
     from repro.scenarios import ScenarioRunner, get_scenario
 

@@ -398,13 +398,27 @@ def test_same_spec_byte_identical_result_for_every_model(point):
     assert first.passed
 
 
-def test_results_identical_across_interpreter_hash_seeds():
+@pytest.mark.parametrize(
+    "batch_override",
+    [
+        "",
+        "batch=BatchSpec(size=8),",
+        "batch=BatchSpec(size=8, linger=2.0, adaptive=False),",
+    ],
+    ids=["unbatched", "batched-adaptive", "batched-linger"],
+)
+def test_results_identical_across_interpreter_hash_seeds(batch_override):
     """Regression lock for a cross-process determinism bug: coordinators
     used to fan out Prepare/decision messages in set-iteration order, which
     follows the interpreter's salted string hash — invisible under unit
     latency (all sends draw the same delay) but schedule-changing under
     random models (one RNG draw per send).  The fan-outs are sorted now, so
-    the same spec must produce byte-identical JSON in any interpreter."""
+    the same spec must produce byte-identical JSON in any interpreter.
+
+    The batched variants additionally lock batch *composition*: batches are
+    keyed and filled in arrival order (never hash order), so the per-batch
+    message grouping — and with it every RNG draw downstream — must be
+    identical across interpreters too."""
     import os
     import subprocess
     import sys
@@ -412,9 +426,10 @@ def test_results_identical_across_interpreter_hash_seeds():
     script = (
         "import json;"
         "from dataclasses import replace;"
-        "from repro.scenarios import LatencySpec, ScenarioRunner, get_scenario;"
+        "from repro.scenarios import BatchSpec, LatencySpec, ScenarioRunner, get_scenario;"
         "s = get_scenario('steady-state');"
         "s = s.with_overrides(latency=LatencySpec(model='lognormal', mean=1.5, sigma=0.8),"
+        f" {batch_override}"
         " workload=replace(s.workload, txns=25));"
         "print(json.dumps(ScenarioRunner(s).run().as_dict(), sort_keys=True))"
     )
@@ -436,6 +451,8 @@ def test_results_identical_across_interpreter_hash_seeds():
         )
         outputs.append(completed.stdout)
     assert outputs[0] == outputs[1]
+    if batch_override:
+        assert '"batches": 0' not in outputs[0]  # batching really engaged
 
 
 # ----------------------------------------------------------------------
