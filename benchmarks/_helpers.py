@@ -14,12 +14,44 @@ import sys
 import time
 
 
-# The engine floor recorded before the PR 1 simulation-core refactor on the
-# 10k-transaction steady-state workload (see test_bench_scheduler.py for
-# provenance).  Both perf guards assert against 2x this floor; keep it in one
-# place so a re-measurement cannot silently diverge between them.
-PRE_REFACTOR_TXNS_PER_SEC = 235.0
-PRE_REFACTOR_EVENTS_PER_SEC = 2_950.0
+# ---------------------------------------------------------------------------
+# Perf-guard baselines and the re-baselining rule
+# ---------------------------------------------------------------------------
+# Wall-clock guards assert against floors derived from a *measured baseline*:
+#
+#   floor = baseline / 2        (throughput guards)
+#   ceiling = 2 x worst noise   (overhead-ratio guards)
+#
+# The 2x headroom absorbs slower CI machines and noisy neighbours while
+# still catching algorithmic regressions (a returned quadratic path costs
+# 10x, not 2x).  The rule for updating these numbers:
+#
+# * Re-measure whenever a deliberate change moves a measurement by more
+#   than ~1.5x in either direction — a floor pinned far below the current
+#   regime guards nothing (the previous floor here, 235 txns/s from before
+#   the PR 1 engine refactor, had drifted ~13x below the measured rate and
+#   would have let the engine regress by an order of magnitude unnoticed).
+# * Measure on an otherwise-idle dev container, several runs, and record
+#   the *worst* run — baselines encode the slow day, not the lucky one.
+# * Never lower a floor to make a failing guard pass without re-measuring
+#   and explaining what legitimately got slower.
+#
+# Baselines re-measured 2026-08 (10k-txn steady state, worst of repeated
+# runs; see test_bench_scheduler.py / test_bench_checker.py for the exact
+# workloads):
+BASELINE_ENGINE_TXNS_PER_SEC = 3_000.0  # check_mode="off"
+BASELINE_ENGINE_EVENTS_PER_SEC = 32_000.0
+BASELINE_CHECKED_TXNS_PER_SEC = 2_600.0  # online checker on (worst model)
+
+ENGINE_TXNS_FLOOR = BASELINE_ENGINE_TXNS_PER_SEC / 2
+ENGINE_EVENTS_FLOOR = BASELINE_ENGINE_EVENTS_PER_SEC / 2
+CHECKED_TXNS_FLOOR = BASELINE_CHECKED_TXNS_PER_SEC / 2
+
+# Overhead-ratio ceiling for the client-session layer: design target 10%,
+# measured 8-17% depending on machine load (a ratio of two ~1s runs is
+# noise-sensitive even taking the best of three) -> ceiling at 2x the
+# worst observed noise band.
+SESSION_OVERHEAD_CEILING = 0.25
 
 
 def key_on_shard(cluster, shard: str, hint: str = "key") -> str:

@@ -28,6 +28,7 @@ from repro.core.serializability import KeyHashSharding, SerializabilityScheme
 from repro.core.types import Decision, ShardId, TxnId
 from repro.runtime.events import Scheduler
 from repro.runtime.network import LatencyModel, Network, UnitLatency
+from repro.runtime.parallel import GroupedScheduler, partition_contiguous
 from repro.spec.checker import CheckResult, TCSChecker
 from repro.spec.history import History
 
@@ -46,6 +47,7 @@ class BaselineCluster:
         seed: int = 0,
         retry: Optional[RetryPolicy] = None,
         batch: Optional[BatchPolicy] = None,
+        groups: int = 0,
     ) -> None:
         if num_shards < 1 or failures_tolerated < 0:
             raise ValueError("num_shards must be >= 1 and failures_tolerated >= 0")
@@ -55,7 +57,11 @@ class BaselineCluster:
         self.shards: List[ShardId] = [f"shard-{i}" for i in range(num_shards)]
         self.scheme = scheme or SerializabilityScheme(KeyHashSharding(self.shards))
 
-        self.scheduler = Scheduler()
+        # groups > 0 selects the conservative parallel-DES engine (see
+        # repro.runtime.parallel): Paxos groups partition into that many
+        # scheduler groups, coordinators and clients stay in group 0.
+        self.exec_groups = groups
+        self.scheduler = GroupedScheduler(groups) if groups else Scheduler()
         self.network = Network(self.scheduler, latency=latency or UnitLatency(), seed=seed)
         self.directory = TransactionDirectory()
         self.history = History()
@@ -107,6 +113,24 @@ class BaselineCluster:
             ClientSession(client, self.router, self.scheme, self.retry)
             for client in self.clients
         ]
+
+        if groups:
+            self.scheduler.install(self.network, self._group_partition())
+
+    def _group_partition(self) -> Dict[str, int]:
+        """Shards to contiguous groups; replicas follow their shard; the
+        clients (the only history writers) and the dedicated coordinators
+        share group 0, preserving the serial history append order."""
+        shard_group = partition_contiguous(self.shards, self.exec_groups)
+        group_of: Dict[str, int] = {}
+        for shard, group in self.groups.items():
+            for pid in group.pids:
+                group_of[pid] = shard_group[shard]
+        for coordinator in self.coordinators:
+            group_of[coordinator.pid] = 0
+        for client in self.clients:
+            group_of[client.pid] = 0
+        return group_of
 
     # ------------------------------------------------------------------
     # transaction driving (same surface as Cluster)

@@ -47,6 +47,7 @@ from repro.rdma.broken import BrokenRdmaShardReplica
 from repro.rdma.replica import RdmaShardReplica
 from repro.runtime.events import Scheduler
 from repro.runtime.network import LatencyModel, Network, UnitLatency
+from repro.runtime.parallel import GroupedScheduler, partition_contiguous
 from repro.spec.checker import CheckResult, TCSChecker
 from repro.spec.history import History
 from repro.spec.invariants import InvariantViolation, check_invariants
@@ -164,6 +165,7 @@ class Cluster:
         membership_policy: Optional[MembershipPolicy] = None,
         retry: Optional[RetryPolicy] = None,
         batch: Optional[BatchPolicy] = None,
+        groups: int = 0,
     ) -> None:
         spec = protocol_spec(protocol)
         if num_shards < 1 or replicas_per_shard < 1 or num_clients < 1:
@@ -180,7 +182,13 @@ class Cluster:
             scheme = _ISOLATION_SCHEMES[isolation](KeyHashSharding(self.shards))
         self.scheme = scheme
 
-        self.scheduler = Scheduler()
+        # groups > 0 selects the conservative parallel-DES engine: shards
+        # partition into that many weakly-coupled groups, each with its own
+        # event heap, advanced window-by-window behind lookahead barriers
+        # (see repro.runtime.parallel).  Results are byte-identical to the
+        # serial engine for deterministic latency models.
+        self.exec_groups = groups
+        self.scheduler = GroupedScheduler(groups) if groups else Scheduler()
         self.network = Network(self.scheduler, latency=latency or UnitLatency(), seed=seed)
         self.directory = TransactionDirectory()
         self.history = History()
@@ -208,10 +216,31 @@ class Cluster:
         self._candidate_cache_version = -1
         if spec.post_build is not None:
             spec.post_build(self)
+        if groups:
+            self.scheduler.install(self.network, self._group_partition())
 
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
+    def _group_partition(self) -> Dict[str, int]:
+        """Process-to-group assignment for the parallel-DES engine.
+
+        Shards split into contiguous blocks (intra-shard traffic is the
+        dense part of the communication graph and stays intra-group);
+        replicas and spares follow their shard.  Clients and the
+        configuration service all live in group 0: clients are the only
+        history writers, so keeping them in one group preserves the serial
+        append order of the history, and the configuration service talks to
+        every shard anyway.
+        """
+        shard_group = partition_contiguous(self.shards, self.exec_groups)
+        group_of: Dict[str, int] = {self.config_service.pid: 0}
+        for pid, replica in self.replicas.items():
+            group_of[pid] = shard_group[replica.shard]
+        for client in self.clients:
+            group_of[client.pid] = 0
+        return group_of
+
     def _build_config_service(self) -> None:
         self.config_service = self.protocol_spec.config_service_cls("config-service")
         self.network.register(self.config_service)

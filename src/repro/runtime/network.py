@@ -26,8 +26,25 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class LatencyModel:
     """Strategy object deciding the one-way delay of each message."""
 
+    #: True when ``delay`` never consults the RNG.  Only deterministic
+    #: models are eligible for the grouped (parallel-DES) engine: a shared
+    #: RNG drawn in per-group execution order would diverge from the serial
+    #: draw order and break byte-identical replay.
+    deterministic = False
+
     def delay(self, src: str, dst: str, message: Any, rng: random.Random) -> float:
         raise NotImplementedError
+
+    def min_delay(self, src: str, dst: str) -> float:
+        """A lower bound on ``delay`` for the directed link ``src -> dst``.
+
+        The grouped engine's lookahead window is the minimum ``min_delay``
+        over all cross-group links: no message sent inside a window can be
+        delivered inside it, so groups may advance independently up to the
+        barrier.  Models with unbounded-below delays return 0.0, which
+        yields a zero lookahead and disqualifies them from grouped runs.
+        """
+        return 0.0
 
 
 class UnitLatency(LatencyModel):
@@ -38,10 +55,15 @@ class UnitLatency(LatencyModel):
     critical path — the unit the paper uses for its latency claims.
     """
 
+    deterministic = True
+
     def __init__(self, unit: float = 1.0) -> None:
         self.unit = unit
 
     def delay(self, src: str, dst: str, message: Any, rng: random.Random) -> float:
+        return self.unit
+
+    def min_delay(self, src: str, dst: str) -> float:
         return self.unit
 
 
@@ -56,6 +78,9 @@ class UniformLatency(LatencyModel):
 
     def delay(self, src: str, dst: str, message: Any, rng: random.Random) -> float:
         return rng.uniform(self.low, self.high)
+
+    def min_delay(self, src: str, dst: str) -> float:
+        return self.low
 
 
 class LognormalLatency(LatencyModel):
@@ -103,6 +128,9 @@ class JitteredLatency(LatencyModel):
 
     def delay(self, src: str, dst: str, message: Any, rng: random.Random) -> float:
         return self.base.delay(src, dst, message, rng) + rng.uniform(0.0, self.jitter)
+
+    def min_delay(self, src: str, dst: str) -> float:
+        return self.base.min_delay(src, dst)
 
 
 class RegionLatency(LatencyModel):
@@ -170,7 +198,16 @@ class RegionLatency(LatencyModel):
         digits = "".join(ch for ch in tail if ch.isdigit())
         return int(digits) if digits else 0
 
+    deterministic = True
+
     def delay(self, src: str, dst: str, message: Any, rng: random.Random) -> float:
+        src_region = self.region_of(src)
+        dst_region = self.region_of(dst)
+        if src_region == dst_region:
+            return self.intra
+        return self.inter[(src_region, dst_region)]
+
+    def min_delay(self, src: str, dst: str) -> float:
         src_region = self.region_of(src)
         dst_region = self.region_of(dst)
         if src_region == dst_region:
@@ -235,6 +272,30 @@ class Network:
         self._channel_clock: Dict[Tuple[str, str], float] = {}
         self._blocked: Set[Tuple[str, str]] = set()
         self._extra_delay: Dict[Tuple[str, str], float] = {}
+        # Destination-process -> group index, installed by the grouped
+        # (parallel-DES) engine.  When set, deliveries are routed through
+        # ``scheduler.schedule_delivery`` so each lands in its destination
+        # group's heap.  None on the serial engine (the common case).
+        self._group_of: Optional[Dict[str, int]] = None
+
+    def install_groups(self, group_of: Dict[str, int]) -> None:
+        """Route deliveries by destination group (grouped engine only)."""
+        self._group_of = dict(group_of)
+
+    def min_cross_group_delay(self, group_of: Dict[str, int]) -> float:
+        """The lookahead bound: minimum ``min_delay`` over all directed
+        process pairs whose endpoints live in different groups (including
+        per-channel extra delays, which only ever add latency)."""
+        bound = math.inf
+        pids = list(self.processes)
+        for src in pids:
+            for dst in pids:
+                if src == dst or group_of.get(src) == group_of.get(dst):
+                    continue
+                link = self.latency.min_delay(src, dst)
+                link += self._extra_delay.get((src, dst), 0.0)
+                bound = min(bound, link)
+        return 0.0 if math.isinf(bound) else bound
 
     # ------------------------------------------------------------------
     # membership
@@ -325,8 +386,14 @@ class Network:
         if src in self.processes and self.processes[src].crashed:
             return
         deliver_at = self._enqueue(src, dst, message)
-        if deliver_at is not None:
+        if deliver_at is None:
+            return
+        if self._group_of is None:
             self.scheduler.schedule_at(deliver_at, self._deliver, src, dst, message)
+        else:
+            self.scheduler.schedule_delivery(
+                deliver_at, self._group_of[dst], self._deliver, src, dst, message
+            )
 
     def send_many(self, src: str, dsts: Iterable[str], message: Any) -> None:
         """Multicast ``message`` to every destination, batching deliveries.
@@ -343,6 +410,9 @@ class Network:
         """
         if src in self.processes and self.processes[src].crashed:
             return
+        if self._group_of is not None:
+            self._send_many_grouped(src, dsts, message)
+            return
         batches: Dict[float, list] = {}
         for dst in dsts:
             deliver_at = self._enqueue(src, dst, message)
@@ -355,6 +425,37 @@ class Network:
                 # distinct delivery time, carrying the (mutable) group so
                 # destinations found later in this call still join it.
                 self.scheduler.schedule_at(deliver_at, self._deliver_batch, src, group, message)
+            group.append(dst)
+
+    def _send_many_grouped(self, src: str, dsts: Iterable[str], message: Any) -> None:
+        """Multicast under the grouped engine.
+
+        Batches split per (delivery time, destination group) so each
+        fragment can be routed to its group's scheduler independently.  The
+        serial engine fires exactly one event per distinct delivery time, so
+        only the first fragment of each time carries event weight; the rest
+        are zero-weight, keeping ``events_fired`` byte-identical.  Delivery
+        order is unaffected: the fragments of one delivery time receive
+        consecutive order tags (they are effects of the same creating
+        event), so they fire back-to-back in send order, and within a
+        fragment the destination list keeps send order.
+        """
+        batches: Dict[Tuple[float, int], list] = {}
+        seen_times: Set[float] = set()
+        for dst in dsts:
+            deliver_at = self._enqueue(src, dst, message)
+            if deliver_at is None:
+                continue
+            key = (deliver_at, self._group_of[dst])
+            group = batches.get(key)
+            if group is None:
+                group = batches[key] = []
+                weight = 1 if deliver_at not in seen_times else 0
+                seen_times.add(deliver_at)
+                self.scheduler.schedule_delivery(
+                    deliver_at, key[1], self._deliver_batch, src, group, message,
+                    weight=weight,
+                )
             group.append(dst)
 
     def _deliver_batch(self, src: str, dsts: list, message: Any) -> None:

@@ -21,13 +21,19 @@ from repro.scenarios.runner import (
     run_scenario,
     run_sweep,
 )
+from repro.scenarios.executor import (
+    run_repetitions,
+    run_scenarios,
+)
 from repro.scenarios.spec import (
     CHECK_MODES,
+    EXEC_MODES,
     FAULT_ACTIONS,
     LATENCY_MODELS,
     PROTOCOL_BASELINE,
     WORKLOAD_KINDS,
     BatchSpec,
+    ExecSpec,
     FaultStep,
     LatencySpec,
     RetrySpec,
@@ -45,6 +51,8 @@ from repro.scenarios.sweep import (
     parse_grid,
     run_batch_sweep,
     run_latency_sweep,
+    sort_batch_grid,
+    sort_latency_grid,
 )
 
 __all__ = [
@@ -58,6 +66,8 @@ __all__ = [
     "ScenarioResult",
     "ScenarioRunner",
     "run_scenario",
+    "run_scenarios",
+    "run_repetitions",
     "run_sweep",
     "run_batch_sweep",
     "run_latency_sweep",
@@ -66,12 +76,16 @@ __all__ = [
     "parse_batch",
     "parse_batch_grid",
     "parse_grid",
+    "sort_batch_grid",
+    "sort_latency_grid",
+    "EXEC_MODES",
     "FAULT_ACTIONS",
     "LATENCY_MODELS",
     "PROTOCOL_BASELINE",
     "WORKLOAD_KINDS",
     "BatchSpec",
     "BatchSweepResult",
+    "ExecSpec",
     "FaultStep",
     "LatencySpec",
     "LatencySweepResult",

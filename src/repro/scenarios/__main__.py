@@ -4,8 +4,10 @@ Usage::
 
     python -m repro.scenarios list
     python -m repro.scenarios run steady-state [--seed 7] [--txns 40] [--json]
+    python -m repro.scenarios run steady-state bank-transfers --jobs 2
+    python -m repro.scenarios run steady-state --parallel-shards 2
     python -m repro.scenarios sweep steady-state --protocols message-passing,rdma
-    python -m repro.scenarios sweep steady-state --latency default
+    python -m repro.scenarios sweep steady-state --latency default --jobs 4
     python -m repro.scenarios sweep steady-state \
         --latency unit --latency lognormal:mean=2,sigma=0.8
     python -m repro.scenarios sweep steady-state --batch default
@@ -21,6 +23,14 @@ expands to the stock four-point grid); with ``--batch`` it sweeps the
 protocol-level batching policy instead and prints one
 batch-size-vs-throughput/latency curve per protocol (``--batch default``
 expands to off/4/8/16/32).
+
+Two independent parallelism knobs (see ``repro.runtime.parallel``):
+``--jobs N`` fans whole runs — the scenarios listed on ``run``, the grid
+points / protocols of a ``sweep`` — out over ``N`` worker processes
+(``0`` = one per core); ``--parallel-shards G`` runs each simulation on
+the conservative parallel-DES engine with ``G`` shard groups.  Both
+preserve output byte for byte: results always come back in spec order,
+and the grouped engine replays the exact serial event order.
 """
 
 from __future__ import annotations
@@ -31,10 +41,11 @@ import sys
 from dataclasses import replace
 from typing import List, Optional
 
+from repro.scenarios.executor import run_scenarios
 from repro.scenarios.latency import parse_latency
 from repro.scenarios.library import SCENARIOS, get_scenario, scenario_names
-from repro.scenarios.runner import run_scenario, run_sweep
-from repro.scenarios.spec import CHECK_MODES, ScenarioError, ScenarioSpec
+from repro.scenarios.runner import run_sweep
+from repro.scenarios.spec import CHECK_MODES, ExecSpec, ScenarioError, ScenarioSpec
 from repro.scenarios.sweep import (
     parse_batch,
     parse_batch_grid,
@@ -65,6 +76,10 @@ def _apply_overrides(spec: ScenarioSpec, args: argparse.Namespace) -> ScenarioSp
         workload_overrides["think_time"] = args.think_time
     if workload_overrides:
         overrides["workload"] = replace(spec.workload, **workload_overrides)
+    if getattr(args, "parallel_shards", None):
+        overrides["execution"] = replace(
+            spec.execution, mode="parallel-shards", groups=args.parallel_shards
+        )
     return spec.with_overrides(**overrides) if overrides else spec
 
 
@@ -77,13 +92,24 @@ def _cmd_list() -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    spec = _apply_overrides(get_scenario(args.name), args)
-    result = run_scenario(spec)
+    specs = [_apply_overrides(get_scenario(name), args) for name in args.names]
+    results = run_scenarios(specs, jobs=args.jobs)
     if args.json:
-        print(json.dumps(result.as_dict(), indent=2))
+        if len(results) == 1:
+            print(json.dumps(results[0].as_dict(), indent=2))
+        else:
+            print(
+                json.dumps(
+                    {spec.name: result.as_dict() for spec, result in zip(specs, results)},
+                    indent=2,
+                )
+            )
     else:
-        print(result.render())
-    return 0 if result.passed else 1
+        for index, result in enumerate(results):
+            if index:
+                print()
+            print(result.render())
+    return 0 if all(result.passed for result in results) else 1
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -94,7 +120,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.batch:
         grid = parse_batch_grid(args.batch)
         sweeps = {
-            protocol: run_batch_sweep(spec, grid, protocol=protocol)
+            protocol: run_batch_sweep(spec, grid, jobs=args.jobs, protocol=protocol)
             for protocol in protocols
         }
         if args.json:
@@ -107,7 +133,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.latency:
         grid = parse_grid(args.latency)
         sweeps = {
-            protocol: run_latency_sweep(spec, grid, protocol=protocol)
+            protocol: run_latency_sweep(spec, grid, jobs=args.jobs, protocol=protocol)
             for protocol in protocols
         }
         if args.json:
@@ -117,7 +143,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 print(sweep.render())
                 print()
         return 0 if all(sweep.passed for sweep in sweeps.values()) else 1
-    results = run_sweep(spec, protocols)
+    results = run_sweep(spec, protocols, jobs=args.jobs)
     if args.json:
         print(json.dumps({p: r.as_dict() for p, r in results.items()}, indent=2))
     else:
@@ -143,6 +169,24 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="closed-loop client think time in delays (0 = batch-driven)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan independent runs (scenarios, sweep grid points, protocols) "
+        "out over N worker processes; 0 = one per core; results are "
+        "byte-identical to --jobs 1",
+    )
+    parser.add_argument(
+        "--parallel-shards",
+        type=int,
+        default=None,
+        metavar="G",
+        help="run each simulation on the conservative parallel-DES engine "
+        "with G shard groups (needs a deterministic latency model; replays "
+        "the serial event order byte for byte)",
+    )
     parser.add_argument("--json", action="store_true", help="emit the result as JSON")
 
 
@@ -160,8 +204,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     commands.add_parser("list", help="list the scenario library")
 
-    run_parser = commands.add_parser("run", help="run one scenario")
-    run_parser.add_argument("name", choices=scenario_names())
+    run_parser = commands.add_parser("run", help="run one or more scenarios")
+    run_parser.add_argument("names", nargs="+", choices=scenario_names(), metavar="name")
     run_parser.add_argument("--protocol", default=None, help="override the protocol")
     run_parser.add_argument(
         "--latency",

@@ -96,6 +96,7 @@ class ScenarioResult:
     phases: Optional[PhaseBreakdown] = None  # submit/certify/decide split
     faults_executed: List[str] = field(default_factory=list)
     wall_seconds: float = 0.0
+    history_digest: str = ""  # History.digest(): fingerprint of the event sequence
 
     @property
     def safety_ok(self) -> bool:
@@ -147,6 +148,7 @@ class ScenarioResult:
             "expect_safe": self.expect_safe,
             "passed": self.passed,
             "faults_executed": list(self.faults_executed),
+            "history_digest": self.history_digest,
         }
 
     def render(self) -> str:
@@ -230,6 +232,9 @@ class ScenarioRunner:
         latency = compile_latency_model(spec.latency)
         retry = spec.retry.compile()
         batch = spec.batch.compile()
+        # Tier-B engine selection: groups > 0 builds the cluster on the
+        # conservative parallel-DES scheduler (byte-identical results).
+        groups = spec.execution.groups if spec.execution.mode == "parallel-shards" else 0
         if spec.protocol == PROTOCOL_BASELINE:
             self.cluster = BaselineCluster(
                 num_shards=spec.num_shards,
@@ -239,6 +244,7 @@ class ScenarioRunner:
                 seed=spec.seed,
                 retry=retry,
                 batch=batch,
+                groups=groups,
             )
         else:
             self.cluster = Cluster(
@@ -252,6 +258,7 @@ class ScenarioRunner:
                 spares_per_shard=spec.spares_per_shard,
                 retry=retry,
                 batch=batch,
+                groups=groups,
             )
         if spec.check_mode == "online":
             self.checker = IncrementalTCSChecker(
@@ -507,6 +514,7 @@ class ScenarioRunner:
             check_reason=check_reason,
             faults_executed=list(self.faults_executed),
             wall_seconds=wall,
+            history_digest=history.digest(),
         )
 
     def _verdict(self) -> Tuple[bool, str, List[Any]]:
@@ -538,10 +546,10 @@ def run_scenario(spec: ScenarioSpec, **overrides) -> ScenarioResult:
 
 
 def run_sweep(
-    spec: ScenarioSpec, protocols: Tuple[str, ...]
+    spec: ScenarioSpec, protocols: Tuple[str, ...], jobs: int = 1
 ) -> Dict[str, ScenarioResult]:
-    """Run the same scenario under several protocols (same seed/workload)."""
-    results = {}
-    for protocol in protocols:
-        results[protocol] = run_scenario(spec, protocol=protocol)
-    return results
+    """Run the same scenario under several protocols (same seed/workload);
+    with ``jobs > 1`` the protocols fan out over a process pool."""
+    from repro.scenarios.executor import run_protocols  # late: avoid cycle
+
+    return run_protocols(spec, protocols, jobs=jobs)

@@ -30,18 +30,42 @@ from typing import Any, Dict, Iterable, List, Sequence, Tuple
 from repro.analysis.metrics import format_table
 from repro.scenarios.latency import parse_latency
 from repro.scenarios.runner import ScenarioResult, ScenarioRunner
-from repro.scenarios.spec import BatchSpec, LatencySpec, ScenarioError, ScenarioSpec
+from repro.scenarios.spec import (
+    LATENCY_MODELS,
+    BatchSpec,
+    LatencySpec,
+    ScenarioError,
+    ScenarioSpec,
+)
 
 
 # The stock grid: the paper's unit model, bounded jitter around one delay,
-# a memoryless network, and a heavy tail — same mean (one delay) for the
+# a heavy tail, and a memoryless network — same mean (one delay) for the
 # three random models, so differences come from distribution shape alone.
+# Listed in canonical grid order (see sort_latency_grid).
 DEFAULT_GRID: Tuple[LatencySpec, ...] = (
     LatencySpec(model="unit"),
     LatencySpec(model="uniform", low=0.5, high=1.5),
-    LatencySpec(model="exponential", mean=1.0),
     LatencySpec(model="lognormal", mean=1.0, sigma=0.8),
+    LatencySpec(model="exponential", mean=1.0),
 )
+
+
+def sort_latency_grid(grid: Sequence[LatencySpec]) -> Tuple[LatencySpec, ...]:
+    """Canonical grid order: model rank (the :data:`LATENCY_MODELS` listing
+    order), then the point's canonical parameter label.  Sweeps sort their
+    grid on entry so the output row order — and therefore every derived
+    artifact (curves, JSON, diffs) — depends only on the *set* of points
+    requested, not on the order flags appeared on the command line."""
+    return tuple(
+        sorted(grid, key=lambda p: (LATENCY_MODELS.index(p.model), p.describe()))
+    )
+
+
+def sort_batch_grid(grid: Sequence[BatchSpec]) -> Tuple[BatchSpec, ...]:
+    """Canonical batch-grid order: by (size, linger, adaptive) — the
+    unbatched baseline first, then growing size caps."""
+    return tuple(sorted(grid, key=lambda p: (p.size, p.linger, p.adaptive)))
 
 
 def parse_grid(texts: Iterable[str]) -> Tuple[LatencySpec, ...]:
@@ -146,19 +170,25 @@ class LatencySweepResult:
 def run_latency_sweep(
     spec: ScenarioSpec,
     grid: Sequence[LatencySpec] = DEFAULT_GRID,
+    jobs: int = 1,
     **overrides: Any,
 ) -> LatencySweepResult:
     """Run ``spec`` once per latency point (optionally overriding spec
     fields first); every point reuses the spec's seed, workload and faults,
-    so the curve isolates the effect of the delay distribution."""
+    so the curve isolates the effect of the delay distribution.
+
+    The grid is sorted canonically (:func:`sort_latency_grid`), and with
+    ``jobs > 1`` the points fan out over a process pool — the sweep result
+    is byte-identical for any ``jobs`` value.
+    """
     if overrides:
         spec = spec.with_overrides(**overrides)
+    from repro.scenarios.executor import run_latency_points
+
     sweep = LatencySweepResult(
         scenario=spec.name, protocol=spec.protocol, seed=spec.seed
     )
-    for point in grid:
-        result = ScenarioRunner(spec.with_overrides(latency=point)).run()
-        sweep.points.append((point.describe(), result))
+    sweep.points.extend(run_latency_points(spec, sort_latency_grid(grid), jobs=jobs))
     return sweep
 
 
@@ -314,15 +344,21 @@ class BatchSweepResult:
 def run_batch_sweep(
     spec: ScenarioSpec,
     grid: Sequence[BatchSpec] = DEFAULT_BATCH_GRID,
+    jobs: int = 1,
     **overrides: Any,
 ) -> BatchSweepResult:
     """Run ``spec`` once per batch point (optionally overriding spec fields
     first); every point reuses the spec's seed, workload, latency model and
-    faults, so the curve isolates the effect of the batching policy."""
+    faults, so the curve isolates the effect of the batching policy.
+
+    The grid is sorted canonically (:func:`sort_batch_grid`), and with
+    ``jobs > 1`` the points fan out over a process pool — the sweep result
+    is byte-identical for any ``jobs`` value.
+    """
     if overrides:
         spec = spec.with_overrides(**overrides)
+    from repro.scenarios.executor import run_batch_points
+
     sweep = BatchSweepResult(scenario=spec.name, protocol=spec.protocol, seed=spec.seed)
-    for point in grid:
-        result = ScenarioRunner(spec.with_overrides(batch=point)).run()
-        sweep.points.append((point.describe(), result))
+    sweep.points.extend(run_batch_points(spec, sort_batch_grid(grid), jobs=jobs))
     return sweep

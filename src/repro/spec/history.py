@@ -9,10 +9,38 @@ checker and the metrics layer consume.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.types import Decision, TxnId
+
+
+def _stable(value: Any) -> Any:
+    """A canonical, hash-seed-independent rendering of a payload value.
+
+    Sets and frozensets iterate in ``PYTHONHASHSEED`` order, so they are
+    sorted by repr before hashing; containers and dataclasses (e.g.
+    ``TransactionPayload``, whose read/write sets are frozensets) recurse.
+    Everything else relies on its repr being deterministic (the leaves
+    here are txn ids, keys, versions and primitives — all are).
+    """
+    if isinstance(value, (set, frozenset)):
+        return ("set", sorted(repr(_stable(v)) for v in value))
+    if isinstance(value, dict):
+        return ("dict", sorted((repr(k), repr(_stable(v))) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_stable(v) for v in value)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return (
+            type(value).__name__,
+            tuple(
+                (field.name, _stable(getattr(value, field.name)))
+                for field in dataclasses.fields(value)
+            ),
+        )
+    return value
 
 
 @dataclass(frozen=True)
@@ -175,6 +203,33 @@ class History:
                 if a != b and self.real_time_precedes(a, b):
                     pairs.append((a, b))
         return pairs
+
+    def digest(self) -> str:
+        """A SHA-256 fingerprint of the full event sequence.
+
+        Two histories digest equal iff they recorded the same actions, on
+        the same transactions with the same payloads and decisions, in the
+        same order at the same virtual times — the byte-identity contract
+        the parallel execution modes are held to.  Stable across processes
+        and ``PYTHONHASHSEED`` values (unordered payload containers are
+        canonicalized first), so digests can be compared between a serial
+        parent and pool workers, or across machines.
+        """
+        fingerprint = hashlib.sha256()
+        for event in self.events:
+            fingerprint.update(
+                repr(
+                    (
+                        event.kind,
+                        event.txn,
+                        event.time,
+                        event.seq,
+                        _stable(event.payload),
+                        None if event.decision is None else event.decision.name,
+                    )
+                ).encode()
+            )
+        return fingerprint.hexdigest()
 
     def __len__(self) -> int:
         return len(self.events)
