@@ -24,6 +24,7 @@ from repro.client import Client, ClientSession, RetryPolicy, StaticRouter
 from repro.core.batching import BatchPolicy
 from repro.core.certification import CertificationScheme
 from repro.core.directory import TransactionDirectory
+from repro.core.reads import ReadPolicy
 from repro.core.serializability import KeyHashSharding, SerializabilityScheme
 from repro.core.types import Decision, ShardId, TxnId
 from repro.runtime.events import Scheduler
@@ -31,6 +32,7 @@ from repro.runtime.network import LatencyModel, Network, UnitLatency
 from repro.runtime.parallel import GroupedScheduler, partition_contiguous
 from repro.spec.checker import CheckResult, TCSChecker
 from repro.spec.history import History
+from repro.store.kv import VersionedKVStore
 
 
 class BaselineCluster:
@@ -48,6 +50,7 @@ class BaselineCluster:
         retry: Optional[RetryPolicy] = None,
         batch: Optional[BatchPolicy] = None,
         groups: int = 0,
+        read: Optional[ReadPolicy] = None,
     ) -> None:
         if num_shards < 1 or failures_tolerated < 0:
             raise ValueError("num_shards must be >= 1 and failures_tolerated >= 0")
@@ -66,6 +69,11 @@ class BaselineCluster:
         self.directory = TransactionDirectory()
         self.history = History()
 
+        # The baseline has no certification-bypassing read path, but when a
+        # read policy is active its state machines maintain the same applied
+        # stores and closed-timestamp watermarks as the snapshot-read
+        # replicas, keeping protocol comparisons apples-to-apples.
+        self.read = read or ReadPolicy()
         self.groups: Dict[ShardId, PaxosGroup] = {}
         for shard in self.shards:
             self.groups[shard] = PaxosGroup(
@@ -73,7 +81,9 @@ class BaselineCluster:
                 name=shard,
                 size=self.replicas_per_shard,
                 state_machine_factory=lambda shard=shard: CertificationStateMachine(
-                    shard, self.scheme
+                    shard,
+                    self.scheme,
+                    applied_store=VersionedKVStore() if self.read.enabled else None,
                 ),
             )
 
@@ -182,6 +192,26 @@ class BaselineCluster:
     # ------------------------------------------------------------------
     def leader_of(self, shard: ShardId) -> str:
         return self.groups[shard].leader
+
+    def seed_read_stores(self, initial: Dict[str, Any]) -> None:
+        """Seed the state machines' applied stores with the initial values
+        (no-op without a read policy; mirrors ``Cluster.seed_read_stores``)."""
+        if not self.read.enabled:
+            return
+        sharding = self.scheme.sharding
+        for group in self.groups.values():
+            for replica in group.replicas:
+                machine = replica.state_machine
+                store = machine.applied_store
+                if store is None:
+                    continue
+                for obj, value in initial.items():
+                    if sharding.shard_of(obj) == machine.shard:
+                        store.seed(obj, value)
+
+    def watermark_of(self, shard: ShardId) -> Any:
+        """The closed-timestamp watermark of the shard leader's state machine."""
+        return self.groups[shard].leader_replica.state_machine.watermark
 
     def client_latencies(self) -> List[float]:
         values = []

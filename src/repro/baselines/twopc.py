@@ -32,8 +32,10 @@ from repro.core.messages import (
     TxnDecision,
     TxnDecisionBatch,
 )
+from repro.core.serializability import VERSION_ZERO, Version
 from repro.core.types import Decision, ShardId, TxnId
 from repro.runtime.process import Process
+from repro.store.kv import VersionedKVStore
 
 
 @dataclass(frozen=True)
@@ -73,12 +75,22 @@ class CertificationStateMachine(StateMachine):
     transaction to the committed set (or drops it on abort).
     """
 
-    def __init__(self, shard: ShardId, scheme: CertificationScheme) -> None:
+    def __init__(
+        self,
+        shard: ShardId,
+        scheme: CertificationScheme,
+        applied_store: Optional[VersionedKVStore] = None,
+    ) -> None:
         self.shard = shard
         self.scheme = scheme
         self.committed_payloads: List[Any] = []
         self.prepared: Dict[TxnId, Tuple[Any, Decision]] = {}
         self.decisions: Dict[TxnId, Decision] = {}
+        # Closed-timestamp watermark, kept for parity with the snapshot-read
+        # replicas so protocol comparisons stay apples-to-apples; the applied
+        # store is populated only when the cluster runs a read policy.
+        self.applied_store = applied_store
+        self.watermark: Version = VERSION_ZERO
 
     def apply(self, command: Any) -> Any:
         if isinstance(command, PrepareCommand):
@@ -115,7 +127,14 @@ class CertificationStateMachine(StateMachine):
         self.decisions[command.txn] = command.decision
         entry = self.prepared.pop(command.txn, None)
         if command.decision is Decision.COMMIT and entry is not None:
-            self.committed_payloads.append(entry[0])
+            payload = entry[0]
+            self.committed_payloads.append(payload)
+            written = getattr(payload, "written_objects", None)
+            if written:
+                if self.applied_store is not None:
+                    self.applied_store.install_payload(payload)
+                if payload.commit_version > self.watermark:
+                    self.watermark = payload.commit_version
         return command.decision
 
 

@@ -41,7 +41,7 @@ answers it like any other duplicate.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.batching import BatchPolicy, MessageBatcher
 from repro.core.certification import CertificationScheme
@@ -52,9 +52,12 @@ from repro.core.messages import (
     ConfigChange,
     CsGetLast,
     CsReply,
+    ReadReply,
+    ReadRequest,
     TxnDecision,
     TxnDecisionBatch,
 )
+from repro.core.serializability import SnapshotRead, TransactionPayload
 from repro.core.types import Decision, GlobalConfiguration, ShardId, TxnId
 from repro.runtime.process import Process
 from repro.spec.history import History
@@ -173,6 +176,20 @@ class StaticRouter:
         pool = fresh or self.pids
         self._round_robin += 1
         return pool[self._round_robin % len(pool)]
+
+
+@dataclass
+class _SnapshotReadState:
+    """Client-side state of one in-flight snapshot read."""
+
+    objects: Tuple[str, ...]
+    shard: ShardId
+    # Certified-path insurance: the read-only payload to certify if the
+    # leader refuses the fast path, and a thunk picking the coordinator to
+    # send it to.  The pick is deferred to refusal time — the common case
+    # never pays for it, and a late pick sees the current crash state.
+    fallback_payload: TransactionPayload
+    pick_fallback_coordinator: Callable[[], str]
 
 
 @dataclass
@@ -345,6 +362,16 @@ class Client(Process):
         self.coordinator_of: Dict[TxnId, str] = {}
         self.resubmissions = 0
         self.duplicate_decisions = 0
+        # Snapshot-read fast path: in-flight reads, served values and
+        # fast-path/fallback accounting.
+        self._read_states: Dict[TxnId, _SnapshotReadState] = {}
+        # Fallback read-only payloads awaiting their certified decision;
+        # attached to the decide event when the TxnDecision arrives.
+        self._read_payloads: Dict[TxnId, TransactionPayload] = {}
+        self.read_results: Dict[TxnId, Tuple] = {}
+        self.reads_served = 0
+        self.read_fallbacks = 0
+        self.read_fallback_reasons: Dict[str, int] = {}
         self._txn_counter = 0
         self._cs_request_id = 0
         self._cs_pending: Dict[int, ShardId] = {}
@@ -378,6 +405,78 @@ class Client(Process):
             self._request_batcher.add(coordinator, request)
         else:
             self.send(coordinator, request)
+
+    def submit_read(
+        self,
+        objects: Sequence[str],
+        shard: ShardId,
+        leader: str,
+        fallback_payload: TransactionPayload,
+        pick_fallback_coordinator: Callable[[], str],
+        txn: Optional[TxnId] = None,
+    ) -> TxnId:
+        """Submit a single-shard read-only transaction on the snapshot-read
+        fast path: straight to the shard leader, no coordinator, no
+        certification.
+
+        The history records ``certify`` now with a :class:`SnapshotRead`
+        marker (pinning the transaction's real-time birth to its
+        invocation); the versioned read-only payload is attached to the
+        ``decide`` event once it is known.  ``fallback_payload`` (the reads
+        at the client's current committed versions) and
+        ``pick_fallback_coordinator`` are the certified-path insurance used
+        when the leader refuses (lease lapse, pending writer, deposed
+        leader); the coordinator pick only happens on refusal.
+        """
+        txn = txn or self.next_txn_id()
+        objects = tuple(sorted(objects))
+        self.directory.register(txn, client=self.pid, shards=frozenset({shard}))
+        self.history.record_certify(txn, SnapshotRead(objects=objects), self.now)
+        self.submit_times[txn] = self.now
+        self.coordinator_of[txn] = leader
+        self._read_states[txn] = _SnapshotReadState(
+            objects=objects,
+            shard=shard,
+            fallback_payload=fallback_payload,
+            pick_fallback_coordinator=pick_fallback_coordinator,
+        )
+        self.send(leader, ReadRequest(txn=txn, objects=objects))
+        return txn
+
+    def on_read_reply(self, msg: ReadReply, sender: str) -> None:
+        state = self._read_states.pop(msg.txn, None)
+        if state is None:
+            return
+        if msg.ok:
+            self.reads_served += 1
+            self.read_results[msg.txn] = msg.reads
+            payload = TransactionPayload.make(
+                reads=((obj, version) for obj, _value, version in msg.reads),
+                tiebreak=msg.txn,
+            )
+            self.history.record_decide(
+                msg.txn, Decision.COMMIT, self.now, payload=payload
+            )
+            if msg.txn not in self.outcomes:
+                self.outcomes[msg.txn] = Decision.COMMIT
+                self.decide_times[msg.txn] = self.now
+                for callback in self._decision_callbacks:
+                    callback(msg.txn, Decision.COMMIT)
+            return
+        # Refused fast path: certify the read-only payload instead.  The
+        # certify event exists from submit_read, so only the request goes
+        # out; the decide event will carry the fallback payload.
+        self.read_fallbacks += 1
+        self.read_fallback_reasons[msg.reason] = (
+            self.read_fallback_reasons.get(msg.reason, 0) + 1
+        )
+        coordinator = state.pick_fallback_coordinator()
+        self._read_payloads[msg.txn] = state.fallback_payload
+        self.coordinator_of[msg.txn] = coordinator
+        self._send_request(
+            coordinator,
+            CertifyRequest(txn=msg.txn, payload=state.fallback_payload),
+        )
 
     def resubmit(
         self, txn: TxnId, payload: Any, coordinator: str, request_id: int
@@ -450,7 +549,12 @@ class Client(Process):
         self._decision_callbacks.remove(fn)
 
     def on_txn_decision(self, msg: TxnDecision, sender: str) -> None:
-        self.history.record_decide(msg.txn, msg.decision, self.now)
+        self.history.record_decide(
+            msg.txn,
+            msg.decision,
+            self.now,
+            payload=self._read_payloads.pop(msg.txn, None),
+        )
         if msg.txn not in self.outcomes:
             self.outcomes[msg.txn] = msg.decision
             self.decide_times[msg.txn] = self.now

@@ -35,12 +35,14 @@ from repro.configservice.service import ConfigurationService, GlobalConfiguratio
 from repro.core.batching import BatchPolicy
 from repro.core.certification import CertificationScheme
 from repro.core.directory import TransactionDirectory
+from repro.core.reads import ReadPolicy
 from repro.core.reconfig import MembershipPolicy, SparePool
 from repro.core.replica import ShardReplica
 from repro.core.serializability import (
     KeyHashSharding,
     SerializabilityScheme,
     SnapshotIsolationScheme,
+    TransactionPayload,
 )
 from repro.core.types import Configuration, Decision, GlobalConfiguration, ShardId, TxnId
 from repro.rdma.broken import BrokenRdmaShardReplica
@@ -166,6 +168,7 @@ class Cluster:
         retry: Optional[RetryPolicy] = None,
         batch: Optional[BatchPolicy] = None,
         groups: int = 0,
+        read: Optional[ReadPolicy] = None,
     ) -> None:
         spec = protocol_spec(protocol)
         if num_shards < 1 or replicas_per_shard < 1 or num_clients < 1:
@@ -202,6 +205,8 @@ class Cluster:
         self.clients: List[Client] = []
         self.retry = retry or RetryPolicy()
         self.batch = batch or BatchPolicy()
+        self.read = read or ReadPolicy()
+        self.read.validate()
 
         self._build_config_service()
         self._build_replicas(spares_per_shard)
@@ -218,6 +223,11 @@ class Cluster:
             spec.post_build(self)
         if groups:
             self.scheduler.install(self.network, self._group_partition())
+        if self.read.enabled:
+            # Bootstrap the shard leaders' read leases (after the parallel
+            # engine is installed, so the grant round-trip is partitioned
+            # like every other message).
+            self.request_read_leases()
 
     # ------------------------------------------------------------------
     # construction
@@ -286,6 +296,7 @@ class Cluster:
                     spares=pool,
                     membership_policy=self.membership_policy,
                     batch=self.batch,
+                    read=self.read,
                 )
                 self.network.register(replica)
                 self.replicas[pid] = replica
@@ -405,6 +416,9 @@ class Cluster:
     ) -> TxnId:
         """Submit a transaction for certification; returns its identifier.
 
+        Read-only transactions eligible for the snapshot-read fast path go
+        through :meth:`submit_read` instead.
+
         With a retry policy, submissions route through the client's session:
         the session picks the coordinator from the client-side router (no
         omniscient liveness peeking) and arms the timeout-driven
@@ -418,6 +432,94 @@ class Cluster:
         client = self.clients[client_index]
         coordinator = coordinator or self._pick_coordinator(payload)
         return client.submit(payload, coordinator=coordinator, txn=txn)
+
+    # ------------------------------------------------------------------
+    # snapshot-read fast path
+    # ------------------------------------------------------------------
+    def request_read_leases(self) -> None:
+        """Have every shard leader request (or renew) its read lease."""
+        if not self.read.enabled:
+            return
+        for shard in self.shards:
+            leader = self.replicas.get(self.leader_of(shard))
+            if leader is not None and not leader.crashed:
+                leader.request_read_lease()
+
+    def seed_read_stores(self, initial: Dict[str, Any]) -> None:
+        """Seed every replica's applied store with the initial object values
+        (each replica keeps only its own shard's objects); no-op when the
+        read policy is disabled."""
+        if not self.read.enabled:
+            return
+        sharding = self.scheme.sharding
+        for replica in self.replicas.values():
+            engine = getattr(replica, "read_engine", None)
+            if engine is None:
+                continue
+            engine.seed(
+                {
+                    obj: value
+                    for obj, value in initial.items()
+                    if sharding.shard_of(obj) == replica.shard
+                }
+            )
+
+    def submit_read(
+        self,
+        objects: Sequence[str],
+        fallback_payload: TransactionPayload,
+        client_index: int = 0,
+    ) -> TxnId:
+        """Submit a single-shard read-only transaction on the snapshot-read
+        fast path (leader-local, no coordinator, no certification).
+
+        ``fallback_payload`` is the read-only payload — the objects at the
+        client's current committed versions — certified through the normal
+        path if the leader refuses.  Multi-shard reads and disabled read
+        policies must use :meth:`submit` instead (the store layer's
+        ``submit_read_async`` makes that call).
+        """
+        if not self.read.enabled:
+            raise RuntimeError("submit_read requires an enabled read policy")
+        sharding = self.scheme.sharding
+        shards = {sharding.shard_of(obj) for obj in objects}
+        if len(shards) != 1:
+            raise ValueError(f"snapshot reads are single-shard (got {sorted(shards)})")
+        (shard,) = shards
+        client = self.clients[client_index]
+        return client.submit_read(
+            objects=objects,
+            shard=shard,
+            leader=self.leader_of(shard),
+            fallback_payload=fallback_payload,
+            pick_fallback_coordinator=lambda: self._pick_coordinator(fallback_payload),
+        )
+
+    def read_stats(self) -> Dict[str, Any]:
+        """Aggregate fast-path counters over clients and replica engines."""
+        stats: Dict[str, Any] = {
+            "reads_served": 0,
+            "read_fallbacks": 0,
+            "fallback_reasons": {},
+            "refused_lease": 0,
+            "refused_pending": 0,
+            "stale_serves": 0,
+        }
+        for client in self.clients:
+            stats["reads_served"] += client.reads_served
+            stats["read_fallbacks"] += client.read_fallbacks
+            for reason, count in client.read_fallback_reasons.items():
+                stats["fallback_reasons"][reason] = (
+                    stats["fallback_reasons"].get(reason, 0) + count
+                )
+        for replica in self.replicas.values():
+            engine = getattr(replica, "read_engine", None)
+            if engine is None:
+                continue
+            stats["refused_lease"] += engine.reads_refused_lease
+            stats["refused_pending"] += engine.reads_refused_pending
+            stats["stale_serves"] += engine.stale_serves
+        return stats
 
     def run(self, max_time: Optional[float] = None, max_events: Optional[int] = None) -> int:
         """Run the simulation until idle (or until the given budget)."""

@@ -28,6 +28,8 @@ from repro.core.messages import (
     CsGet,
     CsGetLast,
     CsReply,
+    LeaseGrant,
+    LeaseRequest,
 )
 from repro.core.types import Configuration, GlobalConfiguration, ShardId
 from repro.runtime.process import Process
@@ -100,6 +102,16 @@ class ConfigurationService(Process):
         self.version += 1
         self.send(sender, CsReply(msg.request_id, ok=True, config=msg.config))
         self._broadcast_config_change(msg.shard, msg.config)
+
+    def on_lease_request(self, msg: LeaseRequest, sender: str) -> None:
+        """Grant a read lease on ``msg.shard`` iff the requester is the
+        shard's leader in the last stored configuration.  The grant is an
+        absolute virtual-time expiry on the shared simulation clock; a
+        deposed leader's outstanding lease simply runs out."""
+        config = self.last_configuration(msg.shard)
+        ok = config is not None and config.leader == sender
+        expires_at = self.now + msg.duration if ok else float("-inf")
+        self.send(sender, LeaseGrant(msg.shard, ok=ok, expires_at=expires_at, request_id=msg.request_id))
 
     def _broadcast_config_change(self, shard: ShardId, config: Configuration) -> None:
         """Notify members of the other shards about the new configuration."""
@@ -174,6 +186,14 @@ class GlobalConfigurationService(Process):
             sender,
             CsReply(msg.request_id, ok=config is not None, config=config),  # type: ignore[arg-type]
         )
+
+    def on_lease_request(self, msg: LeaseRequest, sender: str) -> None:
+        """Per-shard read-lease grants against the last global configuration
+        (see :meth:`ConfigurationService.on_lease_request`)."""
+        config = self.last_configuration()
+        ok = config is not None and config.leaders.get(msg.shard) == sender
+        expires_at = self.now + msg.duration if ok else float("-inf")
+        self.send(sender, LeaseGrant(msg.shard, ok=ok, expires_at=expires_at, request_id=msg.request_id))
 
     def on_cs_compare_and_swap(self, msg: CsCompareAndSwap, sender: str) -> None:
         self.cas_attempts += 1

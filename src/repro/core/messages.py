@@ -46,6 +46,63 @@ class TxnDecision:
 
 
 # ----------------------------------------------------------------------
+# snapshot-read fast path (client <-> shard leader, no coordinator)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ReadRequest:
+    """A client's lease-guarded snapshot read of one shard's objects.
+
+    Bypasses certification entirely: the shard leader answers from its
+    applied store when its read lease is valid and no requested object has
+    a prepared-but-undecided writer; otherwise it refuses and the client
+    falls back to the certified path.
+    """
+
+    txn: TxnId
+    objects: Tuple[str, ...]
+    request_id: int = 1
+
+
+@dataclass(frozen=True)
+class ReadReply:
+    """The leader's answer to a :class:`ReadRequest`.
+
+    ``reads`` carries ``(object, value, version)`` triples when ``ok``;
+    ``reason`` explains a refusal (``"lease"``, ``"pending"`` or
+    ``"not-leader"``).
+    """
+
+    txn: TxnId
+    ok: bool
+    reads: Tuple[Tuple[str, Any, Tuple[int, str]], ...] = ()
+    reason: str = ""
+
+
+# ----------------------------------------------------------------------
+# read leases (shard leader <-> configuration service)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LeaseRequest:
+    """A shard leader asking the configuration service for a read lease of
+    ``duration`` (virtual time); granted only to the current leader."""
+
+    shard: ShardId
+    duration: float
+    request_id: int
+
+
+@dataclass(frozen=True)
+class LeaseGrant:
+    """The configuration service's answer: the lease is valid until the
+    absolute virtual time ``expires_at`` when ``ok``."""
+
+    shard: ShardId
+    ok: bool
+    expires_at: float
+    request_id: int
+
+
+# ----------------------------------------------------------------------
 # certification (failure-free path)
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)

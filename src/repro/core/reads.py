@@ -1,0 +1,256 @@
+"""Lease-guarded snapshot reads: the certification-bypassing read path.
+
+At read-heavy ratios, pushing every read-only transaction through the full
+certification pipeline (coordinator round trip, per-shard votes, replicated
+decision) is the dominant cost.  This module implements the classic MVCC
+fast path on top of the TCS:
+
+* every shard leader maintains an **applied store** — a
+  :class:`~repro.store.kv.VersionedKVStore` into which the writes of
+  decided-commit slots are installed — plus a **closed-timestamp
+  watermark** (the highest commit version applied) and a reference count of
+  **pending writers** (prepared-but-undecided slots that voted commit and
+  write an object);
+* a single-shard read-only transaction is served directly from the leader's
+  applied store — no coordinator, no certification — **iff** the leader
+  holds a valid read lease and none of the requested objects has a pending
+  writer.  Otherwise the leader refuses and the client falls back to the
+  certified path;
+* read leases are granted by the configuration service (the membership
+  oracle) to the shard's current leader for a bounded duration and renewed
+  event-driven — there are no replica-side timers, so the simulation's
+  determinism and idle-detection contracts are untouched.
+
+**Why the pending-writer check is sufficient** (the freshness argument):
+a transaction decided *anywhere* in the system had its PREPARE arrive at
+every involved shard leader strictly earlier in virtual time — the
+coordinator cannot decide without that leader's vote.  So when a read
+arrives at the leader, every conflicting write that is already decided
+(and therefore potentially client-visible) is either still pending here
+(the read is refused) or already applied (the read observes it).  A served
+read consequently never misses a write that really-precedes it, which is
+exactly what strict serializability demands of the fast path.
+
+The ``broken-snapshot`` mode deliberately violates the rule — it serves
+reads past lease expiry and ignores pending writers, mirroring the paper's
+Figure 4a-style broken-protocol ablations — so the online checker can
+demonstrate that the lease/pending discipline is load-bearing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.serializability import ObjectId, Version, VERSION_ZERO
+from repro.core.types import Decision, Phase
+from repro.store.kv import VersionedKVStore, VersionedValue
+
+
+READ_MODES = ("certified", "snapshot", "broken-snapshot")
+
+# Virtual-time lease length (in network delays) generous enough that a
+# steady-state run never loses its lease; scenario specs override it (the
+# stale-lease ablation uses a short one and blocks renewal).
+DEFAULT_LEASE = 500.0
+
+
+@dataclass(frozen=True)
+class ReadPolicy:
+    """How a cluster treats read-only transactions.
+
+    * ``certified`` — every read goes through certification (the default;
+      the read machinery stays completely inert, preserving byte-identical
+      histories with pre-read-path builds);
+    * ``snapshot`` — single-shard read-only transactions route to the shard
+      leader's applied store under a read lease, falling back to the
+      certified path on refusal;
+    * ``broken-snapshot`` — the deliberately unsafe ablation: leaders serve
+      reads without checking lease validity or pending writers.
+    """
+
+    mode: str = "certified"
+    lease: float = DEFAULT_LEASE
+
+    def validate(self) -> None:
+        if self.mode not in READ_MODES:
+            raise ValueError(f"unknown read mode {self.mode!r}; expected one of {READ_MODES}")
+        if self.lease <= 0:
+            raise ValueError("lease duration must be positive")
+
+    @property
+    def enabled(self) -> bool:
+        return self.mode != "certified"
+
+    @property
+    def broken(self) -> bool:
+        return self.mode == "broken-snapshot"
+
+    def describe(self) -> str:
+        if not self.enabled:
+            return "off"
+        return f"{self.mode}(lease={self.lease:g})"
+
+
+class ReplicaReadEngine:
+    """Per-replica snapshot-read state: applied store, pending writers,
+    closed-timestamp watermark and the read lease.
+
+    Installed on every shard replica when the cluster's read policy is
+    enabled.  The engine registers itself as a decision listener, so both
+    protocol variants feed it through their single decision choke point
+    (``on_slot_decision`` / ``_apply_decision``); the prepare-side hooks are
+    called explicitly from the certification handlers.
+    """
+
+    def __init__(self, replica, policy: ReadPolicy) -> None:
+        self.replica = replica
+        self.policy = policy
+        self.store = VersionedKVStore()
+        self._seeds: Dict[ObjectId, object] = {}
+        # Prepared-but-undecided commit-voted writers, per object, plus the
+        # payload each counted slot contributed (needed to decrement).
+        self.pending_writers: Dict[ObjectId, int] = {}
+        self._counted: Dict[int, object] = {}
+        self._applied: set = set()
+        # Closed-timestamp watermark: the highest commit version installed
+        # into the applied store (VERSION_ZERO until the first commit).
+        self.watermark: Version = VERSION_ZERO
+        # Read lease (absolute virtual-time expiry, granted by the config
+        # service); -inf until the first grant arrives.
+        self.lease_expires = float("-inf")
+        self.lease_pending = False
+        # Metrics.
+        self.reads_served = 0
+        self.reads_refused_lease = 0
+        self.reads_refused_pending = 0
+        self.stale_serves = 0  # broken mode: serves a valid engine would refuse
+        replica.decision_listeners.append(self._on_slot_decided)
+
+    # ------------------------------------------------------------------
+    # seeding
+    # ------------------------------------------------------------------
+    def seed(self, initial: Dict[ObjectId, object]) -> None:
+        """Install the same initial values the client-side store starts
+        from, so served values match certified reads byte for byte."""
+        for obj, value in initial.items():
+            if obj not in self._seeds:
+                self._seeds[obj] = value
+                self.store.seed(obj, value)
+
+    # ------------------------------------------------------------------
+    # certification hooks
+    # ------------------------------------------------------------------
+    def note_prepared(self, slot: int) -> None:
+        """A slot entered the PREPARED phase: count its writes as pending if
+        it voted commit (an abort-voted slot can never decide commit)."""
+        if slot in self._counted or slot in self._applied:
+            return
+        if self.replica.vote_arr.get(slot) is not Decision.COMMIT:
+            return
+        payload = self.replica.payload_arr.get(slot)
+        written = getattr(payload, "written_objects", None)
+        if not written:
+            return
+        self._counted[slot] = payload
+        for obj in written:
+            self.pending_writers[obj] = self.pending_writers.get(obj, 0) + 1
+
+    def _on_slot_decided(self, slot: int, txn, decision: Decision) -> None:
+        payload = self._counted.pop(slot, None)
+        if payload is not None:
+            for obj in payload.written_objects:
+                remaining = self.pending_writers[obj] - 1
+                if remaining:
+                    self.pending_writers[obj] = remaining
+                else:
+                    del self.pending_writers[obj]
+        if decision is Decision.COMMIT and slot not in self._applied:
+            applied = payload if payload is not None else self.replica.payload_arr.get(slot)
+            written = getattr(applied, "written_objects", None)
+            if written:
+                self.store.install_payload(applied)
+                if applied.commit_version > self.watermark:
+                    self.watermark = applied.commit_version
+            self._applied.add(slot)
+
+    def rebuild(self) -> None:
+        """Recompute applied store and pending counts from the replica's slot
+        arrays (after a NEW_STATE transfer replaced them wholesale)."""
+        self.store = VersionedKVStore()
+        self.pending_writers = {}
+        self._counted = {}
+        self._applied = set()
+        self.watermark = VERSION_ZERO
+        for obj, value in self._seeds.items():
+            self.store.seed(obj, value)
+        replica = self.replica
+        for slot in sorted(replica.dec_arr):
+            if replica.dec_arr[slot] is not Decision.COMMIT:
+                self._applied.add(slot)
+                continue
+            payload = replica.payload_arr.get(slot)
+            written = getattr(payload, "written_objects", None)
+            if written:
+                self.store.install_payload(payload)
+                if payload.commit_version > self.watermark:
+                    self.watermark = payload.commit_version
+            self._applied.add(slot)
+        for slot, phase in replica.phase_arr.items():
+            if phase is Phase.PREPARED and slot not in self._applied:
+                self.note_prepared(slot)
+
+    # ------------------------------------------------------------------
+    # lease
+    # ------------------------------------------------------------------
+    def lease_valid(self, now: float) -> bool:
+        return now < self.lease_expires
+
+    def lease_wants_renewal(self, now: float) -> bool:
+        """Renew once less than half the lease duration remains."""
+        return (
+            not self.lease_pending
+            and self.lease_expires - now < self.policy.lease / 2.0
+        )
+
+    def note_lease(self, expires_at: float, granted: bool) -> None:
+        self.lease_pending = False
+        if granted and expires_at > self.lease_expires:
+            self.lease_expires = expires_at
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    def serve(
+        self, objects: Tuple[ObjectId, ...], now: float
+    ) -> Tuple[str, Optional[List[Tuple[ObjectId, object, Version]]]]:
+        """Attempt to serve a snapshot read.
+
+        Returns ``("ok", reads)`` with one ``(object, value, version)``
+        triple per requested object, or ``(reason, None)`` — reason
+        ``"lease"`` or ``"pending"`` — when the fast path must refuse and
+        the client should fall back to certification.  Broken mode records
+        how many serves a correct engine would have refused.
+        """
+        refusal = None
+        if not self.lease_valid(now):
+            refusal = "lease"
+        else:
+            for obj in objects:
+                if self.pending_writers.get(obj):
+                    refusal = "pending"
+                    break
+        if refusal is not None and not self.policy.broken:
+            if refusal == "lease":
+                self.reads_refused_lease += 1
+            else:
+                self.reads_refused_pending += 1
+            return refusal, None
+        if refusal is not None:
+            self.stale_serves += 1
+        reads: List[Tuple[ObjectId, object, Version]] = []
+        for obj in objects:
+            versioned: VersionedValue = self.store.read(obj)
+            reads.append((obj, versioned.value, versioned.version))
+        self.reads_served += 1
+        return "ok", reads

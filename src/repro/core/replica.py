@@ -27,11 +27,16 @@ from repro.core.messages import (
     AcceptBatch,
     CertifyBatch,
     DecisionBatch,
+    LeaseGrant,
+    LeaseRequest,
     Prepare,
     PrepareAck,
+    ReadReply,
+    ReadRequest,
     SlotDecision,
     VoteBatch,
 )
+from repro.core.reads import ReadPolicy, ReplicaReadEngine
 from repro.core.reconfig import MembershipPolicy, ReconfigMixin, SparePool
 from repro.core.votecache import LeaderVoteCache
 from repro.core.types import (
@@ -60,6 +65,7 @@ class ShardReplica(CoordinatorMixin, ReconfigMixin, Process):
         spares: Optional[SparePool] = None,
         membership_policy: Optional[MembershipPolicy] = None,
         batch: Optional[BatchPolicy] = None,
+        read: Optional[ReadPolicy] = None,
     ) -> None:
         super().__init__(pid)
         self.shard = shard
@@ -69,6 +75,7 @@ class ShardReplica(CoordinatorMixin, ReconfigMixin, Process):
         self.spares = spares if spares is not None else SparePool()
         self.membership_policy = membership_policy or MembershipPolicy()
         self.batch_policy = batch or BatchPolicy()
+        self.read_policy = read or ReadPolicy()
 
         # Configuration knowledge (Figure 1 preliminaries): epoch, members and
         # leader of every shard; the entry for our own shard is the
@@ -101,6 +108,13 @@ class ShardReplica(CoordinatorMixin, ReconfigMixin, Process):
         # Incremental conflict index for leader-side voting; replaces the
         # per-PREPARE scan of the whole certification order.
         self._votes = LeaderVoteCache(self)
+
+        # Snapshot-read fast path (inert under the default certified-only
+        # policy): applied store, pending-writer counts and read lease.
+        self.read_engine: Optional[ReplicaReadEngine] = (
+            ReplicaReadEngine(self, self.read_policy) if self.read_policy.enabled else None
+        )
+        self._lease_seq = 0
 
         self._init_coordinator()
         self._init_reconfig()
@@ -202,6 +216,8 @@ class ShardReplica(CoordinatorMixin, ReconfigMixin, Process):
             self.vote_arr[slot] = self._votes.vote(slot, msg.payload)
             self.payload_arr[slot] = msg.payload
             self._votes.note_prepared(slot)
+            if self.read_engine is not None:
+                self.read_engine.note_prepared(slot)
         else:
             # Coordinator recovery with an unknown payload (lines 14-16).
             self.vote_arr[slot] = Decision.ABORT
@@ -250,6 +266,8 @@ class ShardReplica(CoordinatorMixin, ReconfigMixin, Process):
             self.phase_arr[msg.slot] = Phase.PREPARED
             self.slot_of[msg.txn] = msg.slot
             self._votes.invalidate()
+            if self.read_engine is not None:
+                self.read_engine.note_prepared(msg.slot)
         return AcceptAck(
             shard=self.shard,
             epoch=msg.epoch,
@@ -292,3 +310,48 @@ class ShardReplica(CoordinatorMixin, ReconfigMixin, Process):
     def on_decision_batch(self, msg: DecisionBatch, sender: str) -> None:
         for decision in msg.decisions:
             self.on_slot_decision(decision, sender)
+
+    # ------------------------------------------------------------------
+    # snapshot-read fast path (certification-bypassing; repro.core.reads)
+    # ------------------------------------------------------------------
+    def request_read_lease(self) -> None:
+        """Ask the configuration service for (or to renew) this leader's
+        read lease.  Event-driven only — no timers — so an idle cluster lets
+        its lease lapse and re-acquires it on the next read."""
+        if self.read_engine is None or self.read_engine.lease_pending:
+            return
+        self.read_engine.lease_pending = True
+        self._lease_seq += 1
+        self.send(
+            self.config_service,
+            LeaseRequest(
+                shard=self.shard,
+                duration=self.read_policy.lease,
+                request_id=self._lease_seq,
+            ),
+        )
+
+    def on_lease_grant(self, msg: LeaseGrant, sender: str) -> None:
+        if self.read_engine is not None:
+            self.read_engine.note_lease(msg.expires_at, msg.ok)
+
+    def on_read_request(self, msg: ReadRequest, sender: str) -> None:
+        if self.read_engine is None or self.status is not Status.LEADER:
+            self.send(sender, ReadReply(txn=msg.txn, ok=False, reason="not-leader"))
+            return
+        status, reads = self.read_engine.serve(msg.objects, self.now)
+        if status == "ok":
+            self.send(sender, ReadReply(txn=msg.txn, ok=True, reads=tuple(reads)))
+        else:
+            self.send(sender, ReadReply(txn=msg.txn, ok=False, reason=status))
+        if self.read_engine.lease_wants_renewal(self.now):
+            self.request_read_lease()
+
+    def _on_configuration_installed(self) -> None:
+        """A NEW_STATE transfer replaced the slot arrays wholesale: rebuild
+        the applied store and pending-writer counts from them.  The new
+        leader still has no lease (leases are granted per process), so reads
+        refuse until the next grant."""
+        super()._on_configuration_installed()
+        if self.read_engine is not None:
+            self.read_engine.rebuild()

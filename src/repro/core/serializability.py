@@ -123,6 +123,24 @@ class TransactionPayload:
 EMPTY_PAYLOAD = TransactionPayload()
 
 
+@dataclass(frozen=True)
+class SnapshotRead:
+    """The certify-time placeholder payload of a snapshot (lease-guarded)
+    read-only transaction.
+
+    A snapshot read bypasses certification, so at invocation time the client
+    knows only *which* objects it is asking about — the versions it will
+    observe are determined by the serving replica.  The history records this
+    marker at certify time (pinning the transaction's real-time birth to its
+    invocation, exactly as for certified transactions) and attaches the
+    versioned read-only :class:`TransactionPayload` to the decide event once
+    the reply arrives (see ``History.record_decide``); the checkers prefer
+    the decide-time payload when one is present.
+    """
+
+    objects: Tuple[ObjectId, ...] = ()
+
+
 class ShardingFunction:
     """Maps objects to the shard that manages them (``Objs``)."""
 

@@ -40,15 +40,20 @@ from repro.core.messages import (
     CsGet,
     CsGetLast,
     CsReply,
+    LeaseGrant,
+    LeaseRequest,
     Prepare,
     PrepareAck,
     Probe,
     ProbeAck,
+    ReadReply,
+    ReadRequest,
     TxnDecision,
     TxnDecisionBatch,
     VoteBatch,
 )
 from repro.core.coordinator import deduplicate_certify_request
+from repro.core.reads import ReadPolicy, ReplicaReadEngine
 from repro.core.reconfig import MembershipPolicy, SparePool
 from repro.core.votecache import LeaderVoteCache
 from repro.core.types import (
@@ -121,10 +126,12 @@ class RdmaShardReplica(Process):
         spares: Optional[SparePool] = None,
         membership_policy: Optional[MembershipPolicy] = None,
         batch: Optional[BatchPolicy] = None,
+        read: Optional[ReadPolicy] = None,
     ) -> None:
         super().__init__(pid)
         self.shard = shard
         self.batch_policy = batch or BatchPolicy()
+        self.read_policy = read or ReadPolicy()
         self.scheme = scheme
         self.directory = directory
         self.config_service = config_service
@@ -215,6 +222,13 @@ class RdmaShardReplica(Process):
         self._cs_callbacks: Dict[int, Callable[[CsReply], None]] = {}
         self.decision_listeners: List[Callable[[int, Optional[TxnId], Decision], None]] = []
         self._votes = LeaderVoteCache(self)
+
+        # Snapshot-read fast path (inert under the default certified-only
+        # policy); see repro.core.reads.
+        self.read_engine: Optional[ReplicaReadEngine] = (
+            ReplicaReadEngine(self, self.read_policy) if self.read_policy.enabled else None
+        )
+        self._lease_seq = 0
 
     # ------------------------------------------------------------------
     # bootstrap
@@ -345,6 +359,8 @@ class RdmaShardReplica(Process):
             self.vote_arr[slot] = self._votes.vote(slot, msg.payload)
             self.payload_arr[slot] = msg.payload
             self._votes.note_prepared(slot)
+            if self.read_engine is not None:
+                self.read_engine.note_prepared(slot)
         else:
             self.vote_arr[slot] = Decision.ABORT
             self.payload_arr[slot] = self.scheme.empty_payload()
@@ -486,6 +502,8 @@ class RdmaShardReplica(Process):
         self.slot_of[msg.txn] = msg.slot
         # One-sided writes land in the arrays behind the vote index's back.
         self._votes.invalidate()
+        if self.read_engine is not None:
+            self.read_engine.note_prepared(msg.slot)
 
     def on_accept_batch(self, msg: AcceptBatch, sender: str) -> None:
         """A batched one-sided ACCEPT write landed in our memory."""
@@ -506,6 +524,41 @@ class RdmaShardReplica(Process):
         txn = self.txn_arr.get(slot)
         for listener in self.decision_listeners:
             listener(slot, txn, decision)
+
+    # ------------------------------------------------------------------
+    # snapshot-read fast path (certification-bypassing; repro.core.reads)
+    # ------------------------------------------------------------------
+    def request_read_lease(self) -> None:
+        """Ask the configuration service for (or to renew) this leader's
+        read lease; see the message-passing variant."""
+        if self.read_engine is None or self.read_engine.lease_pending:
+            return
+        self.read_engine.lease_pending = True
+        self._lease_seq += 1
+        self.send(
+            self.config_service,
+            LeaseRequest(
+                shard=self.shard,
+                duration=self.read_policy.lease,
+                request_id=self._lease_seq,
+            ),
+        )
+
+    def on_lease_grant(self, msg: LeaseGrant, sender: str) -> None:
+        if self.read_engine is not None:
+            self.read_engine.note_lease(msg.expires_at, msg.ok)
+
+    def on_read_request(self, msg: ReadRequest, sender: str) -> None:
+        if self.read_engine is None or self.status is not Status.LEADER:
+            self.send(sender, ReadReply(txn=msg.txn, ok=False, reason="not-leader"))
+            return
+        status, reads = self.read_engine.serve(msg.objects, self.now)
+        if status == "ok":
+            self.send(sender, ReadReply(txn=msg.txn, ok=True, reads=tuple(reads)))
+        else:
+            self.send(sender, ReadReply(txn=msg.txn, ok=False, reason=status))
+        if self.read_engine.lease_wants_renewal(self.now):
+            self.request_read_lease()
 
     # ------------------------------------------------------------------
     # reconfiguration (Figure 8)
@@ -667,6 +720,8 @@ class RdmaShardReplica(Process):
         self.next = max(
             (k for k, ph in self.phase_arr.items() if ph is not Phase.START), default=0
         )
+        if self.read_engine is not None:
+            self.read_engine.rebuild()
         state = NewState(
             epoch=self.epoch,
             txn=dict(self.txn_arr),
@@ -699,6 +754,8 @@ class RdmaShardReplica(Process):
         self.next = max(
             (k for k, ph in self.phase_arr.items() if ph is not Phase.START), default=0
         )
+        if self.read_engine is not None:
+            self.read_engine.rebuild()
         for pid in self._all_members():
             if pid != self.pid:
                 self.send(pid, Connect(epoch=self.epoch))

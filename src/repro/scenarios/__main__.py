@@ -13,16 +13,20 @@ Usage::
     python -m repro.scenarios sweep steady-state --batch default
     python -m repro.scenarios sweep steady-state \
         --batch off --batch 8 --batch 32 --batch 16:linger=2
+    python -m repro.scenarios sweep read-heavy-steady-state \
+        --read-ratio 0 --read-ratio 0.5 --read-ratio 0.9
     python -m repro.scenarios steady-state          # shorthand for `run`
 
-``sweep`` without ``--latency`` / ``--batch`` compares protocols under the
-scenario's own latency and batching models (the classic protocol sweep);
-with ``--latency`` it runs each listed protocol across the latency grid and
+``sweep`` without a grid flag compares protocols under the scenario's own
+latency and batching models (the classic protocol sweep); with
+``--latency`` it runs each listed protocol across the latency grid and
 prints one latency-vs-throughput curve per protocol (``--latency default``
 expands to the stock four-point grid); with ``--batch`` it sweeps the
 protocol-level batching policy instead and prints one
 batch-size-vs-throughput/latency curve per protocol (``--batch default``
-expands to off/4/8/16/32).
+expands to off/4/8/16/32); with ``--read-ratio`` it sweeps the workload's
+read mix and prints throughput plus snapshot-read fast-path hit counts per
+point (``--read-ratio default`` expands to 0/0.25/0.5/0.75/0.9).
 
 Two independent parallelism knobs (see ``repro.runtime.parallel``):
 ``--jobs N`` fans whole runs — the scenarios listed on ``run``, the grid
@@ -50,8 +54,10 @@ from repro.scenarios.sweep import (
     parse_batch,
     parse_batch_grid,
     parse_grid,
+    parse_read_ratio_grid,
     run_batch_sweep,
     run_latency_sweep,
+    run_read_ratio_sweep,
 )
 
 
@@ -115,8 +121,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     spec = _apply_overrides(get_scenario(args.name), args)
     protocols = tuple(p.strip() for p in args.protocols.split(",") if p.strip())
-    if args.latency and args.batch:
-        raise ScenarioError("--latency and --batch sweeps are mutually exclusive")
+    grids_requested = sum(bool(g) for g in (args.latency, args.batch, args.read_ratio))
+    if grids_requested > 1:
+        raise ScenarioError(
+            "--latency, --batch and --read-ratio sweeps are mutually exclusive"
+        )
+    if args.read_ratio:
+        grid = parse_read_ratio_grid(args.read_ratio)
+        sweeps = {
+            protocol: run_read_ratio_sweep(spec, grid, jobs=args.jobs, protocol=protocol)
+            for protocol in protocols
+        }
+        if args.json:
+            print(json.dumps({p: s.as_dict() for p, s in sweeps.items()}, indent=2))
+        else:
+            for sweep in sweeps.values():
+                print(sweep.render())
+                print()
+        return 0 if all(sweep.passed for sweep in sweeps.values()) else 1
     if args.batch:
         grid = parse_batch_grid(args.batch)
         sweeps = {
@@ -248,6 +270,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="batch grid point (repeatable; 'off', a size cap like '32', or "
         "'16:linger=2'; 'default' expands to off/4/8/16/32); with this flag "
         "the sweep runs each protocol across the batching grid",
+    )
+    sweep_parser.add_argument(
+        "--read-ratio",
+        action="append",
+        default=[],
+        metavar="RATIO",
+        help="read-ratio grid point in [0, 1] (repeatable; 'default' expands "
+        "to 0/0.25/0.5/0.75/0.9); with this flag the sweep runs each protocol "
+        "across the read-mix grid (enable the fast path with a snapshot-read "
+        "scenario such as read-heavy-steady-state)",
     )
     _add_common(sweep_parser)
 

@@ -19,6 +19,7 @@ Entry points::
     run_repetitions(spec, 8, jobs=4)      # seed-derived repetitions
     run_latency_points(spec, grid, jobs)  # latency sweep fan-out
     run_batch_points(spec, grid, jobs)    # batch sweep fan-out
+    run_read_ratio_points(spec, ratios, jobs)  # read-ratio sweep fan-out
     run_protocols(spec, protocols, jobs)  # protocol comparison fan-out
 
 The sweep drivers in :mod:`repro.scenarios.sweep` and the CLI's ``--jobs``
@@ -27,6 +28,7 @@ flag delegate here.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Dict, List, Sequence, Tuple
 
 from repro.runtime.parallel import ParallelExecutor, derive_seed
@@ -81,6 +83,20 @@ def run_batch_points(
     specs = [spec.with_overrides(batch=point) for point in grid]
     results = run_scenarios(specs, jobs=jobs)
     return [(point.describe(), result) for point, result in zip(grid, results)]
+
+
+def run_read_ratio_points(
+    spec: ScenarioSpec, ratios: Sequence[float], jobs: int = 1
+) -> List[Tuple[str, ScenarioResult]]:
+    """One run per read-ratio point, labelled, in grid order.  Each point
+    rewrites only ``workload.read_ratio``; protocol, read policy, latency
+    model, seed and fault schedule stay fixed."""
+    specs = [
+        spec.with_overrides(workload=replace(spec.workload, read_ratio=ratio))
+        for ratio in ratios
+    ]
+    results = run_scenarios(specs, jobs=jobs)
+    return [(f"{ratio:g}", result) for ratio, result in zip(ratios, results)]
 
 
 def run_protocols(

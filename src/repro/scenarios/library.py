@@ -22,6 +22,7 @@ from repro.scenarios.spec import (
     BatchSpec,
     FaultStep,
     LatencySpec,
+    ReadSpec,
     RetrySpec,
     ScenarioSpec,
     WorkloadSpec,
@@ -428,6 +429,65 @@ register_scenario(
         latency=WAN_THREE_REGIONS,
         workload=WorkloadSpec(kind="uniform", txns=150, batch=15, num_keys=256),
         batch=BatchSpec(size=16, linger=1.0, adaptive=False),
+    )
+)
+
+# ----------------------------------------------------------------------
+# the snapshot-read pack: lease-guarded MVCC reads bypassing certification.
+# ----------------------------------------------------------------------
+
+register_scenario(
+    ScenarioSpec(
+        name="read-heavy-steady-state",
+        description="YCSB-B-style 90% read mix with the snapshot-read fast "
+        "path: single-key read-only transactions go straight to the shard "
+        "leader's leased MVCC store (no coordinator, no certification); "
+        "reads that race a prepared write or an unleased leader fall back "
+        "to the certified path, and the online checker validates the "
+        "combined history.",
+        protocol="message-passing",
+        num_shards=4,
+        replicas_per_shard=2,
+        workload=WorkloadSpec(
+            kind="uniform", txns=200, batch=10, num_keys=256, read_ratio=0.9
+        ),
+        read=ReadSpec(mode="snapshot"),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="stale-lease-ablation",
+        description="Why leases and the pending-writer guard matter: shard-0's "
+        "leader never receives its lease grant (blocked channel) and learns "
+        "decisions late (delayed channels from the coordinating shard-1 "
+        "members), yet the broken-snapshot policy serves reads anyway — a "
+        "read observes a pre-write version after the write's decision was "
+        "externalised, and the checker flags the conflict/real-time cycle.  "
+        "This scenario is EXPECTED to be unsafe; flip read.mode to "
+        "'snapshot' and the same schedule is refused into safe fallbacks.",
+        protocol="message-passing",
+        num_shards=2,
+        replicas_per_shard=2,
+        workload=WorkloadSpec(
+            kind="uniform", txns=120, batch=10, num_keys=16,
+            reads_per_txn=1, writes_per_txn=1, read_ratio=0.6,
+        ),
+        read=ReadSpec(mode="broken-snapshot", lease=10.0),
+        faults=(
+            # Shape the stale window before any transaction is submitted:
+            # decisions (and everything else) from shard-1's members — the
+            # coordinators of shard-0-touching transactions — reach shard-0's
+            # leader 8 delays late, while clients learn them on time; the
+            # leader's lease grant never arrives at all.
+            FaultStep(at=0.0, action="delay-channel",
+                      src="member:shard-1:0", dst="leader:shard-0", delay=8.0),
+            FaultStep(at=0.0, action="delay-channel",
+                      src="member:shard-1:1", dst="leader:shard-0", delay=8.0),
+            FaultStep(at=0.0, action="block-channel",
+                      src="config-service", dst="leader:shard-0"),
+        ),
+        expect_safe=False,
     )
 )
 

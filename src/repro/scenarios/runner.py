@@ -84,6 +84,7 @@ class ScenarioResult:
     latency_model: str = "unit"  # LatencySpec.describe() of the network model
     retry_model: str = "off"  # RetrySpec.describe() of the session policy
     batch_model: str = "off"  # BatchSpec.describe() of the batching policy
+    read_model: str = "off"  # ReadSpec.describe() of the snapshot-read policy
     retries: int = 0  # client-session re-submissions
     failovers: int = 0  # re-submissions that switched coordinator
     orphaned: int = 0  # transactions abandoned after max_attempts
@@ -93,6 +94,10 @@ class ScenarioResult:
     mean_batch_size: float = 0.0  # batched_messages / batches
     max_batch_size: int = 0  # largest batch observed
     batch_sizes: Dict[int, int] = field(default_factory=dict)  # size -> batch count
+    reads_served: int = 0  # snapshot reads answered on the fast path
+    read_fallbacks: int = 0  # fast-path reads that fell back to certification
+    read_fallback_reasons: Dict[str, int] = field(default_factory=dict)
+    read_stale_serves: int = 0  # broken-snapshot mode: reads served stale
     phases: Optional[PhaseBreakdown] = None  # submit/certify/decide split
     faults_executed: List[str] = field(default_factory=list)
     wall_seconds: float = 0.0
@@ -138,6 +143,11 @@ class ScenarioResult:
             "mean_batch_size": self.mean_batch_size,
             "max_batch_size": self.max_batch_size,
             "batch_sizes": {str(k): v for k, v in sorted(self.batch_sizes.items())},
+            "read_model": self.read_model,
+            "reads_served": self.reads_served,
+            "read_fallbacks": self.read_fallbacks,
+            "read_fallback_reasons": dict(sorted(self.read_fallback_reasons.items())),
+            "read_stale_serves": self.read_stale_serves,
             "phases": self.phases.as_dict() if self.phases else None,
             "check_ok": self.check_ok,
             "check_mode": self.check_mode,
@@ -178,6 +188,20 @@ class ScenarioResult:
                  f"{self.batches} batches / {self.batched_messages} messages / "
                  f"mean {self.mean_batch_size:.2f} / max {self.max_batch_size}"),
             )
+        if self.read_model != "off":
+            rows.append(("read policy", self.read_model))
+            detail = (
+                f"{self.reads_served} served / {self.read_fallbacks} fallbacks"
+            )
+            if self.read_fallback_reasons:
+                reasons = ", ".join(
+                    f"{reason}: {count}"
+                    for reason, count in sorted(self.read_fallback_reasons.items())
+                )
+                detail += f" ({reasons})"
+            if self.read_stale_serves:
+                detail += f" / {self.read_stale_serves} STALE"
+            rows.append(("snapshot reads", detail))
         if self.latency is not None:
             rows.append(
                 ("client latency", f"mean {self.latency.mean:.2f} / p99 {self.latency.p99:.2f} delays")
@@ -232,6 +256,7 @@ class ScenarioRunner:
         latency = compile_latency_model(spec.latency)
         retry = spec.retry.compile()
         batch = spec.batch.compile()
+        read = spec.read.compile()
         # Tier-B engine selection: groups > 0 builds the cluster on the
         # conservative parallel-DES scheduler (byte-identical results).
         groups = spec.execution.groups if spec.execution.mode == "parallel-shards" else 0
@@ -245,6 +270,7 @@ class ScenarioRunner:
                 retry=retry,
                 batch=batch,
                 groups=groups,
+                read=read,
             )
         else:
             self.cluster = Cluster(
@@ -259,6 +285,7 @@ class ScenarioRunner:
                 retry=retry,
                 batch=batch,
                 groups=groups,
+                read=read,
             )
         if spec.check_mode == "online":
             self.checker = IncrementalTCSChecker(
@@ -399,6 +426,7 @@ class ScenarioRunner:
                 hot_fraction=workload.hot_fraction,
             )
             self.store = TransactionalStore(self.cluster, initial=bank.initial_state())
+            self.cluster.seed_read_stores(bank.initial_state())
             bodies = bank.batch(workload.txns)
         else:
             if workload.kind == "zipfian":
@@ -412,10 +440,20 @@ class ScenarioRunner:
                 reads_per_txn=workload.reads_per_txn,
                 writes_per_txn=workload.writes_per_txn,
                 seed=spec.seed,
+                read_ratio=workload.read_ratio,
             )
             initial = {f"key-{i}": 0 for i in range(workload.num_keys)}
             self.store = TransactionalStore(self.cluster, initial=initial)
-            bodies = [spec_.body() for spec_ in generator.batch(workload.txns)]
+            self.cluster.seed_read_stores(initial)
+            txn_specs = generator.batch(workload.txns)
+            if workload.read_ratio > 0 and workload.think_time <= 0:
+                # Mixed waves: read-only transactions take the snapshot-read
+                # fast path (when the cluster runs one), everything else is
+                # certified.  Each wave executes against the same committed
+                # snapshot, exactly like run_batch.
+                self._drive_mixed(txn_specs)
+                return
+            bodies = [spec_.body() for spec_ in txn_specs]
         if workload.think_time > 0:
             ClosedLoopDriver(
                 self.store,
@@ -427,6 +465,22 @@ class ScenarioRunner:
         else:
             for offset in range(0, len(bodies), workload.batch):
                 self.store.run_batch(bodies[offset : offset + workload.batch])
+
+    def _drive_mixed(self, txn_specs) -> None:
+        """Closed-loop waves of a read/write mix: writes go through the
+        certified path, read-only specs through :meth:`submit_read_async`
+        (which itself falls back to certification when the cluster has no
+        fast path or the read spans shards)."""
+        spec = self.spec
+        batch = spec.workload.batch
+        for offset in range(0, len(txn_specs), batch):
+            txns = []
+            for txn_spec in txn_specs[offset : offset + batch]:
+                if txn_spec.writes:
+                    txns.append(self.store.submit_async(txn_spec.body()))
+                else:
+                    txns.append(self.store.submit_read_async(txn_spec.reads))
+            self.cluster.run_until_decided(txns, max_events=spec.max_events)
 
     def _drive_spanning(self) -> None:
         spec = self.spec
@@ -478,6 +532,9 @@ class ScenarioRunner:
         stats = cluster.message_stats
         retry_stats: RetryStats = cluster.retry_stats()
         batch_stats: BatchStats = cluster.batch_stats()
+        read_stats: Dict[str, Any] = (
+            cluster.read_stats() if hasattr(cluster, "read_stats") else {}
+        )
         return ScenarioResult(
             scenario=spec.name,
             protocol=spec.protocol,
@@ -505,6 +562,11 @@ class ScenarioRunner:
             mean_batch_size=batch_stats.mean_size,
             max_batch_size=batch_stats.max_size,
             batch_sizes=dict(batch_stats.sizes),
+            read_model=spec.read.describe(),
+            reads_served=read_stats.get("reads_served", 0),
+            read_fallbacks=read_stats.get("read_fallbacks", 0),
+            read_fallback_reasons=dict(read_stats.get("fallback_reasons", {})),
+            read_stale_serves=read_stats.get("stale_serves", 0),
             phases=phase_breakdown(cluster.phase_samples()),
             check_ok=check_ok,
             invariant_violations=len(violations),

@@ -319,6 +319,53 @@ class RetrySpec:
 
 
 @dataclass(frozen=True)
+class ReadSpec:
+    """Snapshot-read fast-path policy (declarative form of
+    :class:`repro.core.reads.ReadPolicy`).
+
+    With ``mode="snapshot"`` shard leaders hold configuration-service read
+    leases and answer single-shard read-only transactions directly from
+    their applied MVCC stores — no coordinator, no certification — behind a
+    closed-timestamp watermark; reads that hit an expired lease or a
+    prepared-but-undecided conflicting write fall back to the certified
+    path.  ``mode="broken-snapshot"`` is the ablation: leaders serve even
+    when the lease has expired or conflicting writes are pending, which the
+    checker must flag as a serializability violation.
+
+    ``mode="certified"`` (the default) disables the fast path entirely:
+    read-only transactions certify like any other transaction, and no read
+    machinery is instantiated.
+    """
+
+    mode: str = "certified"
+    lease: float = 0.0  # lease duration in message delays; 0 = engine default
+
+    def compile(self):
+        """The :class:`repro.core.reads.ReadPolicy` this spec describes (the
+        single home of the field bounds — validation delegates here)."""
+        from repro.core.reads import DEFAULT_LEASE, ReadPolicy  # late: keep spec light
+
+        policy = ReadPolicy(mode=self.mode, lease=self.lease or DEFAULT_LEASE)
+        policy.validate()
+        return policy
+
+    def validate(self) -> None:
+        if self.lease < 0:
+            raise ScenarioError("read lease must be >= 0 (0 = default duration)")
+        try:
+            self.compile()
+        except ValueError as error:
+            raise ScenarioError(str(error)) from None
+
+    @property
+    def enabled(self) -> bool:
+        return self.mode != "certified"
+
+    def describe(self) -> str:
+        return self.compile().describe()
+
+
+@dataclass(frozen=True)
 class WorkloadSpec:
     """What the clients do.
 
@@ -344,6 +391,7 @@ class WorkloadSpec:
     num_accounts: int = 16
     initial_balance: int = 100
     hot_fraction: float = 0.0
+    read_ratio: float = 0.0  # fraction of read-only point lookups (uniform/zipfian)
     think_time: float = 0.0
     sessions: int = 0  # closed-loop sessions; 0 means `batch`
     coordinator: Optional[str] = None  # role, only for kind="spanning"
@@ -368,6 +416,13 @@ class WorkloadSpec:
             raise ScenarioError("bank workload needs at least two accounts")
         if not 0.0 <= self.hot_fraction <= 1.0:
             raise ScenarioError("hot_fraction must be within [0, 1]")
+        if not 0.0 <= self.read_ratio <= 1.0:
+            raise ScenarioError("read_ratio must be within [0, 1]")
+        if self.read_ratio and self.kind not in ("uniform", "zipfian"):
+            raise ScenarioError(
+                "read_ratio mixes read-only point lookups into the key/value "
+                "workloads; it requires kind='uniform' or kind='zipfian'"
+            )
         if self.think_time < 0:
             raise ScenarioError("think_time must be >= 0")
         if self.sessions < 0:
@@ -450,6 +505,10 @@ class ScenarioSpec:
     # Protocol-level batching of the certification fan-out (off by default —
     # the paper's one-message-per-transaction flow).
     batch: BatchSpec = field(default_factory=BatchSpec)
+    # Snapshot-read fast path: lease-guarded MVCC reads served by shard
+    # leaders without certification (off by default — every transaction,
+    # read-only or not, goes through the certification service).
+    read: ReadSpec = field(default_factory=ReadSpec)
     faults: Tuple[FaultStep, ...] = ()
     max_events: int = 5_000_000
     # How the recorded history is validated: "online" (default) attaches the
@@ -496,6 +555,7 @@ class ScenarioSpec:
         self.latency.validate()
         self.retry.validate()
         self.batch.validate()
+        self.read.validate()
         self.execution.validate()
         if self.execution.mode == "parallel-shards":
             if self.latency.model not in DETERMINISTIC_LATENCY_MODELS or self.latency.jitter:

@@ -12,10 +12,14 @@ into a curve:
   scale directly with the link-delay distribution);
 * a **batch sweep** varies the :class:`BatchSpec`, rendering batch size
   against throughput, latency, messages sent and the observed mean batch
-  size — the knob-tuning view for the protocol-level batching pipeline.
+  size — the knob-tuning view for the protocol-level batching pipeline;
+* a **read-ratio sweep** varies ``workload.read_ratio``, rendering the
+  read mix against throughput, latency and fast-path hit counts — the
+  evaluation view for the snapshot-read fast path (run it once with
+  ``read.mode='snapshot'`` and once without for the crossover).
 
 Used by ``python -m repro.scenarios sweep <scenario> --latency ... /
---batch ...`` and importable directly::
+--batch ... / --read-ratio ...`` and importable directly::
 
     from repro.scenarios.sweep import DEFAULT_GRID, run_latency_sweep
     curve = run_latency_sweep(get_scenario("steady-state"))
@@ -339,6 +343,159 @@ class BatchSweepResult:
             f"=== batch sweep: {self.scenario} ({self.protocol}, seed {self.seed}) "
             f"— {verdict} ===\n{body}"
         )
+
+
+# ----------------------------------------------------------------------
+# read-ratio sweeps
+# ----------------------------------------------------------------------
+
+# The stock read-ratio grid: write-only through read-dominated, the YCSB
+# spread the snapshot-read fast path is evaluated on.
+DEFAULT_READ_RATIO_GRID: Tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 0.9)
+
+
+def parse_read_ratio_grid(texts: Iterable[str]) -> Tuple[float, ...]:
+    """Parse CLI read-ratio points; the single word ``default`` expands to
+    :data:`DEFAULT_READ_RATIO_GRID`."""
+    grid: List[float] = []
+    for text in texts:
+        text = text.strip()
+        if text == "default":
+            grid.extend(DEFAULT_READ_RATIO_GRID)
+            continue
+        try:
+            ratio = float(text)
+        except ValueError:
+            raise ScenarioError(
+                f"invalid read-ratio point {text!r}: expected a float in [0, 1]"
+            ) from None
+        if not 0.0 <= ratio <= 1.0:
+            raise ScenarioError(f"read-ratio point {ratio:g} must be within [0, 1]")
+        grid.append(ratio)
+    return tuple(grid)
+
+
+def sort_read_ratio_grid(grid: Sequence[float]) -> Tuple[float, ...]:
+    """Canonical read-ratio grid order: ascending, duplicates dropped."""
+    return tuple(sorted(set(grid)))
+
+
+@dataclass
+class ReadRatioSweepResult:
+    """One scenario's results across a read-ratio grid, in grid order."""
+
+    scenario: str
+    protocol: str
+    seed: int
+    read_model: str = "off"
+    points: List[Tuple[str, ScenarioResult]] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(result.passed for _, result in self.points)
+
+    def result_for(self, label: str) -> ScenarioResult:
+        for point_label, result in self.points:
+            if point_label == label:
+                return result
+        raise KeyError(f"no sweep point labelled {label!r}")
+
+    def curve(self) -> List[Dict[str, Any]]:
+        """Read ratio vs throughput/latency/fast-path hit rate."""
+        rows = []
+        for label, result in self.points:
+            rows.append(
+                {
+                    "read_ratio": float(label),
+                    "throughput": result.throughput,
+                    "mean_latency": result.latency.mean if result.latency else None,
+                    "p99_latency": result.latency.p99 if result.latency else None,
+                    "reads_served": result.reads_served,
+                    "read_fallbacks": result.read_fallbacks,
+                    "messages_sent": result.messages_sent,
+                }
+            )
+        return rows
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "protocol": self.protocol,
+            "seed": self.seed,
+            "read_model": self.read_model,
+            "passed": self.passed,
+            "curve": self.curve(),
+            "points": [
+                {"read_ratio": float(label), "result": result.as_dict()}
+                for label, result in self.points
+            ],
+        }
+
+    def render(self) -> str:
+        headers = [
+            "read ratio",
+            "committed",
+            "abort",
+            "tput/1k",
+            "lat mean",
+            "lat p99",
+            "fast reads",
+            "fallbacks",
+            "messages",
+        ]
+        rows = []
+        for label, result in self.points:
+            rows.append(
+                [
+                    label,
+                    result.committed,
+                    f"{result.abort_rate:.3f}",
+                    f"{result.throughput:.1f}",
+                    f"{result.latency.mean:.2f}" if result.latency else "-",
+                    f"{result.latency.p99:.2f}" if result.latency else "-",
+                    result.reads_served,
+                    result.read_fallbacks,
+                    result.messages_sent,
+                ]
+            )
+        body = format_table(headers, rows)
+        verdict = "all safe" if self.passed else "FAILED"
+        return (
+            f"=== read-ratio sweep: {self.scenario} ({self.protocol}, "
+            f"read={self.read_model}, seed {self.seed}) — {verdict} ===\n{body}"
+        )
+
+
+def run_read_ratio_sweep(
+    spec: ScenarioSpec,
+    grid: Sequence[float] = DEFAULT_READ_RATIO_GRID,
+    jobs: int = 1,
+    **overrides: Any,
+) -> ReadRatioSweepResult:
+    """Run ``spec`` once per read-ratio point (optionally overriding spec
+    fields first); every point reuses the spec's seed, latency model, read
+    policy and faults, so the curve isolates the effect of the read mix —
+    and, when the spec enables ``read.mode='snapshot'``, of the fast path
+    serving it.
+
+    The grid is sorted canonically (:func:`sort_read_ratio_grid`), and with
+    ``jobs > 1`` the points fan out over a process pool — the sweep result
+    is byte-identical for any ``jobs`` value.
+    """
+    if overrides:
+        spec = spec.with_overrides(**overrides)
+    from repro.scenarios.executor import run_read_ratio_points
+
+    sweep = ReadRatioSweepResult(
+        scenario=spec.name,
+        protocol=spec.protocol,
+        seed=spec.seed,
+        read_model=spec.read.describe(),
+    )
+    sweep.points.extend(
+        run_read_ratio_points(spec, sort_read_ratio_grid(grid), jobs=jobs)
+    )
+    return sweep
 
 
 def run_batch_sweep(

@@ -68,7 +68,9 @@ class TCSChecker:
                 ),
             )
         committed = history.committed()
-        payloads = {txn: history.payload_of(txn) for txn in committed}
+        # Snapshot reads attach their resolved payload to the decide event;
+        # effective_payload_of prefers it over the certify-time marker.
+        payloads = {txn: history.effective_payload_of(txn) for txn in committed}
         edges = self._build_edges(history, committed, payloads)
         order, cycle = _topological_order(committed, edges)
         if cycle:
@@ -92,7 +94,7 @@ class TCSChecker:
                 f"exhaustive check limited to {limit} committed transactions, "
                 f"got {len(committed)}"
             )
-        payloads = {txn: history.payload_of(txn) for txn in committed}
+        payloads = {txn: history.effective_payload_of(txn) for txn in committed}
         rt_pairs = set(history.real_time_pairs(committed))
         for order in itertools.permutations(committed):
             position = {txn: i for i, txn in enumerate(order)}

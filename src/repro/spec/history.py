@@ -138,7 +138,13 @@ class History:
             listener(txn)
         return event
 
-    def record_decide(self, txn: TxnId, decision: Decision, time: float) -> Event:
+    def record_decide(
+        self, txn: TxnId, decision: Decision, time: float, payload: Any = None
+    ) -> Event:
+        """Record a decision.  ``payload`` is normally None (the payload rides
+        the certify event); snapshot reads certify a placeholder marker and
+        attach their versioned read-only payload here, once the serving
+        replica has determined which versions were observed."""
         if txn not in self._certified:
             raise ValueError(f"decide for unknown transaction {txn!r}")
         if txn in self._decided:
@@ -148,7 +154,14 @@ class History:
                 for listener in self._contradiction_listeners:
                     listener(txn, previous, decision)
             return self._decided[txn]
-        event = Event(kind="decide", txn=txn, time=time, seq=len(self.events), decision=decision)
+        event = Event(
+            kind="decide",
+            txn=txn,
+            time=time,
+            seq=len(self.events),
+            payload=payload,
+            decision=decision,
+        )
         self.events.append(event)
         self._decided[txn] = event
         for listener in self._decide_listeners:
@@ -163,6 +176,18 @@ class History:
 
     def payload_of(self, txn: TxnId) -> Any:
         return self._certified[txn].payload
+
+    def decided_payload_of(self, txn: TxnId) -> Any:
+        """The payload attached to the decide event, if any (snapshot reads)."""
+        event = self._decided.get(txn)
+        return event.payload if event else None
+
+    def effective_payload_of(self, txn: TxnId) -> Any:
+        """The payload the checkers should certify against: the decide-time
+        payload when one was attached (snapshot reads resolve their observed
+        versions only at decide time), the certify-time payload otherwise."""
+        decided = self.decided_payload_of(txn)
+        return decided if decided is not None else self._certified[txn].payload
 
     def decision_of(self, txn: TxnId) -> Optional[Decision]:
         event = self._decided.get(txn)

@@ -235,10 +235,10 @@ class IncrementalTCSChecker:
             if event.kind == "certify":
                 self.observe_certify(event.txn, event.payload)
             else:
-                self.observe_decide(event.txn, event.decision)
+                self.observe_decide(event.txn, event.decision, payload=event.payload)
         self._subscription = history.subscribe(
             on_certify=self._on_certify,
-            on_decide=self.observe_decide,
+            on_decide=self._on_decide,
             on_contradiction=self.observe_contradiction,
         )
         return self
@@ -252,6 +252,11 @@ class IncrementalTCSChecker:
     def _on_certify(self, txn: TxnId) -> None:
         self.observe_certify(txn, self._history.payload_of(txn))
 
+    def _on_decide(self, txn: TxnId, decision: Decision) -> None:
+        self.observe_decide(
+            txn, decision, payload=self._history.decided_payload_of(txn)
+        )
+
     # ------------------------------------------------------------------
     # event feed
     # ------------------------------------------------------------------
@@ -264,13 +269,21 @@ class IncrementalTCSChecker:
         self._birth[txn] = self._frontier
         self._payloads[txn] = payload
 
-    def observe_decide(self, txn: TxnId, decision: Decision) -> None:
+    def observe_decide(
+        self, txn: TxnId, decision: Decision, payload: Any = None
+    ) -> None:
         """Record the (first) ``decide(txn, decision)``.
 
         Commits enter the committed projection: the transaction becomes a
         graph node, its conflict edges come from the scheme's conflict
         index, its real-time edges from the frontier chain.  Any cycle is
         reported immediately as the violation witness.
+
+        ``payload`` is the decide-time payload, when the history attached
+        one: snapshot reads certify a placeholder marker and resolve their
+        versioned read-only payload only when the serving replica answers,
+        so the decide event — not the certify event — carries the payload
+        the conflict analysis must use.
         """
         if self.violation is not None:
             return
@@ -279,7 +292,9 @@ class IncrementalTCSChecker:
         if decision is not Decision.COMMIT:
             self._payloads.pop(txn, None)
             return
-        payload = self._payloads.pop(txn, None)
+        certified = self._payloads.pop(txn, None)
+        if payload is None:
+            payload = certified
         dag = self._dag
         dag.add_node(txn)
         if birth is not None and dag.add_edge(birth, txn) is not None:

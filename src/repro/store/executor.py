@@ -201,6 +201,43 @@ class TransactionalStore:
         if on_decided is not None:
             on_decided(outcome)
 
+    def submit_read_async(
+        self,
+        objects: Sequence[ObjectId],
+        client_index: int = 0,
+        on_decided: Optional[Callable[[TransactionOutcome], None]] = None,
+    ) -> TxnId:
+        """Submit a read-only transaction, taking the snapshot-read fast
+        path when the cluster runs an enabled read policy and the objects
+        live on a single shard; multi-shard reads (and the baseline, which
+        has no fast path) certify a read-only payload like any other
+        transaction.  The speculative read against the client store doubles
+        as the certified-path fallback payload."""
+        objects = sorted(objects)
+        context = TransactionContext(self.store, name=self._next_name())
+        for obj in objects:
+            context.read(obj)
+        payload = context.payload()
+        cluster = self.cluster
+        policy = getattr(cluster, "read", None)
+        eligible = (
+            policy is not None
+            and policy.enabled
+            and hasattr(cluster, "submit_read")
+            and len({cluster.scheme.sharding.shard_of(obj) for obj in objects}) == 1
+        )
+        if eligible:
+            txn = cluster.submit_read(
+                objects, fallback_payload=payload, client_index=client_index
+            )
+        else:
+            txn = cluster.submit(payload, client_index=client_index)
+        self._pending[txn] = (context, payload, on_decided)
+        if not self._decide_listener_installed:
+            self._decide_listener_installed = True
+            self.cluster.history.add_decide_listener(self._on_history_decide)
+        return txn
+
     def run_batch(
         self,
         bodies: Sequence[Callable[[TransactionContext], Any]],

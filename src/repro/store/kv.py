@@ -8,6 +8,7 @@ can inspect how committed payloads were applied.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -43,9 +44,21 @@ class VersionedKVStore:
         return versions[-1]
 
     def read_at(self, obj: ObjectId, version: Version) -> Optional[VersionedValue]:
-        """The newest version of ``obj`` that is <= ``version``."""
-        candidates = [v for v in self._history.get(obj, []) if v.version <= version]
-        return candidates[-1] if candidates else None
+        """The newest version of ``obj`` that is <= ``version``.
+
+        Version lists are kept sorted ascending, so the lookup is a single
+        bisection (O(log n)) instead of the old linear scan.  Snapshot reads
+        overwhelmingly ask at or above the object's newest version, so that
+        case short-circuits without bisecting or slicing at all.
+        """
+        versions = self._history.get(obj)
+        if not versions:
+            return None
+        newest = versions[-1]
+        if newest.version <= version:  # hot path: reading a fresh snapshot
+            return newest
+        at = bisect_right(versions, version, key=lambda entry: entry.version)
+        return versions[at - 1] if at else None
 
     def version_of(self, obj: ObjectId) -> Version:
         return self.read(obj).version
@@ -68,6 +81,32 @@ class VersionedKVStore:
         self._history.setdefault(obj, []).insert(
             0, VersionedValue(value=value, version=VERSION_ZERO)
         )
+
+    def install(self, obj: ObjectId, value: object, version: Version) -> bool:
+        """Install one committed value at ``version``, tolerating out-of-order
+        arrival.
+
+        Replica-side applied stores learn of commits in slot-decision order,
+        which per object is not necessarily commit-version order (decisions
+        for different slots race across coordinators).  ``install`` therefore
+        bisect-inserts into the sorted version list instead of appending, and
+        is idempotent on duplicate versions (NEW_STATE rebuilds replay the
+        whole log).  Returns True when a new version was actually added.
+        """
+        versions = self._history.setdefault(obj, [])
+        if versions and versions[-1].version < version:  # hot path: in order
+            versions.append(VersionedValue(value=value, version=version))
+            return True
+        at = bisect_right(versions, version, key=lambda entry: entry.version)
+        if at and versions[at - 1].version == version:
+            return False
+        versions.insert(at, VersionedValue(value=value, version=version))
+        return True
+
+    def install_payload(self, payload: TransactionPayload) -> None:
+        """Install every write of a committed payload (see :meth:`install`)."""
+        for obj, value in sorted(payload.write_set):
+            self.install(obj, value, payload.commit_version)
 
     def apply_payload(self, payload: TransactionPayload) -> None:
         """Install the writes of a committed transaction at its commit version.

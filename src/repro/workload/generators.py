@@ -108,7 +108,15 @@ class ZipfianKeyGenerator:
 
 
 class ReadWriteWorkload:
-    """YCSB-style transactions: read ``reads_per_txn`` keys, update a subset."""
+    """YCSB-style transactions: read ``reads_per_txn`` keys, update a subset.
+
+    ``read_ratio`` mixes in read-only transactions (YCSB-B/C style): each
+    draw is read-only with that probability, and a read-only transaction
+    reads a *single* key (a point lookup), which keeps it single-shard and
+    therefore eligible for the snapshot-read fast path.  At the default
+    ``read_ratio=0.0`` no ratio draw happens at all, so the RNG stream — and
+    with it every existing history digest — is unchanged.
+    """
 
     def __init__(
         self,
@@ -116,17 +124,24 @@ class ReadWriteWorkload:
         reads_per_txn: int = 3,
         writes_per_txn: int = 1,
         seed: int = 0,
+        read_ratio: float = 0.0,
     ) -> None:
         if writes_per_txn > reads_per_txn:
             raise ValueError("writes_per_txn must not exceed reads_per_txn")
+        if not 0.0 <= read_ratio <= 1.0:
+            raise ValueError("read_ratio must be in [0, 1]")
         self.keys = key_generator
         self.reads_per_txn = reads_per_txn
         self.writes_per_txn = writes_per_txn
+        self.read_ratio = read_ratio
         self.rng = random.Random(seed)
         self._counter = 0
 
     def next(self) -> TransactionSpec:
         self._counter += 1
+        if self.read_ratio > 0.0 and self.rng.random() < self.read_ratio:
+            key = self.keys.keys(1)[0]
+            return TransactionSpec(reads=(key,), writes=(), label=f"ro-{self._counter}")
         keys = self.keys.keys(self.reads_per_txn)
         written = keys[: self.writes_per_txn]
         writes = tuple((key, f"v{self._counter}") for key in written)

@@ -283,6 +283,9 @@ EQUIVALENCE_CASES = [
     ("cascading-crashes", 2),
     ("baseline-steady-state", 2),
     ("rolling-reconfiguration", 2),
+    ("read-heavy-steady-state", 2),
+    ("read-heavy-steady-state", 4),
+    ("stale-lease-ablation", 2),
 ]
 
 
@@ -345,6 +348,7 @@ _SUBPROCESS_CASES = {
     "steady-state": "",
     "wan-steady-state": "latency=replace(s.latency, jitter=0.0),",
     "batch-saturation": "",
+    "read-heavy-steady-state": "",
 }
 
 
