@@ -151,6 +151,9 @@ class RetryStats:
     * ``retries`` — timeout-driven re-submissions (any coordinator);
     * ``failovers`` — re-submissions that switched to a different
       coordinator (``retries - failovers`` re-tried the same one);
+    * ``pushed_failovers`` — failovers triggered by a pushed
+      ``CONFIG_CHANGE`` (the session learned its coordinator was removed
+      before the retry timer fired);
     * ``orphaned`` — transactions abandoned after ``max_attempts`` without a
       decision (a resilient deployment should keep this at 0);
     * ``duplicate_requests`` — duplicate ``CERTIFY`` deliveries the
@@ -160,6 +163,7 @@ class RetryStats:
 
     retries: int = 0
     failovers: int = 0
+    pushed_failovers: int = 0
     orphaned: int = 0
     duplicate_requests: int = 0
 
@@ -167,6 +171,7 @@ class RetryStats:
         return {
             "retries": self.retries,
             "failovers": self.failovers,
+            "pushed_failovers": self.pushed_failovers,
             "orphaned": self.orphaned,
             "duplicate_requests": self.duplicate_requests,
         }
@@ -185,6 +190,7 @@ def collect_retry_stats(sessions, coordinators) -> RetryStats:
     return RetryStats(
         retries=sum(session.retries for session in sessions),
         failovers=sum(session.failovers for session in sessions),
+        pushed_failovers=sum(session.pushed_failovers for session in sessions),
         orphaned=sum(len(session.orphaned) for session in sessions),
         duplicate_requests=sum(
             getattr(process, "duplicate_certify_requests", 0) for process in coordinators

@@ -24,6 +24,7 @@ from repro.client import Client, ClientSession, RetryPolicy, StaticRouter
 from repro.core.batching import BatchPolicy
 from repro.core.certification import CertificationScheme
 from repro.core.directory import TransactionDirectory
+from repro.core.failuredetector import DetectorPolicy, HeartbeatPump
 from repro.core.reads import ReadPolicy
 from repro.core.serializability import KeyHashSharding, SerializabilityScheme
 from repro.core.types import Decision, ShardId, TxnId
@@ -51,6 +52,7 @@ class BaselineCluster:
         batch: Optional[BatchPolicy] = None,
         groups: int = 0,
         read: Optional[ReadPolicy] = None,
+        detector: Optional[DetectorPolicy] = None,
     ) -> None:
         if num_shards < 1 or failures_tolerated < 0:
             raise ValueError("num_shards must be >= 1 and failures_tolerated >= 0")
@@ -74,6 +76,10 @@ class BaselineCluster:
         # stores and closed-timestamp watermarks as the snapshot-read
         # replicas, keeping protocol comparisons apples-to-apples.
         self.read = read or ReadPolicy()
+        # Passive failure detection (heartbeats + suspicion accounting only;
+        # the baseline has no reconfiguration path for the detector to drive).
+        self.detector = detector or DetectorPolicy()
+        self.detector.validate()
         self.groups: Dict[ShardId, PaxosGroup] = {}
         for shard in self.shards:
             self.groups[shard] = PaxosGroup(
@@ -85,6 +91,7 @@ class BaselineCluster:
                     self.scheme,
                     applied_store=VersionedKVStore() if self.read.enabled else None,
                 ),
+                detector=self.detector,
             )
 
         shard_leaders = {shard: group.leader for shard, group in self.groups.items()}
@@ -126,6 +133,13 @@ class BaselineCluster:
 
         if groups:
             self.scheduler.install(self.network, self._group_partition())
+        # Heartbeat pump (see Cluster.__init__): one weak recurring tick
+        # armed exactly once at build, self-re-armed from inside the tick.
+        self.pump = HeartbeatPump(self.scheduler, self._all_paxos_replicas, self.detector)
+        self.pump.start()
+
+    def _all_paxos_replicas(self) -> List[Any]:
+        return [r for group in self.groups.values() for r in group.replicas]
 
     def _group_partition(self) -> Dict[str, int]:
         """Shards to contiguous groups; replicas follow their shard; the
@@ -260,6 +274,25 @@ class BaselineCluster:
 
     def retry_stats(self) -> RetryStats:
         return collect_retry_stats(self.sessions, self.coordinators)
+
+    def detector_stats(self) -> Dict[str, Any]:
+        """Passive detector counters (no view changes in the baseline)."""
+        stats: Dict[str, Any] = {
+            "heartbeat_ticks": self.pump.ticks,
+            "suspicions": 0,
+            "false_suspicions": 0,
+            "suspicion_reports": 0,
+            "view_changes": 0,
+            "unsolicited_reconfigurations": 0,
+            "pushed_failovers": 0,
+        }
+        for replica in self._all_paxos_replicas():
+            if replica.detector is not None:
+                stats["suspicions"] += replica.detector.suspicions
+                stats["false_suspicions"] += replica.detector.false_suspicions
+        for session in self.sessions:
+            stats["pushed_failovers"] += session.pushed_failovers
+        return stats
 
     def batch_stats(self) -> BatchStats:
         return collect_batch_stats(list(self.coordinators) + self.clients)

@@ -22,6 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
+from repro.core.failuredetector import DetectorPolicy, FailureDetector
+from repro.core.messages import Heartbeat
 from repro.runtime.process import Process
 
 
@@ -100,6 +102,7 @@ class PaxosReplica(Process):
         group: Tuple[str, ...],
         state_machine: StateMachine,
         initial_leader: str,
+        detector: Optional[DetectorPolicy] = None,
     ) -> None:
         super().__init__(pid)
         if initial_leader not in group:
@@ -107,6 +110,16 @@ class PaxosReplica(Process):
         self.group = tuple(group)
         self.state_machine = state_machine
         self.leader_hint = initial_leader
+
+        # Passive failure detection: the baseline has no reconfiguration
+        # path to drive, but with an enabled policy its replicas exchange
+        # the same heartbeats and accumulate the same suspicion counters as
+        # the TCS replicas, keeping detector comparisons apples-to-apples.
+        self.detector_policy = detector or DetectorPolicy()
+        self.detector: Optional[FailureDetector] = None
+        if self.detector_policy.enabled:
+            self.detector = FailureDetector(self.detector_policy, pid)
+            self.detector.watch(self.group, 0.0)
 
         # Acceptor state.
         self.promised: Ballot = (1, initial_leader)
@@ -135,6 +148,29 @@ class PaxosReplica(Process):
     def _broadcast(self, message: Any) -> None:
         for member in self.group:
             self.send(member, message)
+
+    # ------------------------------------------------------------------
+    # failure detection (passive: heartbeats + suspicion accounting only)
+    # ------------------------------------------------------------------
+    def emit_heartbeats(self) -> None:
+        if self.detector is None:
+            return
+        peers = [p for p in self.group if p != self.pid]
+        if peers:
+            # The group name doubles as the shard id; the baseline has no
+            # epochs, so heartbeats carry 0.
+            shard = self.pid.rsplit("/", 1)[0]
+            self.send_all(peers, Heartbeat(shard=shard, epoch=0), weak=True)
+
+    def tick_detector(self) -> None:
+        if self.detector is not None:
+            # No configuration service to report to: suspicions only feed
+            # the detector's own counters.
+            self.detector.tick(self.now)
+
+    def on_heartbeat(self, msg: Heartbeat, sender: str) -> None:
+        if self.detector is not None:
+            self.detector.record(sender, self.now)
 
     # ------------------------------------------------------------------
     # client requests
@@ -273,6 +309,7 @@ class PaxosGroup:
         name: str,
         size: int,
         state_machine_factory: Callable[[], StateMachine],
+        detector: Optional[DetectorPolicy] = None,
     ) -> None:
         if size < 1:
             raise ValueError("group size must be at least 1")
@@ -286,6 +323,7 @@ class PaxosGroup:
                 group=self.pids,
                 state_machine=state_machine_factory(),
                 initial_leader=self.leader,
+                detector=detector,
             )
             network.register(replica)
             self.replicas.append(replica)

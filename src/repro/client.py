@@ -121,6 +121,15 @@ class CoordinatorRouter:
         self.epochs: Dict[ShardId, int] = dict(epochs or {})
         self._round_robin = 0
         self.config_updates = 0
+        # Sessions register here to learn about accepted configuration
+        # changes synchronously (push-driven failover: re-submit to a new
+        # coordinator *before* the retry timer fires).
+        self._listeners: List[Callable[[ShardId, frozenset, str], None]] = []
+
+    def add_listener(self, fn: Callable[[ShardId, frozenset, str], None]) -> None:
+        """Call ``fn(shard, removed_members, new_leader)`` whenever a newer
+        configuration of ``shard`` is installed."""
+        self._listeners.append(fn)
 
     def note_config_change(
         self, shard: ShardId, epoch: int, members: Sequence[str], leader: str
@@ -128,10 +137,13 @@ class CoordinatorRouter:
         """Install a (possibly newer) configuration of ``shard``."""
         if epoch < self.epochs.get(shard, 0):
             return
+        removed = frozenset(self.members.get(shard, ())) - frozenset(members)
         self.epochs[shard] = epoch
         self.members[shard] = tuple(members)
         self.leaders[shard] = leader
         self.config_updates += 1
+        for listener in self._listeners:
+            listener(shard, removed, leader)
 
     def candidates(self, involved: Sequence[ShardId]) -> List[str]:
         """Coordinator candidates for a transaction over ``involved`` shards,
@@ -169,6 +181,9 @@ class StaticRouter:
         self.config_updates = 0
 
     def note_config_change(self, *args: Any) -> None:  # pragma: no cover - no-op
+        pass
+
+    def add_listener(self, fn: Any) -> None:  # pragma: no cover - no-op
         pass
 
     def pick(self, involved: Sequence[ShardId], exclude: Sequence[str] = ()) -> str:
@@ -227,11 +242,14 @@ class ClientSession:
         self._inflight: Dict[TxnId, _Submission] = {}
         self.retries = 0  # re-submissions (any coordinator)
         self.failovers = 0  # re-submissions that switched coordinator
+        self.pushed_failovers = 0  # failovers driven by CONFIG_CHANGE pushes
         self.config_refreshes = 0  # get_last re-reads triggered by timeouts
         self.orphaned: List[TxnId] = []  # gave up after max_attempts
         self._last_refresh_at = float("-inf")
         client.router = router
         client.add_decision_callback(self._on_decided)
+        if self.policy.enabled:
+            router.add_listener(self._on_config_push)
 
     # ------------------------------------------------------------------
     # submission
@@ -277,13 +295,16 @@ class ClientSession:
         # (coordinator candidates come from *uninvolved* shards, so involved
         # shards alone would miss them; replies benefit subsequent picks)
         # and fail over to an untried coordinator.  At most one refresh per
-        # timeout window — many transactions timing out together must not
-        # multiply the config-service traffic.
+        # *current* backoff window — many transactions timing out together
+        # must not multiply the config-service traffic, and a late-attempt
+        # timeout whose window is `delay(attempts)` long must not re-read
+        # more often than once per such window (throttling by the base
+        # timeout under-throttled every backed-off attempt).
         now = self.client.now
         shards = tuple(getattr(self.router, "shards", ())) or state.involved
         if (
             shards
-            and now - self._last_refresh_at >= self.policy.timeout
+            and now - self._last_refresh_at >= self.policy.delay(state.attempts)
             and self.client.refresh_configurations(shards)
         ):
             self._last_refresh_at = now
@@ -297,6 +318,40 @@ class ClientSession:
             self.failovers += 1
         self.client.resubmit(txn, state.payload, coordinator, request_id=state.attempts)
         self._arm(state)
+
+    # ------------------------------------------------------------------
+    # push-driven failover (unsolicited view changes)
+    # ------------------------------------------------------------------
+    def _on_config_push(self, shard: ShardId, removed: frozenset, leader: str) -> None:
+        """The router accepted a newer configuration of ``shard``: fail over
+        any in-flight transaction whose current coordinator was removed,
+        without waiting for its (possibly heavily backed-off) retry timer.
+
+        The deposed process may merely have been partitioned, so the
+        transaction id-based dedup still protects against double answers;
+        re-submitting immediately just converts the rest of the timeout
+        window into saved latency.
+        """
+        if not removed:
+            return
+        for txn in list(self._inflight):
+            state = self._inflight.get(txn)
+            if state is None or not state.tried or state.tried[-1] not in removed:
+                continue
+            if state.attempts >= self.policy.max_attempts:
+                continue  # the armed timer will orphan it on expiry
+            if state.timer is not None:
+                state.timer.cancel()
+            coordinator = self.router.pick(state.involved, exclude=tuple(state.tried))
+            state.attempts += 1
+            state.tried.append(coordinator)
+            self.retries += 1
+            self.failovers += 1
+            self.pushed_failovers += 1
+            self.client.resubmit(
+                txn, state.payload, coordinator, request_id=state.attempts
+            )
+            self._arm(state)
 
     def _on_decided(self, txn: TxnId, decision: Decision) -> None:
         state = self._inflight.pop(txn, None)

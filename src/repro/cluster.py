@@ -35,6 +35,7 @@ from repro.configservice.service import ConfigurationService, GlobalConfiguratio
 from repro.core.batching import BatchPolicy
 from repro.core.certification import CertificationScheme
 from repro.core.directory import TransactionDirectory
+from repro.core.failuredetector import DetectorPolicy, HeartbeatPump
 from repro.core.reads import ReadPolicy
 from repro.core.reconfig import MembershipPolicy, SparePool
 from repro.core.replica import ShardReplica
@@ -169,6 +170,7 @@ class Cluster:
         batch: Optional[BatchPolicy] = None,
         groups: int = 0,
         read: Optional[ReadPolicy] = None,
+        detector: Optional[DetectorPolicy] = None,
     ) -> None:
         spec = protocol_spec(protocol)
         if num_shards < 1 or replicas_per_shard < 1 or num_clients < 1:
@@ -207,6 +209,8 @@ class Cluster:
         self.batch = batch or BatchPolicy()
         self.read = read or ReadPolicy()
         self.read.validate()
+        self.detector = detector or DetectorPolicy()
+        self.detector.validate()
 
         self._build_config_service()
         self._build_replicas(spares_per_shard)
@@ -228,6 +232,13 @@ class Cluster:
             # engine is installed, so the grant round-trip is partitioned
             # like every other message).
             self.request_read_leases()
+        # Heartbeat pump: one cluster-level weak recurring tick, armed
+        # exactly once here — a consistent creation point in both engines —
+        # and self-re-armed only from inside the tick thereafter.
+        self.pump = HeartbeatPump(
+            self.scheduler, lambda: self.replicas.values(), self.detector
+        )
+        self.pump.start()
 
     # ------------------------------------------------------------------
     # construction
@@ -253,6 +264,7 @@ class Cluster:
 
     def _build_config_service(self) -> None:
         self.config_service = self.protocol_spec.config_service_cls("config-service")
+        self.config_service.detector_confirmations = self.detector.confirmations
         self.network.register(self.config_service)
 
     def _build_replicas(self, spares_per_shard: int) -> None:
@@ -297,6 +309,7 @@ class Cluster:
                     membership_policy=self.membership_policy,
                     batch=self.batch,
                     read=self.read,
+                    detector=self.detector,
                 )
                 self.network.register(replica)
                 self.replicas[pid] = replica
@@ -519,6 +532,30 @@ class Cluster:
             stats["refused_lease"] += engine.reads_refused_lease
             stats["refused_pending"] += engine.reads_refused_pending
             stats["stale_serves"] += engine.stale_serves
+        return stats
+
+    def detector_stats(self) -> Dict[str, Any]:
+        """Aggregate failure-detector counters over replicas, sessions and
+        the configuration service (all zero when the detector is off)."""
+        stats: Dict[str, Any] = {
+            "heartbeat_ticks": self.pump.ticks,
+            "suspicions": 0,
+            "false_suspicions": 0,
+            "suspicion_reports": getattr(self.config_service, "suspicion_reports", 0),
+            "view_changes": getattr(self.config_service, "view_changes", 0),
+            "unsolicited_reconfigurations": 0,
+            "pushed_failovers": 0,
+        }
+        for replica in self.replicas.values():
+            detector = getattr(replica, "detector", None)
+            if detector is not None:
+                stats["suspicions"] += detector.suspicions
+                stats["false_suspicions"] += detector.false_suspicions
+            stats["unsolicited_reconfigurations"] += getattr(
+                replica, "unsolicited_reconfigurations", 0
+            )
+        for session in self.sessions:
+            stats["pushed_failovers"] += session.pushed_failovers
         return stats
 
     def run(self, max_time: Optional[float] = None, max_events: Optional[int] = None) -> int:

@@ -20,19 +20,56 @@ argument.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.messages import (
     ConfigChange,
     CsCompareAndSwap,
     CsGet,
     CsGetLast,
+    CsLeaseGrant,
+    CsLeaseRequest,
     CsReply,
-    LeaseGrant,
-    LeaseRequest,
+    CsViewChange,
+    SuspicionReport,
 )
-from repro.core.types import Configuration, GlobalConfiguration, ShardId
+from repro.core.types import Configuration, GlobalConfiguration, ProcessId, ShardId
 from repro.runtime.process import Process
+
+
+class _SuspicionLedger:
+    """Aggregates :class:`SuspicionReport` messages per (shard, epoch).
+
+    Shared by both configuration-service variants.  A suspicion becomes
+    *confirmed* once ``confirmations`` distinct observers reported it; the
+    first confirmation of an epoch triggers exactly one view-change
+    proposal (later reports against the same epoch are absorbed — the CAS
+    path already serialises racing reconfigurations, this just avoids
+    spamming probes).
+    """
+
+    def __init__(self) -> None:
+        # (shard, epoch, suspect) -> the distinct observers that reported it
+        self._votes: Dict[Tuple[ShardId, int, ProcessId], Set[ProcessId]] = {}
+        # (shard, epoch) pairs a view change was already proposed for
+        self._acted: Set[Tuple[ShardId, int]] = set()
+
+    def add(self, shard: ShardId, epoch: int, suspect: ProcessId, reporter: ProcessId) -> None:
+        self._votes.setdefault((shard, epoch, suspect), set()).add(reporter)
+
+    def confirmed(self, shard: ShardId, epoch: int, confirmations: int) -> List[ProcessId]:
+        """Every suspect of (shard, epoch) with enough distinct reporters."""
+        return sorted(
+            suspect
+            for (s, e, suspect), voters in self._votes.items()
+            if s == shard and e == epoch and len(voters) >= confirmations
+        )
+
+    def acted(self, shard: ShardId, epoch: int) -> bool:
+        return (shard, epoch) in self._acted
+
+    def mark_acted(self, shard: ShardId, epoch: int) -> None:
+        self._acted.add((shard, epoch))
 
 
 class ConfigurationService(Process):
@@ -52,11 +89,27 @@ class ConfigurationService(Process):
         # every new configuration, on top of the Figure 1 line 67 push to the
         # members of the other shards.
         self._subscribers: List[str] = []
+        # Failure detection: how many distinct observers must report a
+        # suspicion before the service proposes a view change (set by the
+        # cluster from the detector policy), the report ledger, and the
+        # install log — (time, shard, epoch) per stored configuration —
+        # from which time-to-recovery is measured.
+        self.detector_confirmations = 1
+        self._suspicions = _SuspicionLedger()
+        self.suspicion_reports = 0
+        self.view_changes = 0
+        self.install_log: List[Tuple[float, ShardId, int]] = []
 
     def subscribe(self, pid: str) -> None:
         """Push future ``CONFIG_CHANGE`` notifications to ``pid`` as well."""
         if pid not in self._subscribers:
             self._subscribers.append(pid)
+
+    def _log_install(self, shard: ShardId, epoch: int) -> None:
+        # install_initial runs during cluster build, before the service is
+        # attached to a network; those entries are at virtual time zero.
+        now = self.now if self.network is not None else 0.0
+        self.install_log.append((now, shard, epoch))
 
     # ------------------------------------------------------------------
     # direct (bootstrap) interface
@@ -66,6 +119,7 @@ class ConfigurationService(Process):
         self._configs.setdefault(shard, {})[config.epoch] = config
         self._last[shard] = config.epoch
         self.version += 1
+        self._log_install(shard, config.epoch)
 
     def last_configuration(self, shard: ShardId) -> Optional[Configuration]:
         epoch = self._last.get(shard)
@@ -100,18 +154,61 @@ class ConfigurationService(Process):
         self._configs.setdefault(msg.shard, {})[msg.config.epoch] = msg.config
         self._last[msg.shard] = msg.config.epoch
         self.version += 1
+        self._log_install(msg.shard, msg.config.epoch)
         self.send(sender, CsReply(msg.request_id, ok=True, config=msg.config))
         self._broadcast_config_change(msg.shard, msg.config)
 
-    def on_lease_request(self, msg: LeaseRequest, sender: str) -> None:
+    def on_cs_lease_request(self, msg: CsLeaseRequest, sender: str) -> None:
         """Grant a read lease on ``msg.shard`` iff the requester is the
-        shard's leader in the last stored configuration.  The grant is an
-        absolute virtual-time expiry on the shared simulation clock; a
-        deposed leader's outstanding lease simply runs out."""
+        shard's leader in the last stored configuration *at the epoch the
+        requester believes is current*.  The epoch fence refuses deposed
+        leaders outright; the grant is an absolute virtual-time expiry on
+        the shared simulation clock, so an already-granted lease of a
+        later-deposed leader simply runs out."""
         config = self.last_configuration(msg.shard)
-        ok = config is not None and config.leader == sender
+        ok = (
+            config is not None
+            and config.leader == sender
+            and config.epoch == msg.epoch
+        )
         expires_at = self.now + msg.duration if ok else float("-inf")
-        self.send(sender, LeaseGrant(msg.shard, ok=ok, expires_at=expires_at, request_id=msg.request_id))
+        self.send(
+            sender,
+            CsLeaseGrant(
+                msg.shard,
+                ok=ok,
+                expires_at=expires_at,
+                request_id=msg.request_id,
+                epoch=msg.epoch,
+            ),
+        )
+
+    def on_suspicion_report(self, msg: SuspicionReport, sender: str) -> None:
+        """Aggregate a failure-detector suspicion; once ``suspect`` has been
+        reported by ``detector_confirmations`` distinct current members, ask
+        the first surviving member (configuration order) to propose a view
+        change through the ordinary CAS path."""
+        config = self.last_configuration(msg.shard)
+        if config is None or config.epoch != msg.epoch:
+            return  # stale view: the suspect's epoch is already history
+        if sender not in config.members or msg.suspect not in config.members:
+            return
+        self.suspicion_reports += 1
+        self._suspicions.add(msg.shard, msg.epoch, msg.suspect, sender)
+        confirmed = self._suspicions.confirmed(
+            msg.shard, msg.epoch, self.detector_confirmations
+        )
+        if not confirmed or self._suspicions.acted(msg.shard, msg.epoch):
+            return
+        survivors = [p for p in config.members if p not in confirmed]
+        if not survivors:
+            return  # every member suspected: nobody left to drive the change
+        self._suspicions.mark_acted(msg.shard, msg.epoch)
+        self.view_changes += 1
+        self.send(
+            survivors[0],
+            CsViewChange(shard=msg.shard, epoch=msg.epoch, suspects=tuple(confirmed)),
+        )
 
     def _broadcast_config_change(self, shard: ShardId, config: Configuration) -> None:
         """Notify members of the other shards about the new configuration."""
@@ -150,6 +247,13 @@ class GlobalConfigurationService(Process):
         # Cache-invalidation counter; see ConfigurationService.version.
         self.version = 0
         self._subscribers: List[str] = []
+        # Failure detection (see ConfigurationService): confirmations
+        # threshold, report ledger, and the per-shard install log.
+        self.detector_confirmations = 1
+        self._suspicions = _SuspicionLedger()
+        self.suspicion_reports = 0
+        self.view_changes = 0
+        self.install_log: List[Tuple[float, ShardId, int]] = []
 
     def subscribe(self, pid: str) -> None:
         """Push per-shard ``CONFIG_CHANGE`` digests of every new global
@@ -158,10 +262,16 @@ class GlobalConfigurationService(Process):
         if pid not in self._subscribers:
             self._subscribers.append(pid)
 
+    def _log_install(self, config: GlobalConfiguration) -> None:
+        now = self.now if self.network is not None else 0.0
+        for shard in sorted(config.members):
+            self.install_log.append((now, shard, config.epoch))
+
     def install_initial(self, config: GlobalConfiguration) -> None:
         self._configs[config.epoch] = config
         self._last = config.epoch
         self.version += 1
+        self._log_install(config)
 
     def last_configuration(self) -> Optional[GlobalConfiguration]:
         if self._last is None:
@@ -187,13 +297,54 @@ class GlobalConfigurationService(Process):
             CsReply(msg.request_id, ok=config is not None, config=config),  # type: ignore[arg-type]
         )
 
-    def on_lease_request(self, msg: LeaseRequest, sender: str) -> None:
+    def on_cs_lease_request(self, msg: CsLeaseRequest, sender: str) -> None:
         """Per-shard read-lease grants against the last global configuration
-        (see :meth:`ConfigurationService.on_lease_request`)."""
+        (see :meth:`ConfigurationService.on_cs_lease_request`); the epoch
+        fence compares against the single system-wide epoch."""
         config = self.last_configuration()
-        ok = config is not None and config.leaders.get(msg.shard) == sender
+        ok = (
+            config is not None
+            and config.leaders.get(msg.shard) == sender
+            and config.epoch == msg.epoch
+        )
         expires_at = self.now + msg.duration if ok else float("-inf")
-        self.send(sender, LeaseGrant(msg.shard, ok=ok, expires_at=expires_at, request_id=msg.request_id))
+        self.send(
+            sender,
+            CsLeaseGrant(
+                msg.shard,
+                ok=ok,
+                expires_at=expires_at,
+                request_id=msg.request_id,
+                epoch=msg.epoch,
+            ),
+        )
+
+    def on_suspicion_report(self, msg: SuspicionReport, sender: str) -> None:
+        """Aggregate suspicions against the single global epoch; a confirmed
+        suspicion asks a surviving member of the suspect's shard to start a
+        *global* reconfiguration (the RDMA protocol has no per-shard one)."""
+        config = self.last_configuration()
+        if config is None or config.epoch != msg.epoch:
+            return
+        members = config.members.get(msg.shard, ())
+        if sender not in members or msg.suspect not in members:
+            return
+        self.suspicion_reports += 1
+        self._suspicions.add(msg.shard, msg.epoch, msg.suspect, sender)
+        confirmed = self._suspicions.confirmed(
+            msg.shard, msg.epoch, self.detector_confirmations
+        )
+        if not confirmed or self._suspicions.acted(msg.shard, msg.epoch):
+            return
+        survivors = [p for p in members if p not in confirmed]
+        if not survivors:
+            return
+        self._suspicions.mark_acted(msg.shard, msg.epoch)
+        self.view_changes += 1
+        self.send(
+            survivors[0],
+            CsViewChange(shard=msg.shard, epoch=msg.epoch, suspects=tuple(confirmed)),
+        )
 
     def on_cs_compare_and_swap(self, msg: CsCompareAndSwap, sender: str) -> None:
         self.cas_attempts += 1
@@ -205,6 +356,7 @@ class GlobalConfigurationService(Process):
         self._configs[new_config.epoch] = new_config
         self._last = new_config.epoch
         self.version += 1
+        self._log_install(new_config)
         self.send(sender, CsReply(msg.request_id, ok=True, config=new_config))  # type: ignore[arg-type]
         for shard in sorted(new_config.members):
             change = ConfigChange(

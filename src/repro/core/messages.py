@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
-from repro.core.types import Configuration, Decision, Phase, ShardId, TxnId
+from repro.core.types import Configuration, Decision, Phase, ProcessId, ShardId, TxnId
 
 
 # ----------------------------------------------------------------------
@@ -82,24 +82,68 @@ class ReadReply:
 # read leases (shard leader <-> configuration service)
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
-class LeaseRequest:
+class CsLeaseRequest:
     """A shard leader asking the configuration service for a read lease of
-    ``duration`` (virtual time); granted only to the current leader."""
+    ``duration`` (virtual time); granted only to the current leader.
+
+    ``epoch`` is the epoch the requester believes is current: the service
+    grants only when it matches the epoch of the latest configuration, so
+    a deposed (or not-yet-caught-up) leader is refused instead of armed
+    with a lease it must not hold.
+    """
 
     shard: ShardId
     duration: float
     request_id: int
+    epoch: int = 0
 
 
 @dataclass(frozen=True)
-class LeaseGrant:
+class CsLeaseGrant:
     """The configuration service's answer: the lease is valid until the
-    absolute virtual time ``expires_at`` when ``ok``."""
+    absolute virtual time ``expires_at`` when ``ok``.
+
+    ``epoch`` echoes the request: the recipient refuses grants whose epoch
+    no longer matches its own, so an in-flight grant crossing a view
+    change cannot let a stale leader serve snapshot reads.
+    """
 
     shard: ShardId
     ok: bool
     expires_at: float
     request_id: int
+    epoch: int = 0
+
+
+# ----------------------------------------------------------------------
+# failure detection (replicas <-> configuration service)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Heartbeat:
+    """Periodic liveness beacon between co-members of a shard."""
+
+    shard: ShardId
+    epoch: int
+
+
+@dataclass(frozen=True)
+class SuspicionReport:
+    """An observer tells the configuration service it suspects ``suspect``
+    (a co-member of ``shard`` at ``epoch``) of having failed."""
+
+    shard: ShardId
+    epoch: int
+    suspect: ProcessId
+
+
+@dataclass(frozen=True)
+class CsViewChange:
+    """The configuration service asks a surviving member to reconfigure
+    ``shard`` past the confirmed-suspected ``suspects`` of ``epoch``."""
+
+    shard: ShardId
+    epoch: int
+    suspects: Tuple[ProcessId, ...] = ()
 
 
 # ----------------------------------------------------------------------

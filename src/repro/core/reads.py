@@ -120,11 +120,16 @@ class ReplicaReadEngine:
         # service); -inf until the first grant arrives.
         self.lease_expires = float("-inf")
         self.lease_pending = False
+        # The epoch this engine serves under.  The replica updates it at
+        # every configuration install; a grant echoing a different epoch is
+        # refused (the deposed-leader fence).
+        self.epoch = 0
         # Metrics.
         self.reads_served = 0
         self.reads_refused_lease = 0
         self.reads_refused_pending = 0
         self.stale_serves = 0  # broken mode: serves a valid engine would refuse
+        self.stale_grants = 0  # grants refused by the epoch fence
         replica.decision_listeners.append(self._on_slot_decided)
 
     # ------------------------------------------------------------------
@@ -213,8 +218,22 @@ class ReplicaReadEngine:
             and self.lease_expires - now < self.policy.lease / 2.0
         )
 
-    def note_lease(self, expires_at: float, granted: bool) -> None:
+    def note_epoch(self, epoch: int) -> None:
+        """The replica installed a configuration: fence the lease epoch."""
+        self.epoch = epoch
+
+    def note_lease(self, expires_at: float, granted: bool, epoch: int = 0) -> None:
+        """Record the configuration service's answer to a lease request.
+
+        ``epoch`` is the grant's echoed request epoch; a grant that no
+        longer matches the engine's current epoch is refused — an in-flight
+        grant arriving after the holder was deposed must not re-arm the
+        lease (the deposed-leader fence).
+        """
         self.lease_pending = False
+        if epoch != self.epoch:
+            self.stale_grants += 1
+            return
         if granted and expires_at > self.lease_expires:
             self.lease_expires = expires_at
 

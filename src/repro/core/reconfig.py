@@ -29,6 +29,7 @@ from repro.core.messages import (
     CsGet,
     CsGetLast,
     CsReply,
+    CsViewChange,
     NewConfig,
     NewState,
     Probe,
@@ -121,6 +122,7 @@ class ReconfigMixin:
         self._cs_callbacks: Dict[int, Callable[[CsReply], None]] = {}
         self.reconfigurations_initiated = 0
         self.reconfigurations_introduced = 0
+        self.unsolicited_reconfigurations = 0
 
     # ------------------------------------------------------------------
     # configuration-service RPC plumbing
@@ -166,6 +168,22 @@ class ReconfigMixin:
 
         self._cs_call(lambda rid: CsGetLast(shard=shard, request_id=rid), on_last)
         return True
+
+    def on_cs_view_change(self, msg: CsViewChange, sender: str) -> None:
+        """The configuration service confirmed failure suspicions and asks
+        this process to drive the view change (unsolicited failover).
+
+        Runs through the ordinary probe/CAS path above, so it races safely
+        with timeout-driven ``reconfigure`` calls: the ``probing`` guard
+        deduplicates concurrent attempts on this process, and the service's
+        compare-and-swap lets exactly one attempt per epoch win.
+        """
+        if msg.epoch < self.epoch.get(msg.shard, 0):
+            return  # stale: a newer configuration is already installed
+        for pid in msg.suspects:
+            self.suspect(pid)
+        if self.reconfigure(msg.shard):
+            self.unsolicited_reconfigurations += 1
 
     # ------------------------------------------------------------------
     # PROBE / PROBE_ACK: lines 40-55

@@ -20,20 +20,23 @@ from repro.core.batching import BatchPolicy
 from repro.core.certification import CertificationScheme
 from repro.core.coordinator import CoordinatorMixin
 from repro.core.directory import TransactionDirectory
+from repro.core.failuredetector import DetectorPolicy, FailureDetector
 from repro.core.messages import (
     Accept,
     AcceptAck,
     AcceptAckBatch,
     AcceptBatch,
     CertifyBatch,
+    CsLeaseGrant,
+    CsLeaseRequest,
     DecisionBatch,
-    LeaseGrant,
-    LeaseRequest,
+    Heartbeat,
     Prepare,
     PrepareAck,
     ReadReply,
     ReadRequest,
     SlotDecision,
+    SuspicionReport,
     VoteBatch,
 )
 from repro.core.reads import ReadPolicy, ReplicaReadEngine
@@ -66,6 +69,7 @@ class ShardReplica(CoordinatorMixin, ReconfigMixin, Process):
         membership_policy: Optional[MembershipPolicy] = None,
         batch: Optional[BatchPolicy] = None,
         read: Optional[ReadPolicy] = None,
+        detector: Optional[DetectorPolicy] = None,
     ) -> None:
         super().__init__(pid)
         self.shard = shard
@@ -76,6 +80,14 @@ class ShardReplica(CoordinatorMixin, ReconfigMixin, Process):
         self.membership_policy = membership_policy or MembershipPolicy()
         self.batch_policy = batch or BatchPolicy()
         self.read_policy = read or ReadPolicy()
+        self.detector_policy = detector or DetectorPolicy()
+        # Heartbeat failure detection (inert unless the policy enables it):
+        # this replica's view of its co-members' liveness.
+        self.detector: Optional[FailureDetector] = (
+            FailureDetector(self.detector_policy, pid)
+            if self.detector_policy.enabled
+            else None
+        )
 
         # Configuration knowledge (Figure 1 preliminaries): epoch, members and
         # leader of every shard; the entry for our own shard is the
@@ -142,6 +154,9 @@ class ShardReplica(CoordinatorMixin, ReconfigMixin, Process):
             self.initialized = initialized
             self.new_epoch = own.epoch
             self.status = Status.LEADER if own.leader == self.pid else Status.FOLLOWER
+            if self.read_engine is not None:
+                self.read_engine.note_epoch(own.epoch)
+            self._watch_co_members()
         else:
             # A fresh spare: it knows the current configurations (and can
             # therefore act as a transaction coordinator), but it is not a
@@ -312,6 +327,44 @@ class ShardReplica(CoordinatorMixin, ReconfigMixin, Process):
             self.on_slot_decision(decision, sender)
 
     # ------------------------------------------------------------------
+    # heartbeat failure detection (repro.core.failuredetector)
+    # ------------------------------------------------------------------
+    def _watch_co_members(self) -> None:
+        """(Re)set the detector's monitored set to our current co-members."""
+        if self.detector is None:
+            return
+        peers = (
+            self.members.get(self.shard, ())
+            if self.pid in self.members.get(self.shard, ())
+            else ()
+        )
+        now = self.now if self.network is not None else 0.0
+        self.detector.watch(peers, now)
+
+    def emit_heartbeats(self) -> None:
+        """Send one heartbeat to every co-member (called each pump tick)."""
+        if self.detector is None or not self.initialized:
+            return
+        peers = [p for p in self.members.get(self.shard, ()) if p != self.pid]
+        if peers:
+            self.send_all(peers, Heartbeat(shard=self.shard, epoch=self.my_epoch), weak=True)
+
+    def tick_detector(self) -> None:
+        """Score every watched peer; report fresh suspicions to the
+        configuration service (which aggregates and proposes view changes)."""
+        if self.detector is None or not self.initialized:
+            return
+        for suspect in self.detector.tick(self.now):
+            self.send(
+                self.config_service,
+                SuspicionReport(shard=self.shard, epoch=self.my_epoch, suspect=suspect),
+            )
+
+    def on_heartbeat(self, msg: Heartbeat, sender: str) -> None:
+        if self.detector is not None:
+            self.detector.record(sender, self.now)
+
+    # ------------------------------------------------------------------
     # snapshot-read fast path (certification-bypassing; repro.core.reads)
     # ------------------------------------------------------------------
     def request_read_lease(self) -> None:
@@ -324,16 +377,17 @@ class ShardReplica(CoordinatorMixin, ReconfigMixin, Process):
         self._lease_seq += 1
         self.send(
             self.config_service,
-            LeaseRequest(
+            CsLeaseRequest(
                 shard=self.shard,
                 duration=self.read_policy.lease,
                 request_id=self._lease_seq,
+                epoch=self.my_epoch,
             ),
         )
 
-    def on_lease_grant(self, msg: LeaseGrant, sender: str) -> None:
+    def on_cs_lease_grant(self, msg: CsLeaseGrant, sender: str) -> None:
         if self.read_engine is not None:
-            self.read_engine.note_lease(msg.expires_at, msg.ok)
+            self.read_engine.note_lease(msg.expires_at, msg.ok, msg.epoch)
 
     def on_read_request(self, msg: ReadRequest, sender: str) -> None:
         if self.read_engine is None or self.status is not Status.LEADER:
@@ -351,7 +405,10 @@ class ShardReplica(CoordinatorMixin, ReconfigMixin, Process):
         """A NEW_STATE transfer replaced the slot arrays wholesale: rebuild
         the applied store and pending-writer counts from them.  The new
         leader still has no lease (leases are granted per process), so reads
-        refuse until the next grant."""
+        refuse until the next grant — and the lease epoch advances, so an
+        in-flight grant from the previous epoch is refused on arrival."""
         super()._on_configuration_installed()
         if self.read_engine is not None:
+            self.read_engine.note_epoch(self.my_epoch)
             self.read_engine.rebuild()
+        self._watch_co_members()

@@ -39,20 +39,24 @@ from repro.core.messages import (
     CsCompareAndSwap,
     CsGet,
     CsGetLast,
+    CsLeaseGrant,
+    CsLeaseRequest,
     CsReply,
-    LeaseGrant,
-    LeaseRequest,
+    CsViewChange,
+    Heartbeat,
     Prepare,
     PrepareAck,
     Probe,
     ProbeAck,
     ReadReply,
     ReadRequest,
+    SuspicionReport,
     TxnDecision,
     TxnDecisionBatch,
     VoteBatch,
 )
 from repro.core.coordinator import deduplicate_certify_request
+from repro.core.failuredetector import DetectorPolicy, FailureDetector
 from repro.core.reads import ReadPolicy, ReplicaReadEngine
 from repro.core.reconfig import MembershipPolicy, SparePool
 from repro.core.votecache import LeaderVoteCache
@@ -127,11 +131,19 @@ class RdmaShardReplica(Process):
         membership_policy: Optional[MembershipPolicy] = None,
         batch: Optional[BatchPolicy] = None,
         read: Optional[ReadPolicy] = None,
+        detector: Optional[DetectorPolicy] = None,
     ) -> None:
         super().__init__(pid)
         self.shard = shard
         self.batch_policy = batch or BatchPolicy()
         self.read_policy = read or ReadPolicy()
+        self.detector_policy = detector or DetectorPolicy()
+        self.detector: Optional[FailureDetector] = (
+            FailureDetector(self.detector_policy, pid)
+            if self.detector_policy.enabled
+            else None
+        )
+        self.unsolicited_reconfigurations = 0
         self.scheme = scheme
         self.directory = directory
         self.config_service = config_service
@@ -248,11 +260,14 @@ class RdmaShardReplica(Process):
             for pid in config.all_processes():
                 if pid != self.pid:
                     self.rdma.open(pid)
+            if self.read_engine is not None:
+                self.read_engine.note_epoch(self.epoch)
         else:
             self.epoch = 0
             self.new_epoch = 0
             self.initialized = False
             self.status = Status.FOLLOWER
+        self._watch_co_members()
 
     # ------------------------------------------------------------------
     # helpers
@@ -526,6 +541,49 @@ class RdmaShardReplica(Process):
             listener(slot, txn, decision)
 
     # ------------------------------------------------------------------
+    # failure detection (heartbeats among co-members; repro.core.failuredetector)
+    # ------------------------------------------------------------------
+    def _watch_co_members(self) -> None:
+        if self.detector is None:
+            return
+        own = self.members.get(self.shard, ())
+        peers = own if self.pid in own else ()
+        now = self.now if self.network is not None else 0.0
+        self.detector.watch(peers, now)
+
+    def emit_heartbeats(self) -> None:
+        if self.detector is None or not self.initialized:
+            return
+        peers = [p for p in self.members.get(self.shard, ()) if p != self.pid]
+        if peers:
+            self.send_all(peers, Heartbeat(shard=self.shard, epoch=self.epoch), weak=True)
+
+    def tick_detector(self) -> None:
+        if self.detector is None or not self.initialized:
+            return
+        for suspect in self.detector.tick(self.now):
+            self.send(
+                self.config_service,
+                SuspicionReport(shard=self.shard, epoch=self.epoch, suspect=suspect),
+            )
+
+    def on_heartbeat(self, msg: Heartbeat, sender: str) -> None:
+        if self.detector is not None:
+            self.detector.record(sender, self.now)
+
+    def on_cs_view_change(self, msg: CsViewChange, sender: str) -> None:
+        """Unsolicited failover: the service confirmed suspicions and asks
+        this process to drive the (global) reconfiguration.  The
+        ``rec_status`` guard in :meth:`reconfigure` deduplicates races with
+        timeout-driven attempts; the CAS arbitrates across processes."""
+        if msg.epoch < self.epoch:
+            return
+        for pid in msg.suspects:
+            self.suspect(pid)
+        if self.reconfigure():
+            self.unsolicited_reconfigurations += 1
+
+    # ------------------------------------------------------------------
     # snapshot-read fast path (certification-bypassing; repro.core.reads)
     # ------------------------------------------------------------------
     def request_read_lease(self) -> None:
@@ -537,16 +595,17 @@ class RdmaShardReplica(Process):
         self._lease_seq += 1
         self.send(
             self.config_service,
-            LeaseRequest(
+            CsLeaseRequest(
                 shard=self.shard,
                 duration=self.read_policy.lease,
                 request_id=self._lease_seq,
+                epoch=self.epoch,
             ),
         )
 
-    def on_lease_grant(self, msg: LeaseGrant, sender: str) -> None:
+    def on_cs_lease_grant(self, msg: CsLeaseGrant, sender: str) -> None:
         if self.read_engine is not None:
-            self.read_engine.note_lease(msg.expires_at, msg.ok)
+            self.read_engine.note_lease(msg.expires_at, msg.ok, msg.epoch)
 
     def on_read_request(self, msg: ReadRequest, sender: str) -> None:
         if self.read_engine is None or self.status is not Status.LEADER:
@@ -721,7 +780,9 @@ class RdmaShardReplica(Process):
             (k for k, ph in self.phase_arr.items() if ph is not Phase.START), default=0
         )
         if self.read_engine is not None:
+            self.read_engine.note_epoch(self.epoch)
             self.read_engine.rebuild()
+        self._watch_co_members()
         state = NewState(
             epoch=self.epoch,
             txn=dict(self.txn_arr),
@@ -755,7 +816,9 @@ class RdmaShardReplica(Process):
             (k for k, ph in self.phase_arr.items() if ph is not Phase.START), default=0
         )
         if self.read_engine is not None:
+            self.read_engine.note_epoch(self.epoch)
             self.read_engine.rebuild()
+        self._watch_co_members()
         for pid in self._all_members():
             if pid != self.pid:
                 self.send(pid, Connect(epoch=self.epoch))

@@ -44,13 +44,18 @@ class Event:
     # per destination group and zero-weights the fragments after the first,
     # so event counts stay byte-identical to a serial run.
     weight: int = field(compare=False, default=1)
+    # Weak events never keep the simulation alive: `run`/`run_until` stop
+    # once only weak events remain queued.  Background periodic activity
+    # (heartbeat ticks) is scheduled weak so a recurring timer cannot turn
+    # run-to-quiescence into an infinite loop.
+    weak: bool = field(compare=False, default=False)
 
     def cancel(self) -> None:
         """Prevent the event from firing when its time comes."""
         if not self.cancelled:
             self.cancelled = True
             if self.scheduler is not None:
-                self.scheduler._note_cancelled()
+                self.scheduler._note_cancelled(self)
 
 
 class Scheduler:
@@ -66,6 +71,7 @@ class Scheduler:
         self._seq = 0
         self._now = 0.0
         self._live = 0  # queued events that are not cancelled
+        self._live_weak = 0  # live events that are weak (background ticks)
         self.events_fired = 0
 
     @property
@@ -88,6 +94,30 @@ class Scheduler:
         self._live += 1
         return event
 
+    def schedule_weak(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule a *weak* (background) event ``delay`` units from now.
+
+        Weak events fire like any other while strong work is pending, but
+        they do not count towards quiescence: ``run``/``run_until`` stop as
+        soon as only weak events remain, leaving them queued.  They resume
+        if strong work returns (queued weak events always sit at or beyond
+        the current time, so time never rewinds).  A weak event that
+        re-schedules itself weakly is the deterministic recurring-timer
+        idiom — e.g. heartbeat ticks.
+        """
+        return self.schedule_weak_at(self._now + delay, fn, *args)
+
+    def schedule_weak_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Absolute-time variant of :meth:`schedule_weak` (the form network
+        deliveries use): background *traffic* — heartbeats in flight — must
+        be weak like the ticks that emit it, or a link slower than the
+        heartbeat interval keeps one delivery permanently pending and the
+        pump can never go quiescent."""
+        event = self.schedule_at(time, fn, *args)
+        event.weak = True
+        self._live_weak += 1
+        return event
+
     def _allocate_seq(self) -> int:
         """The tie-breaking sequence number for the next scheduled event.
 
@@ -101,10 +131,12 @@ class Scheduler:
         self._seq += 1
         return seq
 
-    def _note_cancelled(self) -> None:
-        """Called by :meth:`Event.cancel`; keeps the live count exact and
+    def _note_cancelled(self, event: Event) -> None:
+        """Called by :meth:`Event.cancel`; keeps the live counts exact and
         compacts the heap once cancelled entries dominate it."""
         self._live -= 1
+        if event.weak:
+            self._live_weak -= 1
         cancelled = len(self._queue) - self._live
         if cancelled >= _COMPACT_MIN_CANCELLED and cancelled > self._live:
             self._compact()
@@ -119,6 +151,11 @@ class Scheduler:
         return self._live
 
     @property
+    def strong_pending(self) -> int:
+        """Live queued events that count towards quiescence (non-weak)."""
+        return self._live - self._live_weak
+
+    @property
     def idle(self) -> bool:
         """True when no live events remain."""
         return self._live == 0
@@ -130,6 +167,8 @@ class Scheduler:
             if event.cancelled:
                 continue
             self._live -= 1
+            if event.weak:
+                self._live_weak -= 1
             # Detach so a later cancel() of the fired event (a common
             # defensive pattern for timeout timers) cannot double-decrement
             # the live counter.
@@ -171,6 +210,11 @@ class Scheduler:
         """
         fired = 0
         while True:
+            if self._live_weak and self.strong_pending == 0:
+                # Only weak (background) events remain: the simulation is
+                # quiescent.  Leave them queued — they resume if strong
+                # work returns.
+                break
             event = self._next_live()
             if event is None:
                 break
@@ -221,6 +265,9 @@ class Scheduler:
         fired = 0
         while not predicate():
             for _ in range(check_interval):
+                if self._live_weak and self.strong_pending == 0:
+                    # Quiescent modulo background (weak) events.
+                    return predicate()
                 if max_time is not None:
                     head = self._next_live()
                     if head is not None and head.time > max_time:

@@ -381,21 +381,32 @@ class Network:
         self._channel_clock[(src, dst)] = deliver_at
         return deliver_at
 
-    def send(self, src: str, dst: str, message: Any) -> None:
-        """Send ``message`` from ``src`` to ``dst`` over the FIFO channel."""
+    def send(self, src: str, dst: str, message: Any, weak: bool = False) -> None:
+        """Send ``message`` from ``src`` to ``dst`` over the FIFO channel.
+
+        ``weak`` marks background traffic (heartbeats): the delivery fires
+        normally while strong work is pending but does not keep the
+        simulation alive on its own — without it, a link slower than the
+        heartbeat interval would leave one delivery permanently in flight
+        and run-to-quiescence would never terminate.
+        """
         if src in self.processes and self.processes[src].crashed:
             return
         deliver_at = self._enqueue(src, dst, message)
         if deliver_at is None:
             return
         if self._group_of is None:
-            self.scheduler.schedule_at(deliver_at, self._deliver, src, dst, message)
+            if weak:
+                self.scheduler.schedule_weak_at(deliver_at, self._deliver, src, dst, message)
+            else:
+                self.scheduler.schedule_at(deliver_at, self._deliver, src, dst, message)
         else:
             self.scheduler.schedule_delivery(
-                deliver_at, self._group_of[dst], self._deliver, src, dst, message
+                deliver_at, self._group_of[dst], self._deliver, src, dst, message,
+                weak=weak,
             )
 
-    def send_many(self, src: str, dsts: Iterable[str], message: Any) -> None:
+    def send_many(self, src: str, dsts: Iterable[str], message: Any, weak: bool = False) -> None:
         """Multicast ``message`` to every destination, batching deliveries.
 
         Destinations whose messages arrive at the same virtual time share a
@@ -411,7 +422,7 @@ class Network:
         if src in self.processes and self.processes[src].crashed:
             return
         if self._group_of is not None:
-            self._send_many_grouped(src, dsts, message)
+            self._send_many_grouped(src, dsts, message, weak)
             return
         batches: Dict[float, list] = {}
         for dst in dsts:
@@ -424,10 +435,19 @@ class Network:
                 # dict preserves insertion order; schedule one event per
                 # distinct delivery time, carrying the (mutable) group so
                 # destinations found later in this call still join it.
-                self.scheduler.schedule_at(deliver_at, self._deliver_batch, src, group, message)
+                if weak:
+                    self.scheduler.schedule_weak_at(
+                        deliver_at, self._deliver_batch, src, group, message
+                    )
+                else:
+                    self.scheduler.schedule_at(
+                        deliver_at, self._deliver_batch, src, group, message
+                    )
             group.append(dst)
 
-    def _send_many_grouped(self, src: str, dsts: Iterable[str], message: Any) -> None:
+    def _send_many_grouped(
+        self, src: str, dsts: Iterable[str], message: Any, weak: bool = False
+    ) -> None:
         """Multicast under the grouped engine.
 
         Batches split per (delivery time, destination group) so each
@@ -454,7 +474,7 @@ class Network:
                 seen_times.add(deliver_at)
                 self.scheduler.schedule_delivery(
                     deliver_at, key[1], self._deliver_batch, src, group, message,
-                    weight=weight,
+                    weight=weight, weak=weak,
                 )
             group.append(dst)
 

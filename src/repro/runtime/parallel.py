@@ -200,6 +200,8 @@ class _GroupScheduler(Scheduler):
             if event.cancelled:
                 continue
             self._live -= 1
+            if event.weak:
+                self._live_weak -= 1
             event.scheduler = None
             self._now = event.time
             self.events_fired += event.weight
@@ -306,6 +308,16 @@ class GroupedScheduler:
         return self._control.pending + sum(g.pending for g in self._groups)
 
     @property
+    def strong_pending(self) -> int:
+        return self._control.strong_pending + sum(
+            g.strong_pending for g in self._groups
+        )
+
+    @property
+    def _weak_pending(self) -> int:
+        return self.pending - self.strong_pending
+
+    @property
     def idle(self) -> bool:
         return self.pending == 0
 
@@ -361,6 +373,21 @@ class GroupedScheduler:
             target = self._control
         return self._insert(target, time, fn, args, 1)
 
+    def schedule_weak(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule a weak (background) event; see the serial engine.
+
+        The stop-on-weak-only decision depends only on the global count of
+        pending strong events — a pure function of the set of events fired
+        so far, which the grouped engine replays exactly — so both engines
+        stop at equivalent points and fire the same total event set.
+        """
+        event = self.schedule(delay, fn, *args)
+        event.weak = True
+        sub = event.scheduler
+        assert isinstance(sub, _GroupScheduler)
+        sub._live_weak += 1
+        return event
+
     def call_at_instant_end(self, fn: Callable[..., Any], *args: Any) -> Event:
         return self.schedule(0.0, fn, *args)
 
@@ -371,15 +398,17 @@ class GroupedScheduler:
         fn: Callable[..., Any],
         *args: Any,
         weight: int = 1,
+        weak: bool = False,
     ) -> Event:
         """Schedule a network delivery owned by destination ``group``.
 
         The network routes every delivery through here once installed.
         Cross-group deliveries land at or beyond the current window's end
         (the lookahead bound), so inserting them immediately is safe: the
-        destination group cannot have advanced past them.
+        destination group cannot have advanced past them.  ``weak`` marks
+        background traffic (heartbeats) that must not keep the run alive.
         """
-        return self._insert(self._groups[group], time, fn, args, weight)
+        return self._insert(self._groups[group], time, fn, args, weight, weak)
 
     def _insert(
         self,
@@ -388,13 +417,16 @@ class GroupedScheduler:
         fn: Callable[..., Any],
         args: tuple,
         weight: int,
+        weak: bool = False,
     ) -> Event:
         event = Event(
             time=time, seq=self._next_tag(), fn=fn, args=args,
-            scheduler=target, weight=weight,
+            scheduler=target, weight=weight, weak=weak,
         )
         heapq.heappush(target._queue, event)
         target._live += 1
+        if weak:
+            target._live_weak += 1
         return event
 
     # ------------------------------------------------------------------
@@ -468,6 +500,9 @@ class GroupedScheduler:
         while True:
             if max_events is not None and fired >= max_events:
                 break
+            if self._weak_pending and self.strong_pending == 0:
+                # Quiescent modulo background (weak) events; serial parity.
+                break
             head = self.peek_time()
             if head is None:
                 break
@@ -505,6 +540,8 @@ class GroupedScheduler:
         fired = 0
         while not predicate():
             for _ in range(check_interval):
+                if self._weak_pending and self.strong_pending == 0:
+                    return predicate()
                 if max_time is not None:
                     head = self.peek_time()
                     if head is not None and head > max_time:

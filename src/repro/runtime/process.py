@@ -66,14 +66,18 @@ class Process:
     # ------------------------------------------------------------------
     # sending and timers
     # ------------------------------------------------------------------
-    def send(self, dst: str, message: Any) -> None:
-        """Send a message over the reliable FIFO network."""
+    def send(self, dst: str, message: Any, weak: bool = False) -> None:
+        """Send a message over the reliable FIFO network.
+
+        ``weak`` marks background traffic (heartbeats) whose deliveries must
+        not keep the simulation alive; see :meth:`Network.send`.
+        """
         if self.crashed:
             return
         assert self.network is not None
-        self.network.send(self.pid, dst, message)
+        self.network.send(self.pid, dst, message, weak=weak)
 
-    def send_all(self, dsts: Iterable[str], message: Any) -> None:
+    def send_all(self, dsts: Iterable[str], message: Any, weak: bool = False) -> None:
         """Send the same message to every destination (excluding none).
 
         Deliveries that land at the same virtual time share one scheduler
@@ -83,7 +87,7 @@ class Process:
         if self.crashed:
             return
         assert self.network is not None
-        self.network.send_many(self.pid, dsts, message)
+        self.network.send_many(self.pid, dsts, message, weak=weak)
 
     def set_timer(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule a local callback; it is suppressed if the process crashed."""

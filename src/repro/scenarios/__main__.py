@@ -15,6 +15,7 @@ Usage::
         --batch off --batch 8 --batch 32 --batch 16:linger=2
     python -m repro.scenarios sweep read-heavy-steady-state \
         --read-ratio 0 --read-ratio 0.5 --read-ratio 0.9
+    python -m repro.scenarios sweep detector-leader-crash --detector default
     python -m repro.scenarios steady-state          # shorthand for `run`
 
 ``sweep`` without a grid flag compares protocols under the scenario's own
@@ -26,7 +27,11 @@ protocol-level batching policy instead and prints one
 batch-size-vs-throughput/latency curve per protocol (``--batch default``
 expands to off/4/8/16/32); with ``--read-ratio`` it sweeps the workload's
 read mix and prints throughput plus snapshot-read fast-path hit counts per
-point (``--read-ratio default`` expands to 0/0.25/0.5/0.75/0.9).
+point (``--read-ratio default`` expands to 0/0.25/0.5/0.75/0.9); with
+``--detector`` it sweeps the failure-detector policy (heartbeat interval x
+suspicion threshold) and prints suspicion/false-positive counts plus the
+mean time-to-recovery per point (``--detector default`` expands to the
+stock off/1x3/2x3/2x6/4x3 grid).
 
 Two independent parallelism knobs (see ``repro.runtime.parallel``):
 ``--jobs N`` fans whole runs — the scenarios listed on ``run``, the grid
@@ -53,9 +58,11 @@ from repro.scenarios.spec import CHECK_MODES, ExecSpec, ScenarioError, ScenarioS
 from repro.scenarios.sweep import (
     parse_batch,
     parse_batch_grid,
+    parse_detector_grid,
     parse_grid,
     parse_read_ratio_grid,
     run_batch_sweep,
+    run_detector_sweep,
     run_latency_sweep,
     run_read_ratio_sweep,
 )
@@ -121,11 +128,27 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     spec = _apply_overrides(get_scenario(args.name), args)
     protocols = tuple(p.strip() for p in args.protocols.split(",") if p.strip())
-    grids_requested = sum(bool(g) for g in (args.latency, args.batch, args.read_ratio))
+    grids_requested = sum(
+        bool(g) for g in (args.latency, args.batch, args.read_ratio, args.detector)
+    )
     if grids_requested > 1:
         raise ScenarioError(
-            "--latency, --batch and --read-ratio sweeps are mutually exclusive"
+            "--latency, --batch, --read-ratio and --detector sweeps are "
+            "mutually exclusive"
         )
+    if args.detector:
+        grid = parse_detector_grid(args.detector)
+        sweeps = {
+            protocol: run_detector_sweep(spec, grid, jobs=args.jobs, protocol=protocol)
+            for protocol in protocols
+        }
+        if args.json:
+            print(json.dumps({p: s.as_dict() for p, s in sweeps.items()}, indent=2))
+        else:
+            for sweep in sweeps.values():
+                print(sweep.render())
+                print()
+        return 0 if all(sweep.passed for sweep in sweeps.values()) else 1
     if args.read_ratio:
         grid = parse_read_ratio_grid(args.read_ratio)
         sweeps = {
@@ -280,6 +303,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         "to 0/0.25/0.5/0.75/0.9); with this flag the sweep runs each protocol "
         "across the read-mix grid (enable the fast path with a snapshot-read "
         "scenario such as read-heavy-steady-state)",
+    )
+    sweep_parser.add_argument(
+        "--detector",
+        action="append",
+        default=[],
+        metavar="INTERVAL[:k=v,...]",
+        help="detector grid point (repeatable; 'off', a heartbeat interval "
+        "like '2', or '2:threshold=6' / '2:mode=phi,phi=6' / "
+        "'1:confirmations=2'; 'default' expands to the stock "
+        "interval x threshold grid); with this flag the sweep runs each "
+        "protocol across the failure-detector grid",
     )
     _add_common(sweep_parser)
 

@@ -19,6 +19,7 @@ Entry points::
     run_repetitions(spec, 8, jobs=4)      # seed-derived repetitions
     run_latency_points(spec, grid, jobs)  # latency sweep fan-out
     run_batch_points(spec, grid, jobs)    # batch sweep fan-out
+    run_detector_points(spec, grid, jobs)  # detector sweep fan-out
     run_read_ratio_points(spec, ratios, jobs)  # read-ratio sweep fan-out
     run_protocols(spec, protocols, jobs)  # protocol comparison fan-out
 
@@ -33,7 +34,7 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.runtime.parallel import ParallelExecutor, derive_seed
 from repro.scenarios.runner import ScenarioResult, ScenarioRunner
-from repro.scenarios.spec import BatchSpec, LatencySpec, ScenarioSpec
+from repro.scenarios.spec import BatchSpec, DetectorSpec, LatencySpec, ScenarioSpec
 
 
 def _run_spec(spec: ScenarioSpec) -> ScenarioResult:
@@ -81,6 +82,15 @@ def run_batch_points(
 ) -> List[Tuple[str, ScenarioResult]]:
     """One run per batch-policy point, labelled, in grid order."""
     specs = [spec.with_overrides(batch=point) for point in grid]
+    results = run_scenarios(specs, jobs=jobs)
+    return [(point.describe(), result) for point, result in zip(grid, results)]
+
+
+def run_detector_points(
+    spec: ScenarioSpec, grid: Sequence[DetectorSpec], jobs: int = 1
+) -> List[Tuple[str, ScenarioResult]]:
+    """One run per detector-policy point, labelled, in grid order."""
+    specs = [spec.with_overrides(detector=point) for point in grid]
     results = run_scenarios(specs, jobs=jobs)
     return [(point.describe(), result) for point, result in zip(grid, results)]
 

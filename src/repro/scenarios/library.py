@@ -20,6 +20,7 @@ from typing import Dict, Tuple
 
 from repro.scenarios.spec import (
     BatchSpec,
+    DetectorSpec,
     FaultStep,
     LatencySpec,
     ReadSpec,
@@ -532,5 +533,109 @@ register_scenario(
         ),
         check_invariants=False,
         expect_safe=False,
+    )
+)
+
+# ----------------------------------------------------------------------
+# the failure-detector pack: heartbeat-driven unsolicited view changes.
+# ----------------------------------------------------------------------
+
+register_scenario(
+    ScenarioSpec(
+        name="detector-leader-crash",
+        description="Detector-driven failover: shard-0's leader crashes and "
+        "NO manual reconfigure step follows — the co-members' heartbeat "
+        "detectors must suspect the silence, report to the configuration "
+        "service, and drive an unsolicited view change that installs a new "
+        "leader well before the 30-delay retry timeout would have.  The "
+        "service pushes CONFIG_CHANGE to the sessions, which re-route "
+        "in-flight transactions off the dead coordinator immediately; the "
+        "run must end with zero undecided transactions.",
+        protocol="message-passing",
+        num_shards=2,
+        replicas_per_shard=3,
+        workload=WorkloadSpec(kind="uniform", txns=120, batch=8, num_keys=128),
+        retry=RetrySpec(timeout=30.0, backoff=1.5, max_attempts=6),
+        detector=DetectorSpec(interval=2.0, threshold=3),
+        faults=(
+            FaultStep(at=20.5, action="crash-leader", shard="shard-0"),
+            FaultStep(at=120.5, action="retry-stalled"),
+            FaultStep(at=180.5, action="retry-stalled"),
+        ),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="timeout-failover-leader-crash",
+        description="The timeout-driven control for detector-leader-crash: "
+        "the same workload and the same leader crash, but no detector — the "
+        "deployment only recovers when the operator-style reconfigure step "
+        "fires a full retry window (30 delays) after the crash.  Comparing "
+        "this run's time-to-recovery against detector-leader-crash is the "
+        "detector-vs-timeout tradeoff in one number.",
+        protocol="message-passing",
+        num_shards=2,
+        replicas_per_shard=3,
+        workload=WorkloadSpec(kind="uniform", txns=120, batch=8, num_keys=128),
+        retry=RetrySpec(timeout=30.0, backoff=1.5, max_attempts=6),
+        faults=(
+            FaultStep(at=20.5, action="crash-leader", shard="shard-0"),
+            FaultStep(at=50.5, action="reconfigure", shard="shard-0"),
+            FaultStep(at=120.5, action="retry-stalled"),
+            FaultStep(at=180.5, action="retry-stalled"),
+        ),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="gray-failure-slow-leader",
+        description="Gray failure: shard-0's leader stays alive but its "
+        "outbound links to both co-members crawl (8 delays), so heartbeats "
+        "arrive long past the suspicion threshold.  A bounded-timeout "
+        "detector cannot tell slow from dead: the followers suspect, the "
+        "service deposes the slow leader through the CAS path, and the "
+        "epoch fence on its read lease keeps it from serving stale "
+        "snapshots from the old configuration.  Late heartbeats that land "
+        "after the suspicion count as false suspicions — the flapping "
+        "signal the phi-accrual mode is designed to damp.",
+        protocol="message-passing",
+        num_shards=2,
+        replicas_per_shard=3,
+        workload=WorkloadSpec(kind="uniform", txns=120, batch=8, num_keys=128),
+        retry=RetrySpec(timeout=30.0, backoff=1.5, max_attempts=6),
+        detector=DetectorSpec(interval=2.0, threshold=3),
+        faults=(
+            FaultStep(at=0.0, action="delay-channel",
+                      src="leader:shard-0", dst="follower:shard-0", delay=8.0),
+            FaultStep(at=0.0, action="delay-channel",
+                      src="leader:shard-0", dst="member:shard-0:2", delay=8.0),
+            FaultStep(at=120.5, action="retry-stalled"),
+        ),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="flapping-detector",
+        description="A lossy link, not a dead process: the leader's "
+        "heartbeats to one co-member are blocked for 30 delays and then "
+        "heal.  With confirmations=2 the single suspecting observer cannot "
+        "convince the configuration service (one reporter < quorum), so no "
+        "view change fires; when the link heals, the next heartbeat refutes "
+        "the suspicion and is counted as a false suspicion.  The run must "
+        "keep epoch 1 everywhere and decide every transaction.",
+        protocol="message-passing",
+        num_shards=2,
+        replicas_per_shard=3,
+        workload=WorkloadSpec(kind="uniform", txns=120, batch=8, num_keys=128),
+        retry=RetrySpec(timeout=30.0, backoff=1.5, max_attempts=6),
+        detector=DetectorSpec(interval=2.0, threshold=3, confirmations=2),
+        faults=(
+            FaultStep(at=0.0, action="block-channel",
+                      src="leader:shard-0", dst="follower:shard-0"),
+            FaultStep(at=30.5, action="heal"),
+        ),
     )
 )

@@ -98,6 +98,13 @@ class ScenarioResult:
     read_fallbacks: int = 0  # fast-path reads that fell back to certification
     read_fallback_reasons: Dict[str, int] = field(default_factory=dict)
     read_stale_serves: int = 0  # broken-snapshot mode: reads served stale
+    detector_model: str = "off"  # DetectorSpec.describe() of the failure detector
+    suspicions: int = 0  # peers newly suspected by any observer
+    false_suspicions: int = 0  # suspicions refuted by a later heartbeat
+    view_changes: int = 0  # CS_VIEW_CHANGE requests issued by the service
+    unsolicited_reconfigurations: int = 0  # reconfigurations the detector started
+    pushed_failovers: int = 0  # session failovers driven by CONFIG_CHANGE pushes
+    recovery_times: List[float] = field(default_factory=list)  # crash -> next install
     phases: Optional[PhaseBreakdown] = None  # submit/certify/decide split
     faults_executed: List[str] = field(default_factory=list)
     wall_seconds: float = 0.0
@@ -148,6 +155,13 @@ class ScenarioResult:
             "read_fallbacks": self.read_fallbacks,
             "read_fallback_reasons": dict(sorted(self.read_fallback_reasons.items())),
             "read_stale_serves": self.read_stale_serves,
+            "detector_model": self.detector_model,
+            "suspicions": self.suspicions,
+            "false_suspicions": self.false_suspicions,
+            "view_changes": self.view_changes,
+            "unsolicited_reconfigurations": self.unsolicited_reconfigurations,
+            "pushed_failovers": self.pushed_failovers,
+            "recovery_times": list(self.recovery_times),
             "phases": self.phases.as_dict() if self.phases else None,
             "check_ok": self.check_ok,
             "check_mode": self.check_mode,
@@ -202,6 +216,18 @@ class ScenarioResult:
             if self.read_stale_serves:
                 detail += f" / {self.read_stale_serves} STALE"
             rows.append(("snapshot reads", detail))
+        if self.detector_model != "off":
+            rows.append(("failure detector", self.detector_model))
+            rows.append(
+                ("detector",
+                 f"{self.suspicions} suspicions / {self.false_suspicions} false / "
+                 f"{self.view_changes} view changes / "
+                 f"{self.unsolicited_reconfigurations} unsolicited reconfigs / "
+                 f"{self.pushed_failovers} pushed failovers"),
+            )
+        if self.recovery_times:
+            ttr = ", ".join(f"{t:.1f}" for t in self.recovery_times)
+            rows.append(("time to recovery", f"{ttr} delays (crash -> install)"))
         if self.latency is not None:
             rows.append(
                 ("client latency", f"mean {self.latency.mean:.2f} / p99 {self.latency.p99:.2f} delays")
@@ -241,6 +267,10 @@ class ScenarioRunner:
         self.store: Optional[TransactionalStore] = None
         self.faults_executed: List[str] = []
         self._crashed: List[str] = []
+        # (virtual time, shard) of every crash this runner injected, matched
+        # against the configuration service's install log to compute
+        # time-to-recovery (crash -> next configuration install).
+        self._crash_times: List[Tuple[float, Optional[str]]] = []
         # Online validation: attached to the history while the run executes.
         self.checker: Optional[IncrementalTCSChecker] = None
         self.monitor: Optional[InvariantMonitor] = None
@@ -257,6 +287,7 @@ class ScenarioRunner:
         retry = spec.retry.compile()
         batch = spec.batch.compile()
         read = spec.read.compile()
+        detector = spec.detector.compile()
         # Tier-B engine selection: groups > 0 builds the cluster on the
         # conservative parallel-DES scheduler (byte-identical results).
         groups = spec.execution.groups if spec.execution.mode == "parallel-shards" else 0
@@ -271,6 +302,7 @@ class ScenarioRunner:
                 batch=batch,
                 groups=groups,
                 read=read,
+                detector=detector,
             )
         else:
             self.cluster = Cluster(
@@ -286,6 +318,7 @@ class ScenarioRunner:
                 batch=batch,
                 groups=groups,
                 read=read,
+                detector=detector,
             )
         if spec.check_mode == "online":
             self.checker = IncrementalTCSChecker(
@@ -335,14 +368,17 @@ class ScenarioRunner:
             pid = self.resolve(step.target)
             cluster.crash(pid)
             self._crashed.append(pid)
+            self._note_crash(pid)
             self._note_fault(f"crash {pid}")
         elif step.action == "crash-leader":
             pid = cluster.crash_leader(step.shard)
             self._crashed.append(pid)
+            self._note_crash(pid, step.shard)
             self._note_fault(f"crash leader {pid} of {step.shard}")
         elif step.action == "crash-follower":
             pid = cluster.crash_follower(step.shard)
             self._crashed.append(pid)
+            self._note_crash(pid, step.shard)
             self._note_fault(f"crash follower {pid} of {step.shard}")
         elif step.action == "reconfigure":
             initiator = self.resolve(step.target)
@@ -376,6 +412,30 @@ class ScenarioRunner:
             self._note_fault("heal all channels")
         else:  # pragma: no cover - spec.validate() rejects unknown actions
             raise ScenarioError(f"unknown fault action {step.action!r}")
+
+    def _note_crash(self, pid: str, shard: Optional[str] = None) -> None:
+        """Record a crash for time-to-recovery accounting."""
+        if shard is None:
+            replica = getattr(self.cluster, "replicas", {}).get(pid)
+            shard = getattr(replica, "shard", None)
+        self._crash_times.append((self.cluster.scheduler.now, shard))
+
+    def _recovery_times(self) -> List[float]:
+        """Crash-to-install delays: for every injected crash, the time until
+        the configuration service installed the next configuration of the
+        crashed process's shard (empty when no recovery happened — or no
+        configuration service exists, as in the baseline)."""
+        service = getattr(self.cluster, "config_service", None)
+        log = getattr(service, "install_log", ())
+        times: List[float] = []
+        for crashed_at, shard in self._crash_times:
+            for installed_at, installed_shard, _epoch in log:
+                if installed_at > crashed_at and (
+                    shard is None or installed_shard == shard
+                ):
+                    times.append(installed_at - crashed_at)
+                    break
+        return times
 
     def _retry_stalled(self, target: Optional[str]) -> int:
         """Re-drive prepared-but-undecided slots through their leaders (the
@@ -535,6 +595,9 @@ class ScenarioRunner:
         read_stats: Dict[str, Any] = (
             cluster.read_stats() if hasattr(cluster, "read_stats") else {}
         )
+        detector_stats: Dict[str, Any] = (
+            cluster.detector_stats() if hasattr(cluster, "detector_stats") else {}
+        )
         return ScenarioResult(
             scenario=spec.name,
             protocol=spec.protocol,
@@ -567,6 +630,15 @@ class ScenarioRunner:
             read_fallbacks=read_stats.get("read_fallbacks", 0),
             read_fallback_reasons=dict(read_stats.get("fallback_reasons", {})),
             read_stale_serves=read_stats.get("stale_serves", 0),
+            detector_model=spec.detector.describe(),
+            suspicions=detector_stats.get("suspicions", 0),
+            false_suspicions=detector_stats.get("false_suspicions", 0),
+            view_changes=detector_stats.get("view_changes", 0),
+            unsolicited_reconfigurations=detector_stats.get(
+                "unsolicited_reconfigurations", 0
+            ),
+            pushed_failovers=retry_stats.pushed_failovers,
+            recovery_times=self._recovery_times(),
             phases=phase_breakdown(cluster.phase_samples()),
             check_ok=check_ok,
             invariant_violations=len(violations),

@@ -366,6 +366,60 @@ class ReadSpec:
 
 
 @dataclass(frozen=True)
+class DetectorSpec:
+    """Heartbeat failure-detector policy (declarative form of
+    :class:`repro.core.failuredetector.DetectorPolicy`).
+
+    With ``interval > 0`` every replica heartbeats its co-members once per
+    ``interval`` message delays and scores their silence — ``bounded`` mode
+    suspects after ``threshold`` whole missed windows, ``phi`` mode when the
+    silence over the smoothed inter-arrival mean reaches ``phi_threshold``.
+    Suspicions go to the configuration service, which aggregates them per
+    (shard, epoch, suspect) and — once ``confirmations`` distinct observers
+    agree — asks a surviving member to reconfigure through the ordinary CAS
+    path, then pushes ``CONFIG_CHANGE`` to subscribed clients so sessions
+    fail over before their retry timers fire.
+
+    ``interval = 0`` (the default) disables the detector entirely,
+    preserving the paper's oracle-free, timeout-driven failover.
+    """
+
+    mode: str = "bounded"
+    interval: float = 0.0
+    threshold: int = 3
+    phi_threshold: float = 4.0
+    confirmations: int = 1
+
+    def compile(self):
+        """The :class:`repro.core.failuredetector.DetectorPolicy` this spec
+        describes (the single home of the field bounds)."""
+        from repro.core.failuredetector import DetectorPolicy  # late: keep spec light
+
+        policy = DetectorPolicy(
+            mode=self.mode,
+            interval=self.interval,
+            threshold=self.threshold,
+            phi_threshold=self.phi_threshold,
+            confirmations=self.confirmations,
+        )
+        policy.validate()
+        return policy
+
+    def validate(self) -> None:
+        try:
+            self.compile()
+        except ValueError as error:
+            raise ScenarioError(str(error)) from None
+
+    @property
+    def enabled(self) -> bool:
+        return self.interval > 0
+
+    def describe(self) -> str:
+        return self.compile().describe()
+
+
+@dataclass(frozen=True)
 class WorkloadSpec:
     """What the clients do.
 
@@ -509,6 +563,10 @@ class ScenarioSpec:
     # leaders without certification (off by default — every transaction,
     # read-only or not, goes through the certification service).
     read: ReadSpec = field(default_factory=ReadSpec)
+    # Heartbeat failure detector driving unsolicited view changes (off by
+    # default — failover waits for client retry timeouts, the paper's
+    # external-oracle-free model).
+    detector: DetectorSpec = field(default_factory=DetectorSpec)
     faults: Tuple[FaultStep, ...] = ()
     max_events: int = 5_000_000
     # How the recorded history is validated: "online" (default) attaches the
@@ -556,6 +614,7 @@ class ScenarioSpec:
         self.retry.validate()
         self.batch.validate()
         self.read.validate()
+        self.detector.validate()
         self.execution.validate()
         if self.execution.mode == "parallel-shards":
             if self.latency.model not in DETERMINISTIC_LATENCY_MODELS or self.latency.jitter:

@@ -16,10 +16,14 @@ into a curve:
 * a **read-ratio sweep** varies ``workload.read_ratio``, rendering the
   read mix against throughput, latency and fast-path hit counts — the
   evaluation view for the snapshot-read fast path (run it once with
-  ``read.mode='snapshot'`` and once without for the crossover).
+  ``read.mode='snapshot'`` and once without for the crossover);
+* a **detector sweep** varies the :class:`DetectorSpec` (heartbeat
+  interval x suspicion threshold), rendering each policy against
+  suspicions, false positives, pushed failovers and time-to-recovery —
+  the tuning view for the failure detector's speed/accuracy tradeoff.
 
 Used by ``python -m repro.scenarios sweep <scenario> --latency ... /
---batch ... / --read-ratio ...`` and importable directly::
+--batch ... / --read-ratio ... / --detector ...`` and importable directly::
 
     from repro.scenarios.sweep import DEFAULT_GRID, run_latency_sweep
     curve = run_latency_sweep(get_scenario("steady-state"))
@@ -37,6 +41,7 @@ from repro.scenarios.runner import ScenarioResult, ScenarioRunner
 from repro.scenarios.spec import (
     LATENCY_MODELS,
     BatchSpec,
+    DetectorSpec,
     LatencySpec,
     ScenarioError,
     ScenarioSpec,
@@ -518,4 +523,222 @@ def run_batch_sweep(
 
     sweep = BatchSweepResult(scenario=spec.name, protocol=spec.protocol, seed=spec.seed)
     sweep.points.extend(run_batch_points(spec, sort_batch_grid(grid), jobs=jobs))
+    return sweep
+
+
+# ----------------------------------------------------------------------
+# detector sweeps
+# ----------------------------------------------------------------------
+
+# The stock detector grid: the timeout-driven baseline (detector off) plus
+# heartbeat interval x suspicion threshold combinations spanning aggressive
+# (fast detection, false-positive-prone) to conservative.
+DEFAULT_DETECTOR_GRID: Tuple[DetectorSpec, ...] = (
+    DetectorSpec(),
+    DetectorSpec(interval=1.0, threshold=3),
+    DetectorSpec(interval=2.0, threshold=3),
+    DetectorSpec(interval=2.0, threshold=6),
+    DetectorSpec(interval=4.0, threshold=3),
+)
+
+
+def parse_detector(text: str) -> DetectorSpec:
+    """Parse one CLI detector point: ``off``, an interval (``2``), or an
+    interval with ``k=v`` parameters
+    (``2:threshold=6``, ``2:mode=phi,phi=6``, ``1:confirmations=2``)."""
+    text = text.strip()
+    if text == "off":
+        return DetectorSpec()
+    head, _, params_text = text.partition(":")
+    try:
+        interval = float(head)
+    except ValueError:
+        raise ScenarioError(
+            f"invalid detector point {text!r}: expected 'off' or INTERVAL[:k=v,...]"
+        ) from None
+    fields: Dict[str, Any] = {"interval": interval}
+    for pair in filter(None, (p.strip() for p in params_text.split(","))):
+        key, sep, value = pair.partition("=")
+        if not sep:
+            raise ScenarioError(f"invalid detector parameter {pair!r}: expected k=v")
+        if key == "threshold":
+            try:
+                fields["threshold"] = int(value)
+            except ValueError:
+                raise ScenarioError(f"invalid threshold value {value!r}") from None
+        elif key == "phi":
+            try:
+                fields["phi_threshold"] = float(value)
+            except ValueError:
+                raise ScenarioError(f"invalid phi value {value!r}") from None
+            fields.setdefault("mode", "phi")
+        elif key == "mode":
+            fields["mode"] = value
+        elif key == "confirmations":
+            try:
+                fields["confirmations"] = int(value)
+            except ValueError:
+                raise ScenarioError(f"invalid confirmations value {value!r}") from None
+        else:
+            raise ScenarioError(
+                f"unknown detector parameter {key!r}; "
+                "expected threshold, mode, phi or confirmations"
+            )
+    spec = DetectorSpec(**fields)
+    spec.validate()
+    return spec
+
+
+def parse_detector_grid(texts: Iterable[str]) -> Tuple[DetectorSpec, ...]:
+    """Parse CLI detector points; the single word ``default`` expands to
+    :data:`DEFAULT_DETECTOR_GRID`."""
+    grid: List[DetectorSpec] = []
+    for text in texts:
+        if text.strip() == "default":
+            grid.extend(DEFAULT_DETECTOR_GRID)
+        else:
+            grid.append(parse_detector(text))
+    return tuple(grid)
+
+
+def sort_detector_grid(grid: Sequence[DetectorSpec]) -> Tuple[DetectorSpec, ...]:
+    """Canonical detector-grid order: the off point (interval 0) first, then
+    by (interval, mode, threshold, phi_threshold, confirmations)."""
+    return tuple(
+        sorted(
+            grid,
+            key=lambda p: (
+                p.interval, p.mode, p.threshold, p.phi_threshold, p.confirmations
+            ),
+        )
+    )
+
+
+@dataclass
+class DetectorSweepResult:
+    """One scenario's results across a detector-policy grid, in grid order."""
+
+    scenario: str
+    protocol: str
+    seed: int
+    points: List[Tuple[str, ScenarioResult]] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(result.passed for _, result in self.points)
+
+    def result_for(self, label: str) -> ScenarioResult:
+        for point_label, result in self.points:
+            if point_label == label:
+                return result
+        raise KeyError(f"no sweep point labelled {label!r}")
+
+    def curve(self) -> List[Dict[str, Any]]:
+        """Detector policy vs recovery speed and detection quality: one row
+        per grid point.  ``mean_ttr`` is null when no crash/install pair was
+        observed (e.g. the off point never reconfigured)."""
+        rows = []
+        for label, result in self.points:
+            ttr = (
+                sum(result.recovery_times) / len(result.recovery_times)
+                if result.recovery_times
+                else None
+            )
+            rows.append(
+                {
+                    "detector_model": label,
+                    "throughput": result.throughput,
+                    "mean_latency": result.latency.mean if result.latency else None,
+                    "p99_latency": result.latency.p99 if result.latency else None,
+                    "suspicions": result.suspicions,
+                    "false_suspicions": result.false_suspicions,
+                    "view_changes": result.view_changes,
+                    "unsolicited_reconfigurations": result.unsolicited_reconfigurations,
+                    "pushed_failovers": result.pushed_failovers,
+                    "mean_ttr": ttr,
+                    "orphaned": result.orphaned,
+                }
+            )
+        return rows
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "protocol": self.protocol,
+            "seed": self.seed,
+            "passed": self.passed,
+            "curve": self.curve(),
+            "points": [
+                {"detector_model": label, "result": result.as_dict()}
+                for label, result in self.points
+            ],
+        }
+
+    def render(self) -> str:
+        headers = [
+            "detector",
+            "committed",
+            "tput/1k",
+            "lat mean",
+            "suspicions",
+            "false",
+            "view chg",
+            "pushed",
+            "mean TTR",
+            "orphaned",
+        ]
+        rows = []
+        for label, result in self.points:
+            ttr = (
+                sum(result.recovery_times) / len(result.recovery_times)
+                if result.recovery_times
+                else None
+            )
+            rows.append(
+                [
+                    label,
+                    result.committed,
+                    f"{result.throughput:.1f}",
+                    f"{result.latency.mean:.2f}" if result.latency else "-",
+                    result.suspicions,
+                    result.false_suspicions,
+                    result.view_changes,
+                    result.pushed_failovers,
+                    f"{ttr:.1f}" if ttr is not None else "-",
+                    result.orphaned,
+                ]
+            )
+        body = format_table(headers, rows)
+        verdict = "all safe" if self.passed else "FAILED"
+        return (
+            f"=== detector sweep: {self.scenario} ({self.protocol}, seed {self.seed}) "
+            f"— {verdict} ===\n{body}"
+        )
+
+
+def run_detector_sweep(
+    spec: ScenarioSpec,
+    grid: Sequence[DetectorSpec] = DEFAULT_DETECTOR_GRID,
+    jobs: int = 1,
+    **overrides: Any,
+) -> DetectorSweepResult:
+    """Run ``spec`` once per detector point (optionally overriding spec
+    fields first); every point reuses the spec's seed, workload, latency
+    model and fault schedule, so the curve isolates the heartbeat interval x
+    suspicion threshold tradeoff: aggressive policies recover faster (small
+    TTR, many pushed failovers) but flag slow peers falsely, conservative
+    ones approach the timeout-driven baseline.
+
+    The grid is sorted canonically (:func:`sort_detector_grid`), and with
+    ``jobs > 1`` the points fan out over a process pool — the sweep result
+    is byte-identical for any ``jobs`` value.
+    """
+    if overrides:
+        spec = spec.with_overrides(**overrides)
+    from repro.scenarios.executor import run_detector_points
+
+    sweep = DetectorSweepResult(
+        scenario=spec.name, protocol=spec.protocol, seed=spec.seed
+    )
+    sweep.points.extend(run_detector_points(spec, sort_detector_grid(grid), jobs=jobs))
     return sweep

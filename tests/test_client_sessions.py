@@ -125,6 +125,38 @@ def test_session_orphans_after_max_attempts():
     assert session.retries == 1  # one re-submission, then gave up
 
 
+def test_timeout_config_refresh_throttles_by_backed_off_window():
+    """The refresh throttle compares against the *current* attempt's backoff
+    window, not the base timeout — a late-attempt timeout whose window is
+    ``delay(attempts)`` long must not re-read the configuration every base
+    timeout (the old rule multiplied config-service traffic under backoff)."""
+    cluster = Cluster(
+        num_shards=2,
+        replicas_per_shard=2,
+        seed=7,
+        retry=RetryPolicy(timeout=10.0, backoff=3.0, max_attempts=9),
+    )
+    session = cluster.sessions[0]
+    key = shard_key(cluster.scheme, "shard-0")
+    for pid in list(cluster.members_of("shard-0")):
+        cluster.crash(pid)  # nobody can decide: the submission stays in flight
+    txn = cluster.submit(rw_payload(key, tiebreak="t"))
+    state = session._inflight[txn]
+    state.timer.cancel()  # drive _on_timeout by hand below
+    state.attempts = 3  # current backoff window: delay(3) = 90 delays
+    session._last_refresh_at = cluster.scheduler.now
+    cluster.scheduler.schedule(20.0, lambda: None)
+    cluster.run()  # 20 delays since the last refresh: > base timeout, < window
+    session._on_timeout(txn)
+    assert session.config_refreshes == 0  # throttled: the window is 90 long
+    state.timer.cancel()
+    state.attempts = 3  # _on_timeout advanced it; restore the same window
+    cluster.scheduler.schedule(95.0, lambda: None)
+    cluster.run()
+    session._on_timeout(txn)
+    assert session.config_refreshes == 1  # a full window elapsed: allowed
+
+
 def test_late_decision_resurrects_orphan():
     """A decision that straggles in after the session gave the transaction
     up means nothing was lost: the orphan count must be corrected."""

@@ -286,6 +286,8 @@ EQUIVALENCE_CASES = [
     ("read-heavy-steady-state", 2),
     ("read-heavy-steady-state", 4),
     ("stale-lease-ablation", 2),
+    ("detector-leader-crash", 2),
+    ("gray-failure-slow-leader", 2),
 ]
 
 
@@ -349,6 +351,7 @@ _SUBPROCESS_CASES = {
     "wan-steady-state": "latency=replace(s.latency, jitter=0.0),",
     "batch-saturation": "",
     "read-heavy-steady-state": "",
+    "detector-leader-crash": "",
 }
 
 

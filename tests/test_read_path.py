@@ -126,6 +126,23 @@ def test_engine_refuses_on_expired_lease_and_wants_renewal():
     assert not engine.lease_wants_renewal(now=5.0)
 
 
+def test_deposed_leader_stale_epoch_grant_is_fenced():
+    replica, engine = _engine(lease=10.0)
+    engine.lease_expires = float("-inf")
+    engine.note_epoch(2)  # a view change deposed and re-elected around us
+    # An in-flight grant echoing the old epoch arrives after the fence: it
+    # must not re-arm the lease (the deposed leader would serve snapshot
+    # reads against a configuration that no longer exists).
+    engine.note_lease(expires_at=2_000.0, granted=True, epoch=1)
+    assert engine.stale_grants == 1
+    assert engine.lease_expires == float("-inf")
+    assert engine.serve(("x",), now=0.0) == ("lease", None)
+    # A grant echoing the current epoch is accepted as usual.
+    engine.note_lease(expires_at=2_000.0, granted=True, epoch=2)
+    assert engine.stale_grants == 1
+    assert engine.lease_expires == 2_000.0
+
+
 def test_broken_engine_serves_anyway_and_counts_stale():
     replica, engine = _engine(mode="broken-snapshot")
     engine.seed({"x": "old"})

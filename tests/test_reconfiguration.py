@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cluster import Cluster
+from repro.core.messages import CsViewChange
 from repro.core.types import Decision, Status
 
 from helpers import payload, rw_payload, shard_key
@@ -286,6 +287,38 @@ def test_concurrent_reconfigurations_race_to_one_winner(cluster):
     assert crashed not in config.members
     assert cluster.replica(config.leader).is_leader
     assert cluster.certify(rw_payload("after-race", tiebreak="after")) is Decision.COMMIT
+    result, violations = cluster.check()
+    assert result.ok and violations == []
+
+
+def test_suspicion_push_races_timeout_reconfigure_to_one_winner(cluster):
+    """A service-pushed CS_VIEW_CHANGE (suspicion-driven, unsolicited) racing
+    a timeout-driven ``reconfigure()`` of the same shard: both run the
+    ordinary probe/CAS path, exactly one introduction wins, and neither
+    initiator is left wedged in its probing state."""
+    commit_some(cluster)
+    crashed = cluster.crash_follower("shard-0")
+    service = cluster.config_service
+    cas_before = service.cas_attempts
+    pushed = cluster.replica(cluster.leader_of("shard-0"))
+    timed_out = cluster.replica(cluster.members_of("shard-1")[0])
+    timed_out.suspect(crashed)
+    assert timed_out.reconfigure("shard-0")  # the retry-timeout path
+    service.send(  # the detector path: confirmed suspicion, pushed back out
+        pushed.pid, CsViewChange(shard="shard-0", epoch=1, suspects=(crashed,))
+    )
+    cluster.run()
+    assert service.cas_attempts >= cas_before + 2  # the race really happened
+    assert pushed.unsolicited_reconfigurations == 1
+    introduced = (
+        pushed.reconfigurations_introduced + timed_out.reconfigurations_introduced
+    )
+    assert introduced == 1  # exactly one CAS won
+    assert not pushed.probing and not timed_out.probing
+    config = cluster.current_configuration("shard-0")
+    assert config.epoch == 2
+    assert crashed not in config.members
+    assert cluster.certify(rw_payload("after-push", tiebreak="ap")) is Decision.COMMIT
     result, violations = cluster.check()
     assert result.ok and violations == []
 
