@@ -36,6 +36,14 @@ import time
 # * Never lower a floor to make a failing guard pass without re-measuring
 #   and explaining what legitimately got slower.
 #
+# Baselines re-checked 2026-08 after the bandwidth/queueing network model
+# landed: the default NetworkSpec is inert (messages are never sized and
+# the byte counters stay untouched unless a scenario opts into a positive
+# bandwidth), so the batching / read / scheduler measurements did not move
+# and the floors below stand as measured.  The network model's own guards
+# (knee curve, pipelining speedup) are virtual-time assertions in
+# test_bench_network.py and need no wall-clock baseline.
+#
 # Baselines re-measured 2026-08 (10k-txn steady state, worst of repeated
 # runs; see test_bench_scheduler.py / test_bench_checker.py for the exact
 # workloads):

@@ -249,6 +249,51 @@ def collect_batch_stats(processes) -> BatchStats:
 
 
 @dataclass(frozen=True)
+class LinkStats:
+    """Link-queue counters for one run under a bandwidth-aware network
+    (:class:`repro.runtime.network.LinkSpec`).
+
+    * ``bytes_sent`` — total wire bytes offered to the network (sized
+      sends, including dropped ones — the offered load);
+    * ``queue_wait`` — summary of per-message queue waits (time spent
+      behind earlier messages on the same directed channel), in send
+      order: the congestion signal a bandwidth sweep plots;
+    * ``busy_time`` — total serialization time accumulated across all
+      links (overhead + bytes/bandwidth per message);
+    * ``max_depth`` — the deepest any single link queue ever got.
+    """
+
+    bytes_sent: float = 0.0
+    queue_wait: Optional[LatencySummary] = None
+    busy_time: float = 0.0
+    max_depth: int = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "bytes_sent": self.bytes_sent,
+            "queue_wait": self.queue_wait.as_dict() if self.queue_wait else None,
+            "busy_time": self.busy_time,
+            "max_depth": self.max_depth,
+        }
+
+
+def collect_link_stats(network) -> Optional[LinkStats]:
+    """Summarise a :class:`~repro.runtime.network.Network`'s link-queue
+    accounting; None when no bandwidth model is installed (the pure-delay
+    network keeps no byte or queue state at all)."""
+    link = getattr(network, "link", None)
+    if link is None or not link.enabled:
+        return None
+    samples = network.queue_wait_samples
+    return LinkStats(
+        bytes_sent=network.stats.bytes_sent,
+        queue_wait=summarize(samples) if samples else None,
+        busy_time=network.link_busy_time,
+        max_depth=network.link_max_depth,
+    )
+
+
+@dataclass(frozen=True)
 class SpeedupReport:
     """Wall-clock comparison of the same task set run serially and fanned
     out over a worker pool (the merge-path summary behind

@@ -29,7 +29,7 @@ from repro.core.reads import ReadPolicy
 from repro.core.serializability import KeyHashSharding, SerializabilityScheme
 from repro.core.types import Decision, ShardId, TxnId
 from repro.runtime.events import Scheduler
-from repro.runtime.network import LatencyModel, Network, UnitLatency
+from repro.runtime.network import LatencyModel, LinkSpec, Network, UnitLatency
 from repro.runtime.parallel import GroupedScheduler, partition_contiguous
 from repro.spec.checker import CheckResult, TCSChecker
 from repro.spec.history import History
@@ -53,6 +53,9 @@ class BaselineCluster:
         groups: int = 0,
         read: Optional[ReadPolicy] = None,
         detector: Optional[DetectorPolicy] = None,
+        link: Optional[LinkSpec] = None,
+        pipeline: bool = True,
+        sticky: bool = False,
     ) -> None:
         if num_shards < 1 or failures_tolerated < 0:
             raise ValueError("num_shards must be >= 1 and failures_tolerated >= 0")
@@ -67,7 +70,12 @@ class BaselineCluster:
         # scheduler groups, coordinators and clients stay in group 0.
         self.exec_groups = groups
         self.scheduler = GroupedScheduler(groups) if groups else Scheduler()
-        self.network = Network(self.scheduler, latency=latency or UnitLatency(), seed=seed)
+        self.network = Network(
+            self.scheduler, latency=latency or UnitLatency(), seed=seed, link=link
+        )
+        self.pipeline = pipeline
+        self.sticky = sticky
+        self._sticky_coordinator: Dict[int, str] = {}
         self.directory = TransactionDirectory()
         self.history = History()
 
@@ -105,6 +113,7 @@ class BaselineCluster:
                 shard_leaders=shard_leaders,
                 batch=self.batch,
             )
+            coordinator.pipeline_commits = self.pipeline
             self.network.register(coordinator)
             self.coordinators.append(coordinator)
 
@@ -125,7 +134,7 @@ class BaselineCluster:
         # dedicated coordinators, so the router is a static round-robin;
         # retries re-submit to the next coordinator in line.
         self.retry = retry or RetryPolicy()
-        self.router = StaticRouter([c.pid for c in self.coordinators])
+        self.router = StaticRouter([c.pid for c in self.coordinators], sticky=self.sticky)
         self.sessions: List[ClientSession] = [
             ClientSession(client, self.router, self.scheme, self.retry)
             for client in self.clients
@@ -172,8 +181,21 @@ class BaselineCluster:
             )
         client = self.clients[client_index]
         if coordinator is None:
-            self._round_robin += 1
-            coordinator = self.coordinators[self._round_robin % len(self.coordinators)].pid
+            if self.sticky:
+                # Sticky affinity: each client keeps its coordinator so that
+                # coordinator's command batches fill deeper.
+                coordinator = self._sticky_coordinator.get(client_index)
+                if coordinator is None:
+                    self._round_robin += 1
+                    coordinator = self.coordinators[
+                        self._round_robin % len(self.coordinators)
+                    ].pid
+                    self._sticky_coordinator[client_index] = coordinator
+            else:
+                self._round_robin += 1
+                coordinator = self.coordinators[
+                    self._round_robin % len(self.coordinators)
+                ].pid
         return client.submit(payload, coordinator=coordinator, txn=txn)
 
     def run(self, max_time: Optional[float] = None, max_events: Optional[int] = None) -> int:

@@ -175,6 +175,13 @@ class TwoPCCoordinator(Process):
         # One descriptor triple per single command, a list of them per batch.
         self._requests: Dict[int, Any] = {}
         self.duplicate_certify_requests = 0
+        # Vote pipelining toggle (parity with CoordinatorMixin): False is
+        # the stop-and-wait measurement baseline — prepares for a new
+        # transaction are held until the in-flight one is durable everywhere.
+        self.pipeline_commits = getattr(self, "pipeline_commits", True)
+        self._unpersisted: Set[TxnId] = set()
+        self._held_certifies: List[Tuple[TxnId, Any]] = []
+        self._held_txns: Set[TxnId] = set()
         # Protocol-level batching: commands to the same Paxos leader
         # accumulate and replicate as one CommandBatch value.
         self.batch_policy = batch or BatchPolicy()
@@ -228,6 +235,25 @@ class TwoPCCoordinator(Process):
             txn=txn, payload=payload, shards=frozenset(shards), started_at=self.now
         )
         self.transactions[txn] = entry
+        if (
+            not self.pipeline_commits
+            and self._unpersisted
+            and txn not in self._unpersisted
+            and txn not in self._held_txns
+        ):
+            # Stop-and-wait: hold prepares until the in-flight transaction
+            # is durable on every shard.
+            self._held_txns.add(txn)
+            self._held_certifies.append((txn, payload))
+            return entry
+        self._dispatch_prepares(entry, payload)
+        return entry
+
+    def _dispatch_prepares(self, entry: _BaselineTxn, payload: Any) -> None:
+        txn = entry.txn
+        shards = entry.shards
+        if not self.pipeline_commits and shards:
+            self._unpersisted.add(txn)
         # Sorted for hash-seed-independent send order (random latency
         # models draw one delay per send, so iteration order matters).
         for shard in sorted(shards):
@@ -239,7 +265,15 @@ class TwoPCCoordinator(Process):
             entry.decided_at = entry.durable_at = self.now
             if self.directory.known(txn):
                 self._reply(self.directory.client_of(txn), TxnDecision(txn, Decision.COMMIT))
-        return entry
+
+    def _drain_held_certifies(self) -> None:
+        while self._held_certifies and not self._unpersisted:
+            txn, payload = self._held_certifies.pop(0)
+            self._held_txns.discard(txn)
+            entry = self.transactions.get(txn)
+            if entry is None or entry.decision is not None:
+                continue
+            self._dispatch_prepares(entry, payload)
 
     def _send_command(self, txn: TxnId, shard: ShardId, kind: str, command: Any) -> None:
         if self._batching:
@@ -301,6 +335,9 @@ class TwoPCCoordinator(Process):
                 if self.directory.known(txn):
                     client = self.directory.client_of(txn)
                     self._reply(client, TxnDecision(txn=txn, decision=entry.decision))
+                if not self.pipeline_commits:
+                    self._unpersisted.discard(txn)
+                    self._drain_held_certifies()
 
     def _decide(self, entry: _BaselineTxn) -> None:
         entry.vote_complete_at = self.now

@@ -112,6 +112,7 @@ class CoordinatorRouter:
         members: Mapping[ShardId, Tuple[str, ...]],
         leaders: Optional[Mapping[ShardId, str]] = None,
         epochs: Optional[Mapping[ShardId, int]] = None,
+        sticky: bool = False,
     ) -> None:
         self.shards: List[ShardId] = list(shards)
         self.members: Dict[ShardId, Tuple[str, ...]] = {
@@ -119,6 +120,11 @@ class CoordinatorRouter:
         }
         self.leaders: Dict[ShardId, str] = dict(leaders or {})
         self.epochs: Dict[ShardId, int] = dict(epochs or {})
+        # Sticky affinity: pin each involved-shard set to one coordinator so
+        # its batches fill deeper; re-pins on failover (exclusion) and drops
+        # pins to members removed by a configuration change.
+        self.sticky = sticky
+        self._pins: Dict[Tuple[ShardId, ...], str] = {}
         self._round_robin = 0
         self.config_updates = 0
         # Sessions register here to learn about accepted configuration
@@ -141,6 +147,10 @@ class CoordinatorRouter:
         self.epochs[shard] = epoch
         self.members[shard] = tuple(members)
         self.leaders[shard] = leader
+        if removed and self._pins:
+            self._pins = {
+                key: pid for key, pid in self._pins.items() if pid not in removed
+            }
         self.config_updates += 1
         for listener in self._listeners:
             listener(shard, removed, leader)
@@ -165,6 +175,15 @@ class CoordinatorRouter:
         candidates = self.candidates(involved)
         fresh = [pid for pid in candidates if pid not in exclude]
         pool = fresh or candidates
+        if self.sticky:
+            key = tuple(sorted(involved))
+            pinned = self._pins.get(key)
+            if pinned is not None and pinned in pool:
+                return pinned
+            self._round_robin += 1
+            pinned = pool[self._round_robin % len(pool)]
+            self._pins[key] = pinned
+            return pinned
         self._round_robin += 1
         return pool[self._round_robin % len(pool)]
 
@@ -173,10 +192,12 @@ class StaticRouter:
     """Router over a fixed candidate list (the 2PC-over-Paxos baseline's
     dedicated coordinator processes have no shard topology to exploit)."""
 
-    def __init__(self, pids: Sequence[str]) -> None:
+    def __init__(self, pids: Sequence[str], sticky: bool = False) -> None:
         if not pids:
             raise ValueError("a router needs at least one candidate")
         self.pids: List[str] = list(pids)
+        self.sticky = sticky
+        self._pins: Dict[Tuple[ShardId, ...], str] = {}
         self._round_robin = 0
         self.config_updates = 0
 
@@ -189,6 +210,15 @@ class StaticRouter:
     def pick(self, involved: Sequence[ShardId], exclude: Sequence[str] = ()) -> str:
         fresh = [pid for pid in self.pids if pid not in exclude]
         pool = fresh or self.pids
+        if self.sticky:
+            key = tuple(sorted(involved))
+            pinned = self._pins.get(key)
+            if pinned is not None and pinned in pool:
+                return pinned
+            self._round_robin += 1
+            pinned = pool[self._round_robin % len(pool)]
+            self._pins[key] = pinned
+            return pinned
         self._round_robin += 1
         return pool[self._round_robin % len(pool)]
 

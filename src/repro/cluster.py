@@ -49,7 +49,7 @@ from repro.core.types import Configuration, Decision, GlobalConfiguration, Shard
 from repro.rdma.broken import BrokenRdmaShardReplica
 from repro.rdma.replica import RdmaShardReplica
 from repro.runtime.events import Scheduler
-from repro.runtime.network import LatencyModel, Network, UnitLatency
+from repro.runtime.network import LatencyModel, LinkSpec, Network, UnitLatency
 from repro.runtime.parallel import GroupedScheduler, partition_contiguous
 from repro.spec.checker import CheckResult, TCSChecker
 from repro.spec.history import History
@@ -171,6 +171,9 @@ class Cluster:
         groups: int = 0,
         read: Optional[ReadPolicy] = None,
         detector: Optional[DetectorPolicy] = None,
+        link: Optional[LinkSpec] = None,
+        pipeline: bool = True,
+        sticky: bool = False,
     ) -> None:
         spec = protocol_spec(protocol)
         if num_shards < 1 or replicas_per_shard < 1 or num_clients < 1:
@@ -194,12 +197,21 @@ class Cluster:
         # serial engine for deterministic latency models.
         self.exec_groups = groups
         self.scheduler = GroupedScheduler(groups) if groups else Scheduler()
-        self.network = Network(self.scheduler, latency=latency or UnitLatency(), seed=seed)
+        self.network = Network(
+            self.scheduler, latency=latency or UnitLatency(), seed=seed, link=link
+        )
         self.directory = TransactionDirectory()
         self.history = History()
         self.membership_policy = membership_policy or MembershipPolicy(
             target_size=replicas_per_shard
         )
+        # Commit-path knobs (see repro.scenarios.spec.NetworkSpec): vote
+        # pipelining is the protocol's normal mode; pipeline=False is the
+        # stop-and-wait measurement baseline.  sticky pins each involved-
+        # shard set to one coordinator to deepen its batches.
+        self.pipeline = pipeline
+        self.sticky = sticky
+        self._sticky_pins: Dict[Tuple[ShardId, ...], str] = {}
 
         self.replicas: Dict[str, Any] = {}
         self.replicas_by_shard: Dict[ShardId, List[Any]] = {s: [] for s in self.shards}
@@ -311,6 +323,7 @@ class Cluster:
                     read=self.read,
                     detector=self.detector,
                 )
+                replica.pipeline_commits = self.pipeline
                 self.network.register(replica)
                 self.replicas[pid] = replica
                 self.replicas_by_shard[shard].append(replica)
@@ -351,6 +364,7 @@ class Cluster:
             members={s: c.members for s, c in self.initial_configs.items()},
             leaders={s: c.leader for s, c in self.initial_configs.items()},
             epochs={s: c.epoch for s, c in self.initial_configs.items()},
+            sticky=self.sticky,
         )
         self.sessions: List[ClientSession] = [
             ClientSession(client, self.router, self.scheme, self.retry)
@@ -417,6 +431,17 @@ class Cluster:
             self._candidate_cache[involved] = candidates
         live = [pid for pid in candidates if not self.replicas[pid].crashed]
         candidates = live or candidates
+        if self.sticky:
+            # Sticky affinity: every transaction over the same involved-shard
+            # set returns to one coordinator, so its batchers fill deeper
+            # instead of each coordinator flushing near-empty batches.
+            pinned = self._sticky_pins.get(involved)
+            if pinned is not None and pinned in candidates:
+                return pinned
+            self._round_robin += 1
+            pinned = candidates[self._round_robin % len(candidates)]
+            self._sticky_pins[involved] = pinned
+            return pinned
         self._round_robin += 1
         return candidates[self._round_robin % len(candidates)]
 

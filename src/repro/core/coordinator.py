@@ -96,6 +96,17 @@ class CoordinatorMixin:
         self._coordinated: Dict[TxnId, CoordinatorEntry] = {}
         # Duplicate CERTIFY requests deduplicated (client-session retries).
         self.duplicate_certify_requests = 0
+        # Vote pipelining (the protocol's normal mode): PREPARE certification
+        # of the next transaction overlaps ACCEPT persistence of the ones
+        # still in flight.  pipeline_commits=False is the stop-and-wait
+        # measurement baseline: PREPAREs for a new transaction are held until
+        # every previously dispatched one is fully persisted and decided.
+        # It models a failure-free run (held dispatches are only re-driven
+        # by decisions, not by fault recovery).
+        self.pipeline_commits = getattr(self, "pipeline_commits", True)
+        self._unpersisted: Set[TxnId] = set()
+        self._held_certifies: list = []
+        self._held_txns: Set[TxnId] = set()
         # Protocol-level batching (repro.core.batching): with an enabled
         # policy the PREPARE fan-out, the ACCEPT relay and the DECISION
         # broadcast each accumulate into per-destination batches.
@@ -145,6 +156,26 @@ class CoordinatorMixin:
                 txn=txn, payload=payload, shards=frozenset(shards), started_at=self.now
             )
             self._coordinated[txn] = entry
+        if (
+            not self.pipeline_commits
+            and self._unpersisted
+            and txn not in self._unpersisted
+            and txn not in self._held_txns
+        ):
+            # Stop-and-wait: another transaction's ACCEPT persistence is in
+            # flight, so hold this one's PREPAREs until it decides.
+            self._held_txns.add(txn)
+            self._held_certifies.append((txn, payload))
+            return entry
+        self._dispatch_prepares(entry, payload)
+        return entry
+
+    def _dispatch_prepares(self, entry: CoordinatorEntry, payload: Any) -> None:
+        """Fan PREPAREs out to the involved shard leaders."""
+        txn = entry.txn
+        shards = entry.shards
+        if not self.pipeline_commits and shards:
+            self._unpersisted.add(txn)
         # Sorted: `shards` is a set, and the fan-out order must not depend
         # on the process's hash seed (random latency models draw one delay
         # per send, so iteration order shapes the schedule; under batching
@@ -163,7 +194,16 @@ class CoordinatorMixin:
             # A transaction touching no shard (empty payload) commits
             # trivially: the meet over an empty set of votes is commit.
             self._maybe_decide(entry)
-        return entry
+
+    def _drain_held_certifies(self) -> None:
+        """Dispatch held transactions once the pipeline gate is clear."""
+        while self._held_certifies and not self._unpersisted:
+            txn, payload = self._held_certifies.pop(0)
+            self._held_txns.discard(txn)
+            entry = self._coordinated.get(txn)
+            if entry is None or entry.decided:
+                continue
+            self._dispatch_prepares(entry, payload)
 
     def retry(self, slot: int) -> Optional[CoordinatorEntry]:
         """``retry(k)``: become a new coordinator for a prepared transaction
@@ -290,3 +330,6 @@ class CoordinatorMixin:
                 self._decision_batcher.add_all(self.members[shard], message)
             else:
                 self.send_all(self.members[shard], message)
+        if not self.pipeline_commits:
+            self._unpersisted.discard(entry.txn)
+            self._drain_held_certifies()

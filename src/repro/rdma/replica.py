@@ -189,6 +189,12 @@ class RdmaShardReplica(Process):
 
         self._coordinated: Dict[TxnId, RdmaCoordinatorEntry] = {}
         self.duplicate_certify_requests = 0
+        # Vote pipelining toggle (see CoordinatorMixin._init_coordinator):
+        # False is the stop-and-wait measurement baseline.
+        self.pipeline_commits = getattr(self, "pipeline_commits", True)
+        self._unpersisted: Set[TxnId] = set()
+        self._held_certifies: List[Tuple[TxnId, Any]] = []
+        self._held_txns: Set[TxnId] = set()
         # Protocol-level batching: the PREPARE fan-out travels as regular
         # messages; ACCEPT and DECISION batches are persisted with a single
         # one-sided RDMA write per destination.
@@ -312,6 +318,25 @@ class RdmaShardReplica(Process):
                 txn=txn, payload=payload, shards=frozenset(shards), started_at=self.now
             )
             self._coordinated[txn] = entry
+        if (
+            not self.pipeline_commits
+            and self._unpersisted
+            and txn not in self._unpersisted
+            and txn not in self._held_txns
+        ):
+            # Stop-and-wait: hold PREPAREs until the in-flight transactions
+            # are fully persisted (see CoordinatorMixin.certify).
+            self._held_txns.add(txn)
+            self._held_certifies.append((txn, payload))
+            return entry
+        self._dispatch_prepares(entry, payload)
+        return entry
+
+    def _dispatch_prepares(self, entry: RdmaCoordinatorEntry, payload: Any) -> None:
+        txn = entry.txn
+        shards = entry.shards
+        if not self.pipeline_commits and shards:
+            self._unpersisted.add(txn)
         # Sorted for hash-seed-independent send order (random latency
         # models draw one delay per send, so iteration order matters; under
         # batching it also fixes batch composition).
@@ -327,7 +352,15 @@ class RdmaShardReplica(Process):
                 self.send(self.leader[shard], prepare)
         if not shards:
             self._maybe_decide(entry)
-        return entry
+
+    def _drain_held_certifies(self) -> None:
+        while self._held_certifies and not self._unpersisted:
+            txn, payload = self._held_certifies.pop(0)
+            self._held_txns.discard(txn)
+            entry = self._coordinated.get(txn)
+            if entry is None or entry.decided:
+                continue
+            self._dispatch_prepares(entry, payload)
 
     def _note_prepares_flushed(self, dst: str, prepares: tuple) -> None:
         for prepare in prepares:
@@ -504,6 +537,9 @@ class RdmaShardReplica(Process):
                     self._decision_batcher.add(member, message)
                 else:
                     self.rdma.send(member, message)
+        if not self.pipeline_commits:
+            self._unpersisted.discard(entry.txn)
+            self._drain_held_certifies()
 
     # ------------------------------------------------------------------
     # members: RDMA-delivered ACCEPT and DECISION (lines 94-95, 101-102)

@@ -13,11 +13,12 @@ from __future__ import annotations
 
 import math
 import random
-from collections import Counter
+from collections import Counter, deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Mapping, Optional, Set, Tuple, TYPE_CHECKING
+from typing import Any, Deque, Dict, Iterable, Mapping, Optional, Set, Tuple, TYPE_CHECKING
 
 from repro.runtime.events import Scheduler
+from repro.runtime.wire import wire_size
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime.process import Process
@@ -215,6 +216,40 @@ class RegionLatency(LatencyModel):
         return self.inter[(src_region, dst_region)]
 
 
+@dataclass(frozen=True)
+class LinkSpec:
+    """Per-link bandwidth and serialization cost (the queueing model).
+
+    With a LinkSpec installed, every message additionally pays a
+    *serialization time* of ``overhead + wire_size(message) / bandwidth``
+    on its directed channel, and channels become FIFO *queues*: a message
+    cannot start serializing before the previous message on the same
+    channel has finished.  Delivery time becomes::
+
+        propagation delay  (the latency model, plus per-channel extras)
+      + queue wait         (time spent behind earlier messages on the link)
+      + serialization time (overhead + bytes / bandwidth)
+
+    Queueing and serialization only ever *add* delay on top of the
+    propagation term, so the grouped engine's lookahead bound
+    (:meth:`Network.min_cross_group_delay`, derived from propagation
+    minima alone) remains a valid lower bound.
+
+    ``bandwidth`` is in bytes per delay unit; ``bandwidth == 0`` disables
+    the model entirely (messages are never sized, the pre-link behaviour).
+    ``overhead`` is a fixed per-message serialization cost in delay units —
+    the knob that makes batching pay: a batch serializes its summed bytes
+    but only one overhead.
+    """
+
+    bandwidth: float = 0.0
+    overhead: float = 0.0
+
+    @property
+    def enabled(self) -> bool:
+        return self.bandwidth > 0
+
+
 @dataclass
 class MessageStats:
     """Message accounting used by the leader-load and cost experiments."""
@@ -227,13 +262,20 @@ class MessageStats:
     dropped: int = 0
     total_sent: int = 0
     total_delivered: int = 0
+    # Bytes accounting: populated only when a LinkSpec sizes messages
+    # (``size`` is None on the pure-delay path, keeping it cost-free).
+    bytes_sent: float = 0.0
+    bytes_by_type: Counter = field(default_factory=Counter)
 
-    def record_send(self, src: str, message: Any) -> None:
+    def record_send(self, src: str, message: Any, size: Optional[float] = None) -> None:
         name = type(message).__name__
         self.total_sent += 1
         self.sent_by_process[src] += 1
         self.sent_by_type[name] += 1
         self.sent_by_process_and_type[(src, name)] += 1
+        if size is not None:
+            self.bytes_sent += size
+            self.bytes_by_type[name] += size
 
     def record_delivery(self, dst: str, message: Any) -> None:
         name = type(message).__name__
@@ -261,6 +303,7 @@ class Network:
         scheduler: Scheduler,
         latency: Optional[LatencyModel] = None,
         seed: int = 0,
+        link: Optional[LinkSpec] = None,
     ) -> None:
         self.scheduler = scheduler
         self.latency = latency or UnitLatency()
@@ -269,6 +312,18 @@ class Network:
         self.stats = MessageStats()
         self.trace: list[Tuple[float, str, str, Any]] = []
         self.trace_enabled = False
+        self.link = link
+        self._link_enabled = link is not None and link.enabled
+        # Link-queue accounting (populated only with an enabled LinkSpec):
+        # queue waits in send order, total serialization time, and the
+        # high-water per-channel queue depth.  Depth is derived from
+        # *virtual* times (deliver_at values still in the future at send
+        # time), never from event-execution order, so it is identical on
+        # the serial and grouped engines.
+        self.queue_wait_samples: list[float] = []
+        self._link_serializations: list[float] = []
+        self.link_max_depth: int = 0
+        self._link_pending: Dict[Tuple[str, str], Deque[float]] = {}
         self._channel_clock: Dict[Tuple[str, str], float] = {}
         self._blocked: Set[Tuple[str, str]] = set()
         self._extra_delay: Dict[Tuple[str, str], float] = {}
@@ -278,6 +333,14 @@ class Network:
         # group's heap.  None on the serial engine (the common case).
         self._group_of: Optional[Dict[str, int]] = None
 
+    @property
+    def link_busy_time(self) -> float:
+        """Total serialization time charged on the link.  ``math.fsum`` is
+        correctly rounded whatever the summand order, so the value is
+        byte-identical across the serial and grouped engines even though
+        they execute sends in different wall orders."""
+        return math.fsum(self._link_serializations)
+
     def install_groups(self, group_of: Dict[str, int]) -> None:
         """Route deliveries by destination group (grouped engine only)."""
         self._group_of = dict(group_of)
@@ -285,7 +348,14 @@ class Network:
     def min_cross_group_delay(self, group_of: Dict[str, int]) -> float:
         """The lookahead bound: minimum ``min_delay`` over all directed
         process pairs whose endpoints live in different groups (including
-        per-channel extra delays, which only ever add latency)."""
+        per-channel extra delays, which only ever add latency).
+
+        A :class:`LinkSpec` does not tighten this bound: queue wait and
+        serialization time are *added on top of* the propagation delay in
+        :meth:`_enqueue`, so every delivery still lands at or beyond
+        ``now + min_delay`` — the propagation minimum stays a valid
+        lookahead lower bound (asserted by the grouped scheduler in debug
+        runs)."""
         bound = math.inf
         pids = list(self.processes)
         for src in pids:
@@ -363,7 +433,12 @@ class Network:
         blocked channel); the caller is responsible for scheduling the
         delivery event(s).
         """
-        self.stats.record_send(src, message)
+        # Messages are only sized under an enabled LinkSpec: the pure-delay
+        # path never consults wire_size, so foreign message types (tests,
+        # ad-hoc probes) stay legal there and the default schedule is
+        # byte-for-byte what it was before the bandwidth model existed.
+        size = wire_size(message) if self._link_enabled else None
+        self.stats.record_send(src, message, size=size)
         if dst not in self.processes:
             self.stats.dropped += 1
             return None
@@ -372,12 +447,36 @@ class Network:
             return None
         delay = self.latency.delay(src, dst, message, self.rng)
         delay += self._extra_delay.get((src, dst), 0.0)
-        deliver_at = self.scheduler.now + delay
+        arrival = self.scheduler.now + delay
         # FIFO: never deliver earlier than the previous message on the same
         # channel.  Ties in delivery time are broken by scheduling order,
         # which is send order, so FIFO is preserved.
         last = self._channel_clock.get((src, dst), 0.0)
-        deliver_at = max(deliver_at, last)
+        if size is None:
+            deliver_at = max(arrival, last)
+        else:
+            # Queueing model: serialization starts once the message has
+            # propagated *and* the channel has finished the previous
+            # message; the channel is then busy for overhead + bytes/bw.
+            link = self.link
+            start = arrival if arrival > last else last
+            serialization = link.overhead + size / link.bandwidth
+            deliver_at = start + serialization
+            self.queue_wait_samples.append(start - arrival)
+            self._link_serializations.append(serialization)
+            # Queue depth at this send: in-flight messages on the channel
+            # (deliver_at still in the future) plus this one.  Channel
+            # clocks are monotone, so the deque stays sorted and pruning
+            # from the left is exact.
+            pending = self._link_pending.get((src, dst))
+            if pending is None:
+                pending = self._link_pending[(src, dst)] = deque()
+            now = self.scheduler.now
+            while pending and pending[0] <= now:
+                pending.popleft()
+            pending.append(deliver_at)
+            if len(pending) > self.link_max_depth:
+                self.link_max_depth = len(pending)
         self._channel_clock[(src, dst)] = deliver_at
         return deliver_at
 

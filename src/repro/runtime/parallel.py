@@ -408,6 +408,20 @@ class GroupedScheduler:
         destination group cannot have advanced past them.  ``weak`` marks
         background traffic (heartbeats) that must not keep the run alive.
         """
+        if __debug__ and self._executing is not None and self._window is not None:
+            sender = self._executing[0]
+            if sender != CONTROL_GROUP and sender != group:
+                # The conservative-parallel correctness invariant: a delivery
+                # crossing group boundaries may never land inside the current
+                # window, or the destination group could already have fired
+                # past it.  Queueing and serialization delays only ever ADD
+                # to propagation, so an enabled LinkSpec cannot break this.
+                assert time >= self._window[1], (
+                    f"cross-group delivery at t={time} lands before the "
+                    f"lookahead bound t={self._window[1]} "
+                    f"(window start {self._window[0]}, sender group {sender}, "
+                    f"destination group {group})"
+                )
         return self._insert(self._groups[group], time, fn, args, weight, weak)
 
     def _insert(

@@ -1,0 +1,206 @@
+"""Bytes-on-wire accounting for every simulated message type.
+
+The bandwidth-aware link model (:class:`repro.runtime.network.LinkSpec`)
+charges each message a serialization time proportional to its wire size.
+This module owns that size: :func:`wire_size` maps a message instance to a
+deterministic byte count built from a fixed per-message header plus a
+recursive estimate of its payload fields.
+
+Two properties matter more than the absolute byte values:
+
+* **batches cost the sum of their parts plus one header** — a
+  ``CertifyBatch`` of 32 ``Prepare`` messages carries the same payload
+  bytes as 32 individual sends but saves 31 headers (and, on the link, 31
+  per-message overheads), so batch-size sweeps show a real
+  latency/throughput knee instead of batching being free;
+* **unregistered message types fail loudly** — ``wire_size`` raises
+  :class:`TypeError` for a top-level message class nobody registered, so a
+  newly added protocol message breaks the unit-test battery instead of
+  silently costing 0 bytes on the wire.
+
+The registry is built lazily on first use: this module imports only the
+standard library at import time so ``runtime.network`` can depend on it
+without creating a cycle with the protocol modules (which themselves
+import the runtime).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from enum import Enum
+from typing import Any, Callable, Dict, Tuple
+
+# Fixed per-message envelope: type tag, source/destination addressing and
+# framing.  Charged once per top-level message and once per nested
+# sub-message inside a batch.
+HEADER_BYTES = 20.0
+
+# Cost of one scalar field (numbers, enum tags, per-container length
+# prefixes).  Strings and byte strings cost their length instead.
+SCALAR_BYTES = 8.0
+
+_SIZERS: Dict[type, Callable[[Any], float]] = {}
+_REGISTERED = False
+
+
+def _field_size(value: Any) -> float:
+    """Recursive size of one payload field (no header)."""
+    if value is None:
+        return 0.0
+    if isinstance(value, Enum):
+        return SCALAR_BYTES
+    if isinstance(value, bool) or isinstance(value, (int, float)):
+        return SCALAR_BYTES
+    if isinstance(value, (str, bytes)):
+        return float(len(value))
+    if isinstance(value, dict):
+        return SCALAR_BYTES + sum(
+            _field_size(k) + _field_size(v) for k, v in value.items()
+        )
+    if isinstance(value, (tuple, list, set, frozenset)):
+        return SCALAR_BYTES + sum(_field_size(item) for item in value)
+    if dataclasses.is_dataclass(value):
+        return SCALAR_BYTES + sum(
+            _field_size(getattr(value, f.name)) for f in dataclasses.fields(value)
+        )
+    if hasattr(value, "__dict__"):
+        return SCALAR_BYTES + sum(_field_size(v) for v in vars(value).values())
+    # Opaque sentinel objects (e.g. BOTTOM) cost one scalar.
+    return SCALAR_BYTES
+
+
+def _flat_sizer(message: Any) -> float:
+    """Header plus the recursive size of every dataclass field."""
+    return HEADER_BYTES + sum(
+        _field_size(getattr(message, f.name)) for f in dataclasses.fields(message)
+    )
+
+
+def _batch_sizer(attr: str) -> Callable[[Any], float]:
+    """Batch wrappers cost one header plus the *payload* bytes of every
+    element — coalescing saves the per-element headers (and, on the link,
+    the per-message serialization overhead), never payload bytes."""
+
+    def sizer(message: Any) -> float:
+        payloads = sum(
+            wire_size(part) - HEADER_BYTES for part in getattr(message, attr)
+        )
+        return HEADER_BYTES + payloads
+
+    return sizer
+
+
+def _register(cls: type, sizer: Callable[[Any], float] = _flat_sizer) -> None:
+    _SIZERS[cls] = sizer
+
+
+def _ensure_registered() -> None:
+    """Build the registry on first use (imports the protocol modules)."""
+    global _REGISTERED
+    if _REGISTERED:
+        return
+    _REGISTERED = True
+
+    from repro.core import messages as core
+    from repro.rdma import messages as rdma
+    from repro.baselines import paxos, twopc
+    from repro.runtime import rdma as rdma_runtime
+
+    # --- core message-passing protocol ---------------------------------
+    for cls in (
+        core.CertifyRequest,
+        core.TxnDecision,
+        core.ReadRequest,
+        core.ReadReply,
+        core.CsLeaseRequest,
+        core.CsLeaseGrant,
+        core.Heartbeat,
+        core.SuspicionReport,
+        core.CsViewChange,
+        core.Prepare,
+        core.PrepareAck,
+        core.Accept,
+        core.AcceptAck,
+        core.SlotDecision,
+        core.Probe,
+        core.ProbeAck,
+        core.NewConfig,
+        core.NewState,
+        core.ConfigChange,
+        core.CsGetLast,
+        core.CsGet,
+        core.CsCompareAndSwap,
+        core.CsReply,
+    ):
+        _register(cls)
+    _register(core.CertifyRequestBatch, _batch_sizer("requests"))
+    _register(core.TxnDecisionBatch, _batch_sizer("decisions"))
+    _register(core.CertifyBatch, _batch_sizer("prepares"))
+    _register(core.VoteBatch, _batch_sizer("acks"))
+    _register(core.AcceptBatch, _batch_sizer("accepts"))
+    _register(core.AcceptAckBatch, _batch_sizer("acks"))
+    _register(core.DecisionBatch, _batch_sizer("decisions"))
+
+    # --- RDMA protocol (distinct classes from core's same-named ones) ---
+    for cls in (
+        rdma.Accept,
+        rdma.SlotDecision,
+        rdma.ConfigPrepare,
+        rdma.ConfigPrepareAck,
+        rdma.NewConfig,
+        rdma.NewState,
+        rdma.Connect,
+        rdma.ConnectAck,
+    ):
+        _register(cls)
+    _register(rdma.AcceptBatch, _batch_sizer("accepts"))
+    _register(rdma.DecisionBatch, _batch_sizer("decisions"))
+
+    # NIC-level frames: an RdmaWrite carries a full protocol message as
+    # its payload, so it costs a frame header plus that message's size.
+    def _rdma_write_sizer(frame: Any) -> float:
+        return HEADER_BYTES + SCALAR_BYTES + wire_size(frame.payload)
+
+    _register(rdma_runtime.RdmaWrite, _rdma_write_sizer)
+    _register(rdma_runtime.RdmaAck)
+
+    # --- 2PC-over-Paxos baseline ---------------------------------------
+    for cls in (
+        paxos.RsmCommand,
+        paxos.RsmResponse,
+        paxos.Phase1a,
+        paxos.Phase1b,
+        paxos.Phase2a,
+        paxos.Phase2b,
+        paxos.Chosen,
+        paxos.ForwardedCommand,
+        twopc.PrepareCommand,
+        twopc.DecideCommand,
+    ):
+        _register(cls)
+    _register(twopc.CommandBatch, _batch_sizer("commands"))
+
+
+def is_registered(cls: type) -> bool:
+    """True when ``cls`` has an explicit wire-size entry (exact type, not
+    via inheritance — every new message class must be registered itself)."""
+    _ensure_registered()
+    return cls in _SIZERS
+
+
+def wire_size(message: Any) -> float:
+    """Deterministic byte size of ``message`` on the wire.
+
+    Raises :class:`TypeError` for an unregistered top-level message type:
+    the unit-test battery enumerates every message module, so forgetting to
+    register a new type is a test failure, not a free message.
+    """
+    _ensure_registered()
+    sizer = _SIZERS.get(type(message))
+    if sizer is None:
+        raise TypeError(
+            f"no wire size registered for message type "
+            f"{type(message).__module__}.{type(message).__qualname__}; "
+            "register it in repro.runtime.wire"
+        )
+    return sizer(message)

@@ -36,27 +36,35 @@ from repro.scenarios.spec import (
     ExecSpec,
     FaultStep,
     LatencySpec,
+    NetworkSpec,
     RetrySpec,
     ScenarioError,
     ScenarioSpec,
     WorkloadSpec,
 )
 from repro.scenarios.sweep import (
+    DEFAULT_BANDWIDTH_GRID,
     DEFAULT_BATCH_GRID,
     DEFAULT_GRID,
+    BandwidthSweepResult,
     BatchSweepResult,
     LatencySweepResult,
+    parse_bandwidth,
+    parse_bandwidth_grid,
     parse_batch,
     parse_batch_grid,
     parse_grid,
+    run_bandwidth_sweep,
     run_batch_sweep,
     run_latency_sweep,
+    sort_bandwidth_grid,
     sort_batch_grid,
     sort_latency_grid,
 )
 
 __all__ = [
     "CHECK_MODES",
+    "DEFAULT_BANDWIDTH_GRID",
     "DEFAULT_BATCH_GRID",
     "DEFAULT_GRID",
     "SCENARIOS",
@@ -69,13 +77,17 @@ __all__ = [
     "run_scenarios",
     "run_repetitions",
     "run_sweep",
+    "run_bandwidth_sweep",
     "run_batch_sweep",
     "run_latency_sweep",
     "compile_latency_model",
     "parse_latency",
+    "parse_bandwidth",
+    "parse_bandwidth_grid",
     "parse_batch",
     "parse_batch_grid",
     "parse_grid",
+    "sort_bandwidth_grid",
     "sort_batch_grid",
     "sort_latency_grid",
     "EXEC_MODES",
@@ -83,12 +95,14 @@ __all__ = [
     "LATENCY_MODELS",
     "PROTOCOL_BASELINE",
     "WORKLOAD_KINDS",
+    "BandwidthSweepResult",
     "BatchSpec",
     "BatchSweepResult",
     "ExecSpec",
     "FaultStep",
     "LatencySpec",
     "LatencySweepResult",
+    "NetworkSpec",
     "RetrySpec",
     "ScenarioError",
     "ScenarioSpec",

@@ -16,6 +16,7 @@ Usage::
     python -m repro.scenarios sweep read-heavy-steady-state \
         --read-ratio 0 --read-ratio 0.5 --read-ratio 0.9
     python -m repro.scenarios sweep detector-leader-crash --detector default
+    python -m repro.scenarios sweep bandwidth-knee --bandwidth default
     python -m repro.scenarios steady-state          # shorthand for `run`
 
 ``sweep`` without a grid flag compares protocols under the scenario's own
@@ -31,7 +32,10 @@ point (``--read-ratio default`` expands to 0/0.25/0.5/0.75/0.9); with
 ``--detector`` it sweeps the failure-detector policy (heartbeat interval x
 suspicion threshold) and prints suspicion/false-positive counts plus the
 mean time-to-recovery per point (``--detector default`` expands to the
-stock off/1x3/2x3/2x6/4x3 grid).
+stock off/1x3/2x3/2x6/4x3 grid); with ``--bandwidth`` it sweeps the link
+model (bytes per delay, optional per-message overhead and commit-path
+toggles) and prints throughput, latency, bytes on the wire and FIFO queue
+stats per point (``--bandwidth default`` expands to off/8000/2000/500).
 
 Two independent parallelism knobs (see ``repro.runtime.parallel``):
 ``--jobs N`` fans whole runs — the scenarios listed on ``run``, the grid
@@ -56,11 +60,13 @@ from repro.scenarios.library import SCENARIOS, get_scenario, scenario_names
 from repro.scenarios.runner import run_sweep
 from repro.scenarios.spec import CHECK_MODES, ExecSpec, ScenarioError, ScenarioSpec
 from repro.scenarios.sweep import (
+    parse_bandwidth_grid,
     parse_batch,
     parse_batch_grid,
     parse_detector_grid,
     parse_grid,
     parse_read_ratio_grid,
+    run_bandwidth_sweep,
     run_batch_sweep,
     run_detector_sweep,
     run_latency_sweep,
@@ -129,13 +135,33 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     spec = _apply_overrides(get_scenario(args.name), args)
     protocols = tuple(p.strip() for p in args.protocols.split(",") if p.strip())
     grids_requested = sum(
-        bool(g) for g in (args.latency, args.batch, args.read_ratio, args.detector)
+        bool(g)
+        for g in (
+            args.latency,
+            args.batch,
+            args.read_ratio,
+            args.detector,
+            args.bandwidth,
+        )
     )
     if grids_requested > 1:
         raise ScenarioError(
-            "--latency, --batch, --read-ratio and --detector sweeps are "
-            "mutually exclusive"
+            "--latency, --batch, --read-ratio, --detector and --bandwidth "
+            "sweeps are mutually exclusive"
         )
+    if args.bandwidth:
+        grid = parse_bandwidth_grid(args.bandwidth)
+        sweeps = {
+            protocol: run_bandwidth_sweep(spec, grid, jobs=args.jobs, protocol=protocol)
+            for protocol in protocols
+        }
+        if args.json:
+            print(json.dumps({p: s.as_dict() for p, s in sweeps.items()}, indent=2))
+        else:
+            for sweep in sweeps.values():
+                print(sweep.render())
+                print()
+        return 0 if all(sweep.passed for sweep in sweeps.values()) else 1
     if args.detector:
         grid = parse_detector_grid(args.detector)
         sweeps = {
@@ -314,6 +340,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         "'1:confirmations=2'; 'default' expands to the stock "
         "interval x threshold grid); with this flag the sweep runs each "
         "protocol across the failure-detector grid",
+    )
+    sweep_parser.add_argument(
+        "--bandwidth",
+        action="append",
+        default=[],
+        metavar="BANDWIDTH[:k=v,...]",
+        help="bandwidth grid point (repeatable; 'off', a link capacity in "
+        "bytes per delay like '2000', or '2000:overhead=0.1' / "
+        "'500:pipeline=false' / '2000:sticky=true'; 'default' expands to "
+        "off/8000/2000/500); with this flag the sweep runs each protocol "
+        "across the link-model grid",
     )
     _add_common(sweep_parser)
 

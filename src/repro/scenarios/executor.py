@@ -20,6 +20,7 @@ Entry points::
     run_latency_points(spec, grid, jobs)  # latency sweep fan-out
     run_batch_points(spec, grid, jobs)    # batch sweep fan-out
     run_detector_points(spec, grid, jobs)  # detector sweep fan-out
+    run_bandwidth_points(spec, grid, jobs)  # bandwidth sweep fan-out
     run_read_ratio_points(spec, ratios, jobs)  # read-ratio sweep fan-out
     run_protocols(spec, protocols, jobs)  # protocol comparison fan-out
 
@@ -34,7 +35,13 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.runtime.parallel import ParallelExecutor, derive_seed
 from repro.scenarios.runner import ScenarioResult, ScenarioRunner
-from repro.scenarios.spec import BatchSpec, DetectorSpec, LatencySpec, ScenarioSpec
+from repro.scenarios.spec import (
+    BatchSpec,
+    DetectorSpec,
+    LatencySpec,
+    NetworkSpec,
+    ScenarioSpec,
+)
 
 
 def _run_spec(spec: ScenarioSpec) -> ScenarioResult:
@@ -91,6 +98,15 @@ def run_detector_points(
 ) -> List[Tuple[str, ScenarioResult]]:
     """One run per detector-policy point, labelled, in grid order."""
     specs = [spec.with_overrides(detector=point) for point in grid]
+    results = run_scenarios(specs, jobs=jobs)
+    return [(point.describe(), result) for point, result in zip(grid, results)]
+
+
+def run_bandwidth_points(
+    spec: ScenarioSpec, grid: Sequence[NetworkSpec], jobs: int = 1
+) -> List[Tuple[str, ScenarioResult]]:
+    """One run per bandwidth point, labelled, in grid order."""
+    specs = [spec.with_overrides(network=point) for point in grid]
     results = run_scenarios(specs, jobs=jobs)
     return [(point.describe(), result) for point, result in zip(grid, results)]
 

@@ -23,6 +23,7 @@ from repro.scenarios.spec import (
     DetectorSpec,
     FaultStep,
     LatencySpec,
+    NetworkSpec,
     ReadSpec,
     RetrySpec,
     ScenarioSpec,
@@ -430,6 +431,45 @@ register_scenario(
         latency=WAN_THREE_REGIONS,
         workload=WorkloadSpec(kind="uniform", txns=150, batch=15, num_keys=256),
         batch=BatchSpec(size=16, linger=1.0, adaptive=False),
+    )
+)
+
+# ----------------------------------------------------------------------
+# the network pack: finite-bandwidth FIFO links with per-message overhead.
+# ----------------------------------------------------------------------
+
+register_scenario(
+    ScenarioSpec(
+        name="bandwidth-knee",
+        description="Batching against a constrained link: every channel "
+        "serializes at 1000 bytes/delay with a 0.4-delay per-message "
+        "overhead, so tiny batches pay the overhead once per message while "
+        "huge batches head-of-line-block the FIFO behind their own bytes.  "
+        "Sweeping --batch over this spec traces the non-monotone "
+        "latency/throughput knee; the benchmark harness pins its location.",
+        protocol="message-passing",
+        num_shards=4,
+        replicas_per_shard=2,
+        workload=WorkloadSpec(kind="uniform", txns=200, batch=50, num_keys=512),
+        batch=BatchSpec(size=4),
+        network=NetworkSpec(bandwidth=1000.0, overhead=0.4),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="saturated-link",
+        description="A link slow enough to saturate: 120 bytes/delay means a "
+        "single certify fan-out wave queues several transmissions deep "
+        "behind each channel, so queue wait — not propagation — dominates "
+        "the commit path.  Unit propagation keeps the scenario eligible for "
+        "--parallel-shards, where the queueing delays only ever push "
+        "deliveries later than the lookahead bound, never earlier.",
+        protocol="message-passing",
+        num_shards=2,
+        replicas_per_shard=2,
+        workload=WorkloadSpec(kind="uniform", txns=150, batch=10, num_keys=192),
+        network=NetworkSpec(bandwidth=120.0, overhead=0.1),
     )
 )
 

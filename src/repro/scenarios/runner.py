@@ -30,6 +30,7 @@ from repro.analysis.metrics import (
     LatencySummary,
     PhaseBreakdown,
     RetryStats,
+    collect_link_stats,
     format_table,
     phase_breakdown,
     summarize,
@@ -98,6 +99,12 @@ class ScenarioResult:
     read_fallbacks: int = 0  # fast-path reads that fell back to certification
     read_fallback_reasons: Dict[str, int] = field(default_factory=dict)
     read_stale_serves: int = 0  # broken-snapshot mode: reads served stale
+    network_model: str = "off"  # NetworkSpec.describe() of the link model
+    bytes_sent: float = 0.0  # wire bytes charged to the link (0 when off)
+    link_queue_wait_mean: float = 0.0  # mean FIFO queue wait per message
+    link_queue_wait_max: float = 0.0  # worst FIFO queue wait observed
+    link_busy_time: float = 0.0  # total serialization time across all links
+    link_max_depth: int = 0  # deepest per-link FIFO queue observed
     detector_model: str = "off"  # DetectorSpec.describe() of the failure detector
     suspicions: int = 0  # peers newly suspected by any observer
     false_suspicions: int = 0  # suspicions refuted by a later heartbeat
@@ -155,6 +162,12 @@ class ScenarioResult:
             "read_fallbacks": self.read_fallbacks,
             "read_fallback_reasons": dict(sorted(self.read_fallback_reasons.items())),
             "read_stale_serves": self.read_stale_serves,
+            "network_model": self.network_model,
+            "bytes_sent": self.bytes_sent,
+            "link_queue_wait_mean": self.link_queue_wait_mean,
+            "link_queue_wait_max": self.link_queue_wait_max,
+            "link_busy_time": self.link_busy_time,
+            "link_max_depth": self.link_max_depth,
             "detector_model": self.detector_model,
             "suspicions": self.suspicions,
             "false_suspicions": self.false_suspicions,
@@ -216,6 +229,14 @@ class ScenarioResult:
             if self.read_stale_serves:
                 detail += f" / {self.read_stale_serves} STALE"
             rows.append(("snapshot reads", detail))
+        if self.network_model != "off":
+            rows.append(("network model", self.network_model))
+            rows.append(
+                ("link",
+                 f"{self.bytes_sent:.0f} bytes / busy {self.link_busy_time:.1f} / "
+                 f"queue wait mean {self.link_queue_wait_mean:.2f} "
+                 f"max {self.link_queue_wait_max:.2f} / depth {self.link_max_depth}"),
+            )
         if self.detector_model != "off":
             rows.append(("failure detector", self.detector_model))
             rows.append(
@@ -288,6 +309,7 @@ class ScenarioRunner:
         batch = spec.batch.compile()
         read = spec.read.compile()
         detector = spec.detector.compile()
+        link = spec.network.compile()
         # Tier-B engine selection: groups > 0 builds the cluster on the
         # conservative parallel-DES scheduler (byte-identical results).
         groups = spec.execution.groups if spec.execution.mode == "parallel-shards" else 0
@@ -303,6 +325,9 @@ class ScenarioRunner:
                 groups=groups,
                 read=read,
                 detector=detector,
+                link=link,
+                pipeline=spec.network.pipeline,
+                sticky=spec.network.sticky,
             )
         else:
             self.cluster = Cluster(
@@ -319,6 +344,9 @@ class ScenarioRunner:
                 groups=groups,
                 read=read,
                 detector=detector,
+                link=link,
+                pipeline=spec.network.pipeline,
+                sticky=spec.network.sticky,
             )
         if spec.check_mode == "online":
             self.checker = IncrementalTCSChecker(
@@ -598,6 +626,7 @@ class ScenarioRunner:
         detector_stats: Dict[str, Any] = (
             cluster.detector_stats() if hasattr(cluster, "detector_stats") else {}
         )
+        link_stats = collect_link_stats(cluster.network)
         return ScenarioResult(
             scenario=spec.name,
             protocol=spec.protocol,
@@ -630,6 +659,20 @@ class ScenarioRunner:
             read_fallbacks=read_stats.get("read_fallbacks", 0),
             read_fallback_reasons=dict(read_stats.get("fallback_reasons", {})),
             read_stale_serves=read_stats.get("stale_serves", 0),
+            network_model=spec.network.describe(),
+            bytes_sent=link_stats.bytes_sent if link_stats else 0.0,
+            link_queue_wait_mean=(
+                link_stats.queue_wait.mean
+                if link_stats and link_stats.queue_wait
+                else 0.0
+            ),
+            link_queue_wait_max=(
+                link_stats.queue_wait.maximum
+                if link_stats and link_stats.queue_wait
+                else 0.0
+            ),
+            link_busy_time=link_stats.busy_time if link_stats else 0.0,
+            link_max_depth=link_stats.max_depth if link_stats else 0,
             detector_model=spec.detector.describe(),
             suspicions=detector_stats.get("suspicions", 0),
             false_suspicions=detector_stats.get("false_suspicions", 0),

@@ -420,6 +420,76 @@ class DetectorSpec:
 
 
 @dataclass(frozen=True)
+class NetworkSpec:
+    """Bandwidth/queueing network model plus the commit-path optimizations
+    it makes measurable (declarative form of
+    :class:`repro.runtime.network.LinkSpec` and the pipelining/affinity
+    knobs).
+
+    With ``bandwidth > 0`` every directed channel becomes a FIFO queue:
+    each message pays a serialization time of
+    ``overhead + wire_size(message) / bandwidth`` and queues behind earlier
+    messages on the same link, so delivery time is propagation + queue wait
+    + serialization.  Batches serialize the sum of their parts plus one
+    header, which is what gives batch-size sweeps a real latency/throughput
+    knee.  ``bandwidth = 0`` (the default) keeps the pure-delay network.
+
+    ``pipeline`` controls leader-side vote pipelining: coordinators overlap
+    PREPARE certification of new transactions with ACCEPT persistence of
+    earlier ones (the default, and the paper's behaviour).  Setting it to
+    False serializes the commit path stop-and-wait style — the measurement
+    baseline the pipelining speedup is quoted against.
+
+    ``sticky`` pins each client (and each distinct shard set) to one
+    coordinator instead of rotating round-robin, deepening per-coordinator
+    batches at the cost of load spread.
+    """
+
+    bandwidth: float = 0.0  # bytes per delay unit; 0 disables the model
+    overhead: float = 0.0  # fixed per-message serialization cost (delays)
+    pipeline: bool = True  # overlap PREPARE of N+1 with ACCEPT of N
+    sticky: bool = False  # sticky client -> coordinator affinity
+
+    def compile(self):
+        """The :class:`repro.runtime.network.LinkSpec` this spec describes,
+        or None when the bandwidth model is off."""
+        from repro.runtime.network import LinkSpec  # late: keep spec modules light
+
+        if not self.enabled:
+            return None
+        return LinkSpec(bandwidth=self.bandwidth, overhead=self.overhead)
+
+    def validate(self) -> None:
+        if self.bandwidth < 0:
+            raise ScenarioError("network bandwidth must be >= 0 (0 = unlimited)")
+        if self.overhead < 0:
+            raise ScenarioError("network overhead must be >= 0")
+        if self.overhead and not self.enabled:
+            raise ScenarioError(
+                "network overhead is a serialization cost; it requires a "
+                "positive bandwidth"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        return self.bandwidth > 0
+
+    def describe(self) -> str:
+        if not self.enabled and self.pipeline and not self.sticky:
+            return "off"
+        parts = []
+        if self.enabled:
+            parts.append(f"bw={self.bandwidth:g}")
+            if self.overhead:
+                parts.append(f"ovh={self.overhead:g}")
+        if not self.pipeline:
+            parts.append("nopipe")
+        if self.sticky:
+            parts.append("sticky")
+        return ",".join(parts)
+
+
+@dataclass(frozen=True)
 class WorkloadSpec:
     """What the clients do.
 
@@ -567,6 +637,10 @@ class ScenarioSpec:
     # default — failover waits for client retry timeouts, the paper's
     # external-oracle-free model).
     detector: DetectorSpec = field(default_factory=DetectorSpec)
+    # Bandwidth/queueing network model plus pipelining and coordinator
+    # affinity (off by default — the pure-delay network, with the paper's
+    # pipelined commit path).
+    network: NetworkSpec = field(default_factory=NetworkSpec)
     faults: Tuple[FaultStep, ...] = ()
     max_events: int = 5_000_000
     # How the recorded history is validated: "online" (default) attaches the
@@ -615,6 +689,7 @@ class ScenarioSpec:
         self.batch.validate()
         self.read.validate()
         self.detector.validate()
+        self.network.validate()
         self.execution.validate()
         if self.execution.mode == "parallel-shards":
             if self.latency.model not in DETERMINISTIC_LATENCY_MODELS or self.latency.jitter:

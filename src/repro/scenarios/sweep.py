@@ -20,10 +20,16 @@ into a curve:
 * a **detector sweep** varies the :class:`DetectorSpec` (heartbeat
   interval x suspicion threshold), rendering each policy against
   suspicions, false positives, pushed failovers and time-to-recovery —
-  the tuning view for the failure detector's speed/accuracy tradeoff.
+  the tuning view for the failure detector's speed/accuracy tradeoff;
+* a **bandwidth sweep** varies the :class:`NetworkSpec` (link capacity,
+  per-message overhead, commit-path toggles), rendering each link model
+  against throughput, latency, bytes on the wire and FIFO queueing — the
+  evaluation view for the bandwidth-aware network layer (batches stop
+  being free once serialization time is charged).
 
 Used by ``python -m repro.scenarios sweep <scenario> --latency ... /
---batch ... / --read-ratio ... / --detector ...`` and importable directly::
+--batch ... / --read-ratio ... / --detector ... / --bandwidth ...`` and
+importable directly::
 
     from repro.scenarios.sweep import DEFAULT_GRID, run_latency_sweep
     curve = run_latency_sweep(get_scenario("steady-state"))
@@ -43,6 +49,7 @@ from repro.scenarios.spec import (
     BatchSpec,
     DetectorSpec,
     LatencySpec,
+    NetworkSpec,
     ScenarioError,
     ScenarioSpec,
 )
@@ -741,4 +748,207 @@ def run_detector_sweep(
         scenario=spec.name, protocol=spec.protocol, seed=spec.seed
     )
     sweep.points.extend(run_detector_points(spec, sort_detector_grid(grid), jobs=jobs))
+    return sweep
+
+
+# ----------------------------------------------------------------------
+# bandwidth sweeps
+# ----------------------------------------------------------------------
+
+# The stock bandwidth grid: the pure-delay baseline (links cost nothing)
+# plus shrinking link capacities, in bytes per message delay.  Typical
+# protocol messages weigh 50-300 bytes (see repro.runtime.wire), so 8000
+# is a mild tax, 2000 makes serialization visible and 500 saturates links
+# into real FIFO queues.
+DEFAULT_BANDWIDTH_GRID: Tuple[NetworkSpec, ...] = (
+    NetworkSpec(),
+    NetworkSpec(bandwidth=8000.0),
+    NetworkSpec(bandwidth=2000.0),
+    NetworkSpec(bandwidth=500.0),
+)
+
+
+def parse_bandwidth(text: str) -> NetworkSpec:
+    """Parse one CLI bandwidth point: ``off``, a bandwidth in bytes per
+    delay (``2000``), or a bandwidth with ``k=v`` parameters
+    (``2000:overhead=0.1``, ``500:pipeline=false``, ``2000:sticky=true``)."""
+    text = text.strip()
+    if text == "off":
+        return NetworkSpec()
+    head, _, params_text = text.partition(":")
+    try:
+        bandwidth = float(head)
+    except ValueError:
+        raise ScenarioError(
+            f"invalid bandwidth point {text!r}: expected 'off' or BANDWIDTH[:k=v,...]"
+        ) from None
+    fields: Dict[str, Any] = {"bandwidth": bandwidth}
+    for pair in filter(None, (p.strip() for p in params_text.split(","))):
+        key, sep, value = pair.partition("=")
+        if not sep:
+            raise ScenarioError(f"invalid bandwidth parameter {pair!r}: expected k=v")
+        if key == "overhead":
+            try:
+                fields["overhead"] = float(value)
+            except ValueError:
+                raise ScenarioError(f"invalid overhead value {value!r}") from None
+        elif key == "pipeline":
+            if value not in ("true", "false"):
+                raise ScenarioError("pipeline must be 'true' or 'false'")
+            fields["pipeline"] = value == "true"
+        elif key == "sticky":
+            if value not in ("true", "false"):
+                raise ScenarioError("sticky must be 'true' or 'false'")
+            fields["sticky"] = value == "true"
+        else:
+            raise ScenarioError(
+                f"unknown bandwidth parameter {key!r}; "
+                "expected overhead, pipeline or sticky"
+            )
+    spec = NetworkSpec(**fields)
+    spec.validate()
+    return spec
+
+
+def parse_bandwidth_grid(texts: Iterable[str]) -> Tuple[NetworkSpec, ...]:
+    """Parse CLI bandwidth points; the single word ``default`` expands to
+    :data:`DEFAULT_BANDWIDTH_GRID`."""
+    grid: List[NetworkSpec] = []
+    for text in texts:
+        if text.strip() == "default":
+            grid.extend(DEFAULT_BANDWIDTH_GRID)
+        else:
+            grid.append(parse_bandwidth(text))
+    return tuple(grid)
+
+
+def sort_bandwidth_grid(grid: Sequence[NetworkSpec]) -> Tuple[NetworkSpec, ...]:
+    """Canonical bandwidth-grid order: the pure-delay off point first, then
+    descending bandwidth (wide to narrow pipes), commit-path toggles last."""
+    return tuple(
+        sorted(
+            grid,
+            key=lambda p: (
+                1 if p.enabled else 0,
+                -p.bandwidth,
+                p.overhead,
+                not p.pipeline,
+                p.sticky,
+            ),
+        )
+    )
+
+
+@dataclass
+class BandwidthSweepResult:
+    """One scenario's results across a bandwidth grid, in grid order."""
+
+    scenario: str
+    protocol: str
+    seed: int
+    points: List[Tuple[str, ScenarioResult]] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(result.passed for _, result in self.points)
+
+    def result_for(self, label: str) -> ScenarioResult:
+        for point_label, result in self.points:
+            if point_label == label:
+                return result
+        raise KeyError(f"no sweep point labelled {label!r}")
+
+    def curve(self) -> List[Dict[str, Any]]:
+        """Link capacity vs throughput/latency/queueing: one row per point."""
+        rows = []
+        for label, result in self.points:
+            rows.append(
+                {
+                    "network_model": label,
+                    "throughput": result.throughput,
+                    "mean_latency": result.latency.mean if result.latency else None,
+                    "p99_latency": result.latency.p99 if result.latency else None,
+                    "bytes_sent": result.bytes_sent,
+                    "link_queue_wait_mean": result.link_queue_wait_mean,
+                    "link_queue_wait_max": result.link_queue_wait_max,
+                    "link_busy_time": result.link_busy_time,
+                    "link_max_depth": result.link_max_depth,
+                    "messages_sent": result.messages_sent,
+                }
+            )
+        return rows
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "protocol": self.protocol,
+            "seed": self.seed,
+            "passed": self.passed,
+            "curve": self.curve(),
+            "points": [
+                {"network_model": label, "result": result.as_dict()}
+                for label, result in self.points
+            ],
+        }
+
+    def render(self) -> str:
+        headers = [
+            "network",
+            "committed",
+            "tput/1k",
+            "lat mean",
+            "lat p99",
+            "bytes",
+            "q wait",
+            "q max",
+            "depth",
+            "messages",
+        ]
+        rows = []
+        for label, result in self.points:
+            rows.append(
+                [
+                    label,
+                    result.committed,
+                    f"{result.throughput:.1f}",
+                    f"{result.latency.mean:.2f}" if result.latency else "-",
+                    f"{result.latency.p99:.2f}" if result.latency else "-",
+                    f"{result.bytes_sent:.0f}" if result.bytes_sent else "-",
+                    f"{result.link_queue_wait_mean:.2f}",
+                    f"{result.link_queue_wait_max:.2f}",
+                    result.link_max_depth,
+                    result.messages_sent,
+                ]
+            )
+        body = format_table(headers, rows)
+        verdict = "all safe" if self.passed else "FAILED"
+        return (
+            f"=== bandwidth sweep: {self.scenario} ({self.protocol}, seed {self.seed}) "
+            f"— {verdict} ===\n{body}"
+        )
+
+
+def run_bandwidth_sweep(
+    spec: ScenarioSpec,
+    grid: Sequence[NetworkSpec] = DEFAULT_BANDWIDTH_GRID,
+    jobs: int = 1,
+    **overrides: Any,
+) -> BandwidthSweepResult:
+    """Run ``spec`` once per bandwidth point (optionally overriding spec
+    fields first); every point reuses the spec's seed, workload, latency
+    model and faults, so the curve isolates the effect of link capacity —
+    serialization time and FIFO queueing on top of propagation delay.
+
+    The grid is sorted canonically (:func:`sort_bandwidth_grid`), and with
+    ``jobs > 1`` the points fan out over a process pool — the sweep result
+    is byte-identical for any ``jobs`` value.
+    """
+    if overrides:
+        spec = spec.with_overrides(**overrides)
+    from repro.scenarios.executor import run_bandwidth_points
+
+    sweep = BandwidthSweepResult(
+        scenario=spec.name, protocol=spec.protocol, seed=spec.seed
+    )
+    sweep.points.extend(run_bandwidth_points(spec, sort_bandwidth_grid(grid), jobs=jobs))
     return sweep

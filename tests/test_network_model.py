@@ -1,0 +1,421 @@
+"""Tests for the bandwidth/queueing network model and its commit-path knobs.
+
+Four layers:
+
+* ``repro.runtime.wire`` — every message class in every protocol module
+  has a registered wire size, batches cost the sum of their parts plus one
+  header, and unregistered types fail loudly (only when the link model is
+  actually on);
+* ``repro.runtime.network`` — FIFO queueing semantics: serialization and
+  queue wait are added on top of propagation, per-channel order is
+  preserved, and the byte/queue statistics come out exactly as the closed
+  form predicts;
+* ``repro.scenarios.spec.NetworkSpec`` — parsing, validation, description
+  strings and the CLI grid grammar;
+* end-to-end determinism — the network scenarios produce byte-identical
+  histories and queue-wait samples across the serial and grouped engines,
+  sticky affinity pins coordinators, and the non-pipelined baseline still
+  commits everything.
+"""
+
+import dataclasses
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.baselines import paxos, twopc
+from repro.client import CoordinatorRouter, StaticRouter
+from repro.core import messages as core_messages
+from repro.rdma import messages as rdma_messages
+from repro.runtime import rdma as rdma_runtime
+from repro.runtime.events import Scheduler
+from repro.runtime.network import LinkSpec, Network, UnitLatency
+from repro.runtime.process import Process
+from repro.runtime.wire import HEADER_BYTES, is_registered, wire_size
+from repro.scenarios import (
+    DEFAULT_BANDWIDTH_GRID,
+    ExecSpec,
+    NetworkSpec,
+    ScenarioError,
+    ScenarioRunner,
+    get_scenario,
+    parse_bandwidth,
+    parse_bandwidth_grid,
+    run_bandwidth_sweep,
+    sort_bandwidth_grid,
+)
+
+
+# ----------------------------------------------------------------------
+# wire-size registry: every message class, everywhere
+# ----------------------------------------------------------------------
+
+MESSAGE_MODULES = (core_messages, rdma_messages, paxos, twopc, rdma_runtime)
+
+
+def _message_classes(module):
+    """Every public frozen-dataclass message type defined in ``module``."""
+    found = []
+    for name in dir(module):
+        if name.startswith("_"):
+            continue
+        cls = getattr(module, name)
+        if (
+            isinstance(cls, type)
+            and cls.__module__ == module.__name__
+            and dataclasses.is_dataclass(cls)
+            and cls.__dataclass_params__.frozen
+        ):
+            found.append(cls)
+    return found
+
+
+@pytest.mark.parametrize("module", MESSAGE_MODULES, ids=lambda m: m.__name__)
+def test_every_message_class_has_a_wire_size(module):
+    """The loud-failure contract: adding a message class to any protocol
+    module without registering it in ``repro.runtime.wire`` fails here."""
+    classes = _message_classes(module)
+    assert classes, f"no message classes found in {module.__name__}"
+    unregistered = [cls.__qualname__ for cls in classes if not is_registered(cls)]
+    assert not unregistered, (
+        f"{module.__name__} defines message types with no wire size: "
+        f"{unregistered}; register them in repro.runtime.wire"
+    )
+
+
+def test_wire_size_is_positive_and_deterministic():
+    message = core_messages.Prepare(txn="t1", payload=("k1", "k2"))
+    assert wire_size(message) > HEADER_BYTES
+    assert wire_size(message) == wire_size(message)
+
+
+def test_batch_wire_size_is_sum_of_parts_plus_one_header():
+    parts = tuple(
+        core_messages.Prepare(txn=f"t{i}", payload=(f"key-{i}",)) for i in range(5)
+    )
+    batch = core_messages.CertifyBatch(prepares=parts)
+    payloads = sum(wire_size(p) - HEADER_BYTES for p in parts)
+    assert wire_size(batch) == HEADER_BYTES + payloads
+    # Coalescing saves headers, never payload bytes: the batch is strictly
+    # cheaper than its parts sent individually.
+    assert wire_size(batch) < sum(wire_size(p) for p in parts)
+
+
+def test_rdma_write_charges_frame_plus_payload():
+    inner = rdma_messages.Accept(slot=3, txn="t1", payload=None, vote=None)
+    frame = rdma_runtime.RdmaWrite(write_id=1, payload=inner)
+    assert wire_size(frame) > wire_size(inner)
+
+
+def test_wire_size_rejects_unregistered_types():
+    class NotAMessage:
+        pass
+
+    with pytest.raises(TypeError, match="no wire size registered"):
+        wire_size(NotAMessage())
+
+    # Exact-type lookup: subclassing a registered type is not enough.
+    class SneakyPrepare(core_messages.Prepare):
+        pass
+
+    assert not is_registered(SneakyPrepare)
+
+
+# ----------------------------------------------------------------------
+# FIFO queueing semantics on the link
+# ----------------------------------------------------------------------
+
+class _Sink(Process):
+    """Records (time, message) pairs in delivery order."""
+
+    def __init__(self, pid):
+        super().__init__(pid)
+        self.deliveries = []
+
+    def deliver(self, message, src):
+        self.deliveries.append((self.now, message))
+
+
+class _Note:
+    """A foreign, unregistered message type (a bare payload string)."""
+
+    def __init__(self, text):
+        self.text = text
+
+
+def _two_node_net(link=None):
+    scheduler = Scheduler()
+    network = Network(scheduler, latency=UnitLatency(), seed=0, link=link)
+    a, b = _Sink("a"), _Sink("b")
+    network.register(a)
+    network.register(b)
+    return scheduler, network, a, b
+
+
+def test_disabled_link_keeps_the_pure_delay_path():
+    """No LinkSpec: messages are never sized, so unregistered ad-hoc types
+    stay legal and the byte counters stay at zero."""
+    scheduler, network, a, b = _two_node_net(link=None)
+    network.send("a", "b", _Note("hello"))
+    scheduler.run()
+    assert [t for t, _ in b.deliveries] == [1.0]
+    assert network.stats.bytes_sent == 0.0
+    assert network.queue_wait_samples == []
+    assert LinkSpec().enabled is False  # bandwidth=0 disables explicitly
+
+
+def test_enabled_link_sizes_messages_and_rejects_foreign_types():
+    scheduler, network, a, b = _two_node_net(link=LinkSpec(bandwidth=100.0))
+    with pytest.raises(TypeError, match="no wire size registered"):
+        network.send("a", "b", _Note("hello"))
+
+
+def test_queueing_matches_the_closed_form():
+    """Two back-to-back sends on one channel: the second serializes only
+    after the first finishes, and every statistic is exactly predictable."""
+    link = LinkSpec(bandwidth=100.0, overhead=0.5)
+    scheduler, network, a, b = _two_node_net(link=link)
+    m1 = core_messages.Prepare(txn="t1", payload=("k1",))
+    m2 = core_messages.Prepare(txn="t2", payload=("k2",))
+    ser1 = link.overhead + wire_size(m1) / link.bandwidth
+    ser2 = link.overhead + wire_size(m2) / link.bandwidth
+    network.send("a", "b", m1)
+    network.send("a", "b", m2)
+    scheduler.run()
+    times = [t for t, _ in b.deliveries]
+    assert times == pytest.approx([1.0 + ser1, 1.0 + ser1 + ser2])
+    # FIFO: delivery order is send order.
+    assert [m.txn for _, m in b.deliveries] == ["t1", "t2"]
+    # m1 finds an idle channel (wait 0); m2 queues behind m1's serialization.
+    assert network.queue_wait_samples == pytest.approx([0.0, ser1])
+    assert network.link_busy_time == pytest.approx(ser1 + ser2)
+    assert network.link_max_depth == 2
+    assert network.stats.bytes_sent == pytest.approx(wire_size(m1) + wire_size(m2))
+    assert network.stats.bytes_by_type["Prepare"] == network.stats.bytes_sent
+
+
+def test_queueing_is_per_directed_channel():
+    """The reverse channel b->a is idle, so a message there sees no queue
+    even while a->b is saturated."""
+    link = LinkSpec(bandwidth=10.0, overhead=0.0)
+    scheduler, network, a, b = _two_node_net(link=link)
+    message = core_messages.Prepare(txn="t", payload=("k",))
+    for _ in range(4):
+        network.send("a", "b", message)
+    network.send("b", "a", message)
+    scheduler.run()
+    # The lone reverse-channel message never waited.
+    assert network.queue_wait_samples[-1] == pytest.approx(0.0)
+    assert [t for t, _ in a.deliveries] == pytest.approx(
+        [1.0 + wire_size(message) / link.bandwidth]
+    )
+
+
+def test_serialization_only_adds_to_propagation():
+    """The lookahead-validity property in miniature: with the link enabled,
+    no delivery can land before the pure-propagation delivery time."""
+    scheduler, network, a, b = _two_node_net(link=LinkSpec(bandwidth=50.0, overhead=0.1))
+    message = core_messages.Prepare(txn="t", payload=("k",))
+    for _ in range(6):
+        network.send("a", "b", message)
+    scheduler.run()
+    assert all(t >= 1.0 for t, _ in b.deliveries)
+    assert all(wait >= 0.0 for wait in network.queue_wait_samples)
+
+
+# ----------------------------------------------------------------------
+# NetworkSpec: validation, description, CLI grammar
+# ----------------------------------------------------------------------
+
+def test_network_spec_validation():
+    NetworkSpec().validate()
+    NetworkSpec(bandwidth=100.0, overhead=0.5).validate()
+    with pytest.raises(ScenarioError):
+        NetworkSpec(bandwidth=-1.0).validate()
+    with pytest.raises(ScenarioError):
+        NetworkSpec(overhead=-0.5, bandwidth=10.0).validate()
+    with pytest.raises(ScenarioError, match="requires a positive bandwidth"):
+        NetworkSpec(overhead=0.5).validate()
+
+
+def test_network_spec_compile_and_describe():
+    assert NetworkSpec().compile() is None
+    assert NetworkSpec().describe() == "off"
+    compiled = NetworkSpec(bandwidth=100.0, overhead=0.5).compile()
+    assert compiled == LinkSpec(bandwidth=100.0, overhead=0.5)
+    assert NetworkSpec(bandwidth=100.0, overhead=0.5).describe() == "bw=100,ovh=0.5"
+    assert "nopipe" in NetworkSpec(pipeline=False).describe()
+    assert "sticky" in NetworkSpec(sticky=True).describe()
+
+
+def test_parse_bandwidth_grammar():
+    assert parse_bandwidth("off") == NetworkSpec()
+    assert parse_bandwidth("500") == NetworkSpec(bandwidth=500.0)
+    point = parse_bandwidth("500:overhead=0.2,pipeline=false,sticky=true")
+    assert point == NetworkSpec(
+        bandwidth=500.0, overhead=0.2, pipeline=False, sticky=True
+    )
+    with pytest.raises(ScenarioError):
+        parse_bandwidth("fast")
+    with pytest.raises(ScenarioError):
+        parse_bandwidth("500:warp=9")
+    assert parse_bandwidth_grid(["default"]) == tuple(DEFAULT_BANDWIDTH_GRID)
+
+
+def test_sort_bandwidth_grid_puts_off_first_then_descending_bandwidth():
+    grid = (
+        NetworkSpec(bandwidth=500.0),
+        NetworkSpec(),
+        NetworkSpec(bandwidth=8000.0),
+        NetworkSpec(bandwidth=2000.0),
+    )
+    assert [p.bandwidth for p in sort_bandwidth_grid(grid)] == [
+        0.0, 8000.0, 2000.0, 500.0,
+    ]
+
+
+def test_default_bandwidth_grid_is_canonical():
+    assert tuple(sort_bandwidth_grid(DEFAULT_BANDWIDTH_GRID)) == DEFAULT_BANDWIDTH_GRID
+
+
+# ----------------------------------------------------------------------
+# sticky routing
+# ----------------------------------------------------------------------
+
+def _router(sticky):
+    members = {
+        "shard-0": ("member:shard-0:0", "member:shard-0:1"),
+        "shard-1": ("member:shard-1:0", "member:shard-1:1"),
+    }
+    return CoordinatorRouter(["shard-0", "shard-1"], members, sticky=sticky)
+
+
+def test_round_robin_router_rotates_by_default():
+    router = _router(sticky=False)
+    picks = {router.pick(["shard-0"]) for _ in range(4)}
+    assert len(picks) > 1
+
+
+def test_sticky_router_pins_per_shard_set():
+    router = _router(sticky=True)
+    first = router.pick(["shard-0"])
+    assert all(router.pick(["shard-0"]) == first for _ in range(5))
+    # Key is the sorted involved set, so permutations share a pin.
+    both = router.pick(["shard-1", "shard-0"])
+    assert router.pick(["shard-0", "shard-1"]) == both
+
+
+def test_sticky_router_repins_on_failover_and_config_change():
+    router = _router(sticky=True)
+    first = router.pick(["shard-0"])
+    failover = router.pick(["shard-0"], exclude=[first])
+    assert failover != first
+    assert router.pick(["shard-0"]) == failover  # the new pin sticks
+    # A config change removing the pinned member drops the pin.
+    shard = "shard-0" if "shard-0" in failover else "shard-1"
+    remaining = tuple(p for p in router.members[shard] if p != failover)
+    router.note_config_change(shard, 2, remaining + ("member:new:0",), remaining[0])
+    assert failover not in router._pins.values()
+
+
+def test_static_router_sticky_pins():
+    router = StaticRouter(["c0", "c1", "c2"], sticky=True)
+    first = router.pick(["shard-0"])
+    assert all(router.pick(["shard-0"]) == first for _ in range(5))
+    other = router.pick(["shard-1"])
+    assert router.pick(["shard-1"]) == other
+
+
+# ----------------------------------------------------------------------
+# end-to-end: scenarios, determinism, pipelining
+# ----------------------------------------------------------------------
+
+def _small(name, txns=40, **overrides):
+    spec = get_scenario(name)
+    return spec.with_overrides(workload=replace(spec.workload, txns=txns), **overrides)
+
+
+def test_saturated_link_scenario_reports_real_queueing():
+    result = ScenarioRunner(_small("saturated-link")).run()
+    assert result.network_model == "bw=120,ovh=0.1"
+    assert result.bytes_sent > 0
+    assert result.link_queue_wait_max > 0
+    assert result.link_busy_time > 0
+    assert result.link_max_depth >= 2
+    assert result.safety_ok
+
+
+def test_saturated_link_grouped_engine_matches_serial_exactly():
+    """The lookahead-audit regression: a saturated slow link under
+    --parallel-shards must replay the serial schedule byte for byte (and
+    the debug assertion in GroupedScheduler.schedule_delivery is active
+    throughout, because pytest runs without -O)."""
+    serial = ScenarioRunner(_small("saturated-link")).run()
+    grouped = ScenarioRunner(
+        _small(
+            "saturated-link",
+            execution=ExecSpec(mode="parallel-shards", groups=2),
+        )
+    ).run()
+    assert grouped.history_digest == serial.history_digest
+    assert json.dumps(grouped.as_dict(), sort_keys=True) == json.dumps(
+        serial.as_dict(), sort_keys=True
+    )
+    # Same queue-wait statistics, not just the same history.
+    assert grouped.link_queue_wait_mean == serial.link_queue_wait_mean
+    assert grouped.link_queue_wait_max == serial.link_queue_wait_max
+    assert grouped.bytes_sent == serial.bytes_sent
+
+
+def test_default_network_leaves_results_byte_identical():
+    """NetworkSpec() must be inert: a run with the default network equals a
+    run of the identical spec from before the network model existed (same
+    digest, same metrics, zero byte accounting)."""
+    base = _small("steady-state")
+    assert base.network == NetworkSpec()
+    result = ScenarioRunner(base).run()
+    assert result.network_model == "off"
+    assert result.bytes_sent == 0.0
+    assert result.link_max_depth == 0
+
+
+def test_bandwidth_sweep_runs_and_throughput_degrades():
+    spec = _small("bandwidth-knee", txns=60)
+    sweep = run_bandwidth_sweep(spec)
+    assert sweep.passed
+    rows = sweep.curve()
+    assert [row["network_model"] for row in rows] == [
+        p.describe() for p in DEFAULT_BANDWIDTH_GRID
+    ]
+    by_network = {row["network_model"]: row for row in rows}
+    # A constrained link can only slow things down.
+    assert by_network["bw=500"]["throughput"] < by_network["off"]["throughput"]
+    assert by_network["bw=500"]["link_queue_wait_max"] > 0
+
+
+def test_non_pipelined_run_commits_everything_and_is_slower():
+    """pipeline=False is the stop-and-wait measurement baseline: same
+    transactions decided, strictly more virtual time under load."""
+    fast = ScenarioRunner(_small("bandwidth-knee")).run()
+    slow = ScenarioRunner(
+        _small(
+            "bandwidth-knee",
+            network=replace(get_scenario("bandwidth-knee").network, pipeline=False),
+        )
+    ).run()
+    assert slow.safety_ok
+    assert slow.committed + slow.aborted == fast.committed + fast.aborted
+    assert slow.duration > fast.duration
+
+
+def test_sticky_affinity_is_safe_and_decides_everything():
+    result = ScenarioRunner(
+        _small(
+            "bandwidth-knee",
+            network=replace(get_scenario("bandwidth-knee").network, sticky=True),
+        )
+    ).run()
+    assert result.safety_ok
+    assert result.committed + result.aborted == 40
+    assert result.committed > 0

@@ -288,6 +288,9 @@ EQUIVALENCE_CASES = [
     ("stale-lease-ablation", 2),
     ("detector-leader-crash", 2),
     ("gray-failure-slow-leader", 2),
+    ("saturated-link", 2),
+    ("bandwidth-knee", 2),
+    ("bandwidth-knee", 4),
 ]
 
 
@@ -352,6 +355,7 @@ _SUBPROCESS_CASES = {
     "batch-saturation": "",
     "read-heavy-steady-state": "",
     "detector-leader-crash": "",
+    "saturated-link": "",
 }
 
 
